@@ -1,0 +1,161 @@
+// §5 extension: data annotation — semantic column-type detection
+// (Sato-style, cited by the paper) on headerless columns.
+//
+// The learned annotator (Transformer over value samples) is compared with
+// a rule-based typer (unit/shape regexes) on columns rendered with unseen
+// noise profiles. Reports per-type accuracy. Flags: --quick.
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "eval/report.h"
+#include "rpt/annotator.h"
+#include "synth/column_examples.h"
+#include "synth/universe.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace rpt;  // bench driver; the library itself never does this
+
+// Rule-based column typer: unit suffixes and value shapes.
+std::string HeuristicType(const std::vector<std::string>& values) {
+  int64_t years = 0, prices = 0, memories = 0, screens = 0, categories = 0;
+  static const std::vector<std::string> kCategories = {
+      "phone", "laptop",     "tablet",  "camera", "software",
+      "monitor", "headphones", "printer"};
+  for (const auto& value : values) {
+    const std::string norm = Tokenizer::Normalize(value);
+    if (IsNumber(norm)) {
+      const double v = ParseDoubleOr(norm, 0);
+      if (v >= 1990 && v <= 2100 && norm.find('.') == std::string::npos) {
+        ++years;
+      } else {
+        ++prices;
+      }
+      continue;
+    }
+    if (norm.find("gb") != std::string::npos ||
+        norm.find("ram") != std::string::npos) {
+      ++memories;
+      continue;
+    }
+    if (norm.find("inch") != std::string::npos ||
+        norm.find(" in") != std::string::npos) {
+      ++screens;
+      continue;
+    }
+    for (const auto& c : kCategories) {
+      if (norm == c) {
+        ++categories;
+        break;
+      }
+    }
+  }
+  const int64_t n = static_cast<int64_t>(values.size());
+  if (years * 2 > n) return "year";
+  if (prices * 2 > n) {
+    // Small integers are more likely model numbers than prices.
+    int64_t small = 0;
+    for (const auto& value : values) {
+      const double v = ParseDoubleOr(Tokenizer::Normalize(value), 1e9);
+      small += v < 40;
+    }
+    return small * 2 > n ? "modelno" : "price";
+  }
+  if (memories * 2 > n) return "memory";
+  if (screens * 2 > n) return "screen";
+  if (categories * 2 > n) return "category";
+  // Short strings: manufacturer; long strings: title.
+  double mean_tokens = 0;
+  for (const auto& v : values) {
+    mean_tokens += static_cast<double>(Tokenizer::Tokenize(v).size());
+  }
+  mean_tokens /= static_cast<double>(values.size());
+  return mean_tokens <= 2.2 ? "manufacturer" : "title";
+}
+
+Vocab VocabFromColumns(const std::vector<LabeledColumn>& columns) {
+  std::unordered_map<std::string, int64_t> counts;
+  for (const auto& column : columns) {
+    for (const auto& value : column.values) {
+      Tokenizer::CountTokens(value, &counts);
+    }
+  }
+  return Vocab::Build(counts, 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int64_t universe_size = quick ? 120 : 250;
+  const int64_t train_columns_per_type = quick ? 10 : 25;
+  const int64_t test_columns_per_type = quick ? 4 : 10;
+  const int64_t steps = quick ? 250 : 400;
+
+  PrintBanner("Data annotation: semantic column typing (§5)");
+  ProductUniverse universe(universe_size, 515);
+  auto train_columns =
+      GenerateLabeledColumns(universe, train_columns_per_type, 4, 31);
+  auto test_columns =
+      GenerateLabeledColumns(universe, test_columns_per_type, 4, 77777);
+
+  const auto type_names = ColumnTypeNames();
+  std::unordered_map<std::string, int32_t> type_index;
+  for (size_t i = 0; i < type_names.size(); ++i) {
+    type_index[type_names[i]] = static_cast<int32_t>(i);
+  }
+  std::vector<ColumnExample> train;
+  for (const auto& c : train_columns) {
+    train.push_back({c.values, type_index[c.type]});
+  }
+  auto all = train_columns;
+  all.insert(all.end(), test_columns.begin(), test_columns.end());
+
+  AnnotatorConfig config;
+  config.d_model = quick ? 48 : 64;
+  config.num_heads = quick ? 2 : 4;
+  config.num_layers = 2;
+  config.ffn_dim = quick ? 96 : 128;
+  config.dropout = 0.0f;
+  config.seed = 3;
+  ColumnAnnotator annotator(config, VocabFromColumns(all), type_names);
+  std::printf("training on %zu labeled columns...\n", train.size());
+  const double loss = annotator.Train(train, steps);
+  std::printf("final loss %.3f\n", loss);
+
+  std::unordered_map<std::string, std::pair<int, int>> learned_per_type;
+  std::unordered_map<std::string, std::pair<int, int>> heuristic_per_type;
+  for (const auto& c : test_columns) {
+    learned_per_type[c.type].second++;
+    heuristic_per_type[c.type].second++;
+    learned_per_type[c.type].first +=
+        annotator.PredictName(c.values) == c.type;
+    heuristic_per_type[c.type].first += HeuristicType(c.values) == c.type;
+  }
+  ReportTable table({"type", "learned acc", "heuristic acc"});
+  int learned_total = 0, heuristic_total = 0, total = 0;
+  for (const auto& type : type_names) {
+    const auto& [lc, lt] = learned_per_type[type];
+    const auto& [hc, ht] = heuristic_per_type[type];
+    table.AddRow({type, Fixed(lt == 0 ? 0 : 1.0 * lc / lt),
+                  Fixed(ht == 0 ? 0 : 1.0 * hc / ht)});
+    learned_total += lc;
+    heuristic_total += hc;
+    total += lt;
+  }
+  table.AddRow({"OVERALL", Fixed(1.0 * learned_total / total),
+                Fixed(1.0 * heuristic_total / total)});
+  table.Print();
+  std::printf(
+      "\nExpected shape: the learned annotator matches the rules on\n"
+      "unit-bearing types and wins on the ambiguous text types\n"
+      "(title vs manufacturer vs category).\n");
+  return 0;
+}

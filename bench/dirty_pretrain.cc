@@ -1,0 +1,103 @@
+// §2.2 opportunity O2: how robust is RPT-C pre-training to *dirty*
+// pre-training tables?
+//
+// The cleaner is pre-trained on catalogs with 0% / 10% / 20% / 30% of
+// cells corrupted (nulls, typos, numeric jitter), then asked to repair
+// clean held-out probes. Reports repair exact-match per dirt level.
+//
+// Flags: --quick.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "corrupt/dirt.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "rpt/cleaner.h"
+#include "rpt/vocab_builder.h"
+#include "synth/benchmarks.h"
+#include "synth/universe.h"
+
+namespace {
+
+using namespace rpt;  // bench driver; the library itself never does this
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int64_t universe_size = quick ? 100 : 200;
+  const int64_t steps = quick ? 250 : 350;
+  const int64_t probes = quick ? 30 : 50;
+
+  PrintBanner("Dirty pre-training robustness (O2)");
+  ProductUniverse universe(universe_size, 909);
+  std::vector<int64_t> ids;
+  for (int64_t i = 0; i < universe_size; ++i) ids.push_back(i);
+  const std::vector<std::string> columns = {"title", "manufacturer",
+                                            "category", "year"};
+  RenderProfile profile;
+  profile.missing_prob = 0.0;
+  profile.typo_prob = 0.0;
+  Table clean_train =
+      GenerateCleaningTable(universe, ids, columns, profile, 1);
+  Table probe_table =
+      GenerateCleaningTable(universe, ids, columns, profile, 2);
+
+  ReportTable table({"dirt rate", "repair exact", "repair tokenF1"});
+  for (double rate : {0.0, 0.1, 0.2, 0.3}) {
+    Table train = clean_train;
+    Rng dirt_rng(static_cast<uint64_t>(rate * 1000) + 5);
+    DirtOptions dirt;
+    dirt.cell_rate = rate;
+    ApplyDirt(&train, dirt, &dirt_rng);
+
+    CleanerConfig config;
+    config.d_model = quick ? 48 : 64;
+    config.num_layers = 2;
+    config.num_heads = quick ? 2 : 4;
+    config.ffn_dim = quick ? 96 : 128;
+    config.dropout = 0.0f;
+    config.masking = MaskingStrategy::kFdGuided;
+    config.seed = 303;
+    RptCleaner cleaner(config,
+                       BuildVocabFromTables({&train, &probe_table}));
+    cleaner.PretrainOnTables({&train}, steps);
+
+    // Repair clean probes: mask manufacturer and category alternately.
+    double exact = 0, f1 = 0;
+    int64_t total = 0;
+    for (int64_t r = 0; r < std::min<int64_t>(probes,
+                                              probe_table.NumRows());
+         ++r) {
+      const int64_t col = 1 + (r % 2);  // manufacturer or category
+      const Value& truth = probe_table.at(r, col);
+      if (truth.is_null()) continue;
+      Tuple masked = probe_table.row(r);
+      masked[static_cast<size_t>(col)] = Value::Null();
+      const std::string predicted =
+          cleaner.PredictValue(probe_table.schema(), masked, col).text();
+      exact += NormalizedExactMatch(predicted, truth.text());
+      f1 += TokenF1(predicted, truth.text());
+      ++total;
+    }
+    table.AddRow({Fixed(rate, 1),
+                  Fixed(total == 0 ? 0 : exact / total),
+                  Fixed(total == 0 ? 0 : f1 / total)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nExpected shape: repair quality degrades gracefully with dirt —\n"
+      "moderate dirt (10-20%%) costs little because the denoising\n"
+      "objective itself tolerates corrupted context, while heavy dirt\n"
+      "(30%%) visibly hurts (motivating the paper's call for\n"
+      "dirt-aware pre-training).\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// §3 opportunity O2: few-shot learning curve for the RPT-E matcher.
+//
+// Starting from the collaboratively (leave-one-out) trained matcher, add
+// k in-domain labeled examples (k = 0, 4, 16, 64) and fine-tune briefly;
+// report target F1 per k. Also reports PET T1/T2 attribute-importance
+// inference from the same few shots (the "color does not matter but model
+// matters" interpretation).
+//
+// Flags: --quick.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "nn/checkpoint.h"
+#include "rpt/matcher.h"
+#include "rpt/pet.h"
+#include "rpt/vocab_builder.h"
+#include "synth/benchmarks.h"
+#include "synth/universe.h"
+
+namespace {
+
+using namespace rpt;  // bench driver; the library itself never does this
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int64_t universe_size = quick ? 250 : 350;
+  const double scale = quick ? 0.2 : 0.3;
+  const int64_t base_steps = quick ? 250 : 400;
+  const int64_t finetune_steps = quick ? 40 : 80;
+
+  PrintBanner("Few-shot curve: in-domain examples on top of transfer");
+  ProductUniverse universe(universe_size, 888);
+  auto suite = DefaultBenchmarkSuite(scale);
+  std::vector<ErBenchmark> benchmarks;
+  for (const auto& spec : suite) {
+    benchmarks.push_back(GenerateErBenchmark(universe, spec));
+  }
+  const size_t target = 2;  // walmart_amazon
+  std::vector<const ErBenchmark*> sources;
+  std::vector<const ErBenchmark*> all;
+  for (size_t i = 0; i < benchmarks.size(); ++i) {
+    all.push_back(&benchmarks[i]);
+    if (i != target) sources.push_back(&benchmarks[i]);
+  }
+  const ErBenchmark& bench = benchmarks[target];
+
+  MatcherConfig config;
+  config.d_model = quick ? 48 : 64;
+  config.num_heads = quick ? 2 : 4;
+  config.num_layers = 2;
+  config.ffn_dim = quick ? 96 : 128;
+  config.dropout = 0.1f;
+  config.seed = 1234;
+
+  // Split target pairs: few-shot pool vs evaluation set. The pool is
+  // arranged positive/negative alternating so that any prefix of size k
+  // is a balanced few-shot sample (a user labelling k examples would
+  // naturally include both kinds).
+  std::vector<LabeledPair> pool_pos, pool_neg, eval_pairs;
+  for (size_t i = 0; i < bench.pairs.size(); ++i) {
+    if (i % 4 == 0) {
+      (bench.pairs[i].match ? pool_pos : pool_neg)
+          .push_back(bench.pairs[i]);
+    } else {
+      eval_pairs.push_back(bench.pairs[i]);
+    }
+  }
+  std::vector<LabeledPair> pool;
+  for (size_t i = 0; i < std::max(pool_pos.size(), pool_neg.size()); ++i) {
+    if (i < pool_pos.size()) pool.push_back(pool_pos[i]);
+    if (i < pool_neg.size()) pool.push_back(pool_neg[i]);
+  }
+  ErBenchmark eval_bench = bench;
+  eval_bench.pairs = eval_pairs;
+
+  Vocab vocab = BuildVocabFromBenchmarks(all, 2);
+  RptMatcher base(config, vocab);
+  std::printf("collaborative training on %zu sources...\n",
+              sources.size());
+  base.Train(sources, base_steps);
+  const double threshold = base.CalibrateThreshold(sources);
+  const std::string checkpoint = "/tmp/rpt_fewshot_base.bin";
+  (void)SaveCheckpoint(base.encoder(), checkpoint);
+
+  ReportTable table({"k (few-shot)", "P", "R", "F1"});
+  for (int64_t k : {0, 4, 16, 64}) {
+    RptMatcher matcher(config, vocab);
+    // Restore the collaboratively trained encoder, then fine-tune. The
+    // classifier head restarts; k=0 therefore re-runs a short source
+    // training to re-fit the head.
+    (void)LoadCheckpoint(&matcher.encoder(), checkpoint);
+    matcher.Train(sources, quick ? 60 : 150);
+    if (k > 0) {
+      std::vector<LabeledPair> fewshot(
+          pool.begin(),
+          pool.begin() + std::min<size_t>(static_cast<size_t>(k),
+                                          pool.size()));
+      matcher.FineTune(bench, fewshot, finetune_steps);
+    }
+    BinaryConfusion confusion = matcher.Evaluate(eval_bench, threshold);
+    table.AddRow({std::to_string(k), Fixed(confusion.Precision()),
+                  Fixed(confusion.Recall()), Fixed(confusion.F1())});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  table.Print();
+
+  PrintBanner("PET T1/T2 attribute importance from 16 examples");
+  std::vector<LabeledPair> pet_examples(
+      pool.begin(), pool.begin() + std::min<size_t>(16, pool.size()));
+  for (const auto& imp : InferImportantAttributes(bench, pet_examples)) {
+    std::printf("  %-10s %.2f\n", imp.attribute.c_str(), imp.weight);
+  }
+  std::printf(
+      "\nExpected shape: F1 grows monotonically (modulo noise) with k —\n"
+      "a few in-domain examples adapt the transferred matcher to the\n"
+      "target's subjective criteria (§3 O2).\n");
+  return 0;
+}

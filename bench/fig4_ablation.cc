@@ -1,0 +1,162 @@
+// Ablation of the RPT-C architecture choices in **Fig. 4** and §2.2:
+//
+//   * input enrichment: [A]/[V] structure tokens, attribute names,
+//     column embeddings, token-type embeddings;
+//   * masking policy: token masking vs attribute-value masking (text
+//     infilling) vs FD-guided value masking.
+//
+// Each variant is pre-trained identically on the same product catalog and
+// scored on held-out masked-cell repairs (exact match / token F1). The
+// design claims to validate: structure-aware serialization helps, and
+// FD-guided masking (mask what the context determines) beats uniform
+// policies.
+//
+// Flags: --quick.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "rpt/cleaner.h"
+#include "rpt/vocab_builder.h"
+#include "synth/benchmarks.h"
+#include "synth/universe.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace rpt;  // bench driver; the library itself never does this
+
+struct Variant {
+  std::string name;
+  CleanerConfig config;
+};
+
+struct Scores {
+  double exact = 0;
+  double token_f1 = 0;
+  double seconds = 0;
+};
+
+Scores RunVariant(const Variant& variant, const Vocab& vocab,
+                  const Table& train, const Table& test, int64_t steps) {
+  Timer timer;
+  RptCleaner cleaner(variant.config, vocab);
+  cleaner.PretrainOnTables({&train}, steps);
+  Scores scores;
+  int64_t total = 0;
+  const Schema& schema = test.schema();
+  for (int64_t r = 0; r < test.NumRows(); ++r) {
+    for (int64_t col = 0; col < schema.size(); ++col) {
+      const Value& truth = test.at(r, col);
+      if (truth.is_null()) continue;
+      Tuple masked = test.row(r);
+      masked[static_cast<size_t>(col)] = Value::Null();
+      const std::string predicted =
+          cleaner.PredictValue(schema, masked, col).text();
+      scores.exact += NormalizedExactMatch(predicted, truth.text());
+      scores.token_f1 += TokenF1(predicted, truth.text());
+      ++total;
+    }
+  }
+  if (total > 0) {
+    scores.exact /= static_cast<double>(total);
+    scores.token_f1 /= static_cast<double>(total);
+  }
+  scores.seconds = timer.ElapsedSeconds();
+  return scores;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int64_t universe_size = quick ? 100 : 180;
+  const int64_t steps = quick ? 250 : 350;
+  const int64_t test_rows = quick ? 25 : 30;
+
+  PrintBanner("Fig. 4 ablation: serialization & masking choices");
+  ProductUniverse universe(universe_size, 4242);
+  std::vector<int64_t> train_ids, test_ids;
+  SplitProducts(universe_size, 0.3, 0.8, 3, &train_ids, &test_ids);
+  test_ids.resize(std::min<size_t>(test_ids.size(),
+                                   static_cast<size_t>(test_rows)));
+
+  const std::vector<std::string> columns = {"title", "manufacturer",
+                                            "category", "year"};
+  RenderProfile profile;
+  profile.missing_prob = 0.0;
+  profile.typo_prob = 0.0;
+  Table train =
+      GenerateCleaningTable(universe, train_ids, columns, profile, 8);
+  Table test =
+      GenerateCleaningTable(universe, test_ids, columns, profile, 9);
+  Vocab vocab = BuildVocabFromTables({&train, &test});
+
+  CleanerConfig base;
+  base.d_model = quick ? 48 : 64;
+  base.num_layers = 2;
+  base.num_heads = 2;
+  base.ffn_dim = quick ? 96 : 128;
+  base.dropout = 0.0f;
+  base.batch_size = 12;
+  base.learning_rate = 2e-3f;
+  base.masking = MaskingStrategy::kFdGuided;
+  base.seed = 5;
+
+  std::vector<Variant> variants;
+  variants.push_back({"full (fd-guided, all embeddings)", base});
+  {
+    Variant v{"- column embeddings", base};
+    v.config.use_column_embeddings = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"- type embeddings", base};
+    v.config.use_type_embeddings = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"- [A]/[V] structure tokens", base};
+    v.config.serializer.use_structure_tokens = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"- attribute names", base};
+    v.config.serializer.include_attr_names = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"value masking (uniform)", base};
+    v.config.masking = MaskingStrategy::kValueMasking;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"token masking", base};
+    v.config.masking = MaskingStrategy::kTokenMasking;
+    variants.push_back(v);
+  }
+
+  ReportTable table({"variant", "exact", "tokenF1", "train s"});
+  for (const auto& variant : variants) {
+    Scores s = RunVariant(variant, vocab, train, test, steps);
+    table.AddRow({variant.name, Fixed(s.exact), Fixed(s.token_f1),
+                  Fixed(s.seconds, 0)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nExpected shape: the full configuration leads; removing structure\n"
+      "signals (column/type embeddings, [A]/[V], attribute names) hurts;\n"
+      "token masking trains a weaker repairer than value masking because\n"
+      "it never learns to infill full spans.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Reproduces the **Fig. 6** RPT-I architecture experiment: information
+// extraction as extractive QA over text-rich tuples, with PET one-shot
+// question instantiation (Fig. 1(c)).
+//
+// For every target attribute:
+//   * PET infers the question from ONE labeled example;
+//   * the span extractor (trained SQuAD-style on multi-question
+//     paragraphs) answers held-out tasks;
+//   * compared against a keyword-window heuristic baseline (find the
+//     attribute keyword, return the nearest number-ish token) — the
+//     pre-neural IE recipe.
+//
+// Reports exact match and token F1 per attribute. Flags: --quick.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "rpt/extractor.h"
+#include "rpt/pet.h"
+#include "rpt/vocab_builder.h"
+#include "synth/ie_tasks.h"
+#include "synth/universe.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace rpt;  // bench driver; the library itself never does this
+
+// Keyword-window heuristic: pick the token window around the strongest
+// keyword cue for the attribute.
+std::string HeuristicExtract(const std::string& attribute,
+                             const std::string& paragraph) {
+  const auto tokens = Tokenizer::Tokenize(paragraph);
+  auto has_suffix = [](const std::string& t, const char* suffix) {
+    return EndsWith(t, suffix);
+  };
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    if (attribute == "memory" || attribute == "storage") {
+      const bool unit = t == "gb" || t == "tb" || has_suffix(t, "gb") ||
+                        has_suffix(t, "tb");
+      if (!unit) continue;
+      // Heuristic cannot tell RAM from storage; return the span.
+      if (t == "gb" || t == "tb") {
+        return i > 0 ? tokens[i - 1] + t : t;
+      }
+      return t;
+    }
+    if (attribute == "screen" &&
+        (t == "inch" || t == "inches" || t == "inchs" || t == "in")) {
+      return i > 0 ? tokens[i - 1] : "";
+    }
+    if (attribute == "year" && IsNumber(t)) {
+      const double v = ParseDoubleOr(t, 0);
+      if (v >= 1990 && v <= 2100) return t;
+    }
+    if (attribute == "price" && IsNumber(t) &&
+        t.find('.') != std::string::npos) {
+      return t;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int64_t universe_size = quick ? 80 : 150;
+  const int64_t num_paragraphs = quick ? 60 : 150;
+  const int64_t steps = quick ? 200 : 350;
+  const int64_t test_per_attr = quick ? 10 : 18;
+
+  PrintBanner("Fig. 6: RPT-I span extraction vs keyword heuristic");
+  ProductUniverse universe(universe_size, 606);
+
+  // SQuAD-style training: each paragraph contributes every attribute
+  // question it supports.
+  auto paragraphs = GenerateIeParagraphs(universe, num_paragraphs, 44);
+  std::vector<QaExample> train;
+  for (const auto& p : paragraphs) {
+    for (const auto& [attr, span] : p.spans) {
+      train.push_back({BuildQuestion(attr), p.description, span});
+    }
+  }
+  std::vector<std::string> texts;
+  for (const auto& qa : train) {
+    texts.push_back(qa.question);
+    texts.push_back(qa.paragraph);
+  }
+
+  ExtractorConfig config;
+  config.d_model = quick ? 48 : 64;
+  config.num_heads = quick ? 2 : 4;
+  config.num_layers = 2;
+  config.ffn_dim = quick ? 96 : 128;
+  config.dropout = 0.0f;
+  config.seed = 60;
+  RptExtractor extractor(config, BuildVocabFromTexts(texts));
+  std::printf("training on %zu QA examples over %lld paragraphs...\n",
+              train.size(), static_cast<long long>(num_paragraphs));
+  const double loss = extractor.Train(train, steps);
+  std::printf("final loss %.3f\n", loss);
+
+  ReportTable table({"attribute", "model", "exact", "tokenF1"});
+  for (const auto& attribute : IeTargetAttributes()) {
+    // PET: confirm the one-shot chain recovers the right question.
+    auto seeds = GenerateIeExamples(universe, attribute, 1, 9000);
+    if (seeds.empty()) continue;
+    const std::string inferred = InferQuestionAttribute(seeds[0].label);
+    const std::string question = BuildQuestion(attribute);
+
+    auto tasks =
+        GenerateIeExamples(universe, attribute, test_per_attr, 7777);
+    double rpt_exact = 0, rpt_f1 = 0, heur_exact = 0, heur_f1 = 0;
+    for (const auto& task : tasks) {
+      const std::string rpt_answer =
+          extractor.Extract(question, task.description);
+      const std::string heur_answer =
+          HeuristicExtract(attribute, task.description);
+      rpt_exact += NormalizedExactMatch(rpt_answer, task.label);
+      rpt_f1 += TokenF1(rpt_answer, task.label);
+      heur_exact += NormalizedExactMatch(heur_answer, task.label);
+      heur_f1 += TokenF1(heur_answer, task.label);
+    }
+    const double n = static_cast<double>(tasks.size());
+    table.AddRow({attribute + (inferred == attribute ? "" : " (PET miss)"),
+                  "RPT-I", Fixed(rpt_exact / n), Fixed(rpt_f1 / n)});
+    table.AddRow({"", "keyword-window", Fixed(heur_exact / n),
+                  Fixed(heur_f1 / n)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: RPT-I wins where keywords are ambiguous (memory\n"
+      "vs storage both in GB, screen-size unit variants); the rule-based\n"
+      "extractor stays perfect only where a regex suffices (year, price)\n"
+      "— the paper's Type I vs Type III division of labour.\n");
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Microbenchmarks (google-benchmark) for the substrate kernels: GEMM,
+// softmax/layernorm, attention forward/backward, tokenizer, similarity,
+// and blocking throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "nn/attention.h"
+#include "nn/transformer.h"
+#include "rpt/blocker.h"
+#include "synth/benchmarks.h"
+#include "synth/universe.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace rpt {
+namespace {
+
+void BM_GemmNN(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::Randn({n, n}, 1.0f, &rng);
+  Tensor c = Tensor::Zeros({n, n});
+  for (auto _ : state) {
+    GemmNN(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(2);
+  Tensor x = Tensor::Randn({64, state.range(0)}, 1.0f, &rng);
+  for (auto _ : state) {
+    NoGradGuard guard;
+    Tensor y = Softmax(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(64)->Arg(512);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::Randn({64, state.range(0)}, 1.0f, &rng);
+  Tensor gamma = Tensor::Full({state.range(0)}, 1.0f);
+  Tensor beta = Tensor::Zeros({state.range(0)});
+  for (auto _ : state) {
+    NoGradGuard guard;
+    Tensor y = LayerNorm(x, gamma, beta);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_LayerNorm)->Arg(64)->Arg(256);
+
+void BM_AttentionForward(benchmark::State& state) {
+  const int64_t seq_len = state.range(0);
+  Rng rng(4);
+  MultiHeadAttention mha(64, 4, 0.0f, &rng);
+  mha.SetTraining(false);
+  Tensor x = Tensor::Randn({4, seq_len, 64}, 1.0f, &rng);
+  for (auto _ : state) {
+    NoGradGuard guard;
+    Tensor y = mha.Forward(x, x, x, Tensor(), &rng);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_EncoderTrainStep(benchmark::State& state) {
+  Rng rng(5);
+  TransformerConfig config;
+  config.vocab_size = 500;
+  config.d_model = 64;
+  config.num_heads = 4;
+  config.num_encoder_layers = 2;
+  config.ffn_dim = 128;
+  config.max_seq_len = 64;
+  config.dropout = 0.0f;
+  TransformerEncoderModel model(config, &rng);
+  std::vector<std::vector<int32_t>> seqs;
+  for (int b = 0; b < 8; ++b) {
+    std::vector<int32_t> seq;
+    for (int t = 0; t < 48; ++t) {
+      seq.push_back(static_cast<int32_t>(10 + rng.UniformInt(400)));
+    }
+    seqs.push_back(seq);
+  }
+  TokenBatch batch = TokenBatch::Pack(seqs, 0);
+  for (auto _ : state) {
+    Tensor states = model.Encode(batch, &rng);
+    Tensor loss = Mean(Mul(states, states));
+    loss.Backward();
+    model.ZeroGrad();
+  }
+}
+BENCHMARK(BM_EncoderTrainStep);
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string text =
+      "apple iphone 10 pro 64gb, 5.8-inch retina display, released 2017, "
+      "costs 999.99 dollars";
+  for (auto _ : state) {
+    auto tokens = Tokenizer::Tokenize(text);
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_Levenshtein(benchmark::State& state) {
+  const std::string a = "apple iphone 10 pro max 256gb silver";
+  const std::string b = "aple iphonee x pro 256 gb silver edition";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_QGramJaccard(benchmark::State& state) {
+  const std::string a = "apple iphone 10 pro max 256gb silver";
+  const std::string b = "aple iphonee x pro 256 gb silver edition";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QGramJaccard(a, b));
+  }
+}
+BENCHMARK(BM_QGramJaccard);
+
+void BM_Blocking(benchmark::State& state) {
+  ProductUniverse universe(200, 11);
+  auto suite = DefaultBenchmarkSuite(0.5);
+  ErBenchmark bench = GenerateErBenchmark(universe, suite[2]);
+  Blocker blocker;
+  for (auto _ : state) {
+    auto candidates =
+        blocker.GenerateCandidates(bench.table_a, bench.table_b);
+    benchmark::DoNotOptimize(candidates);
+  }
+  state.SetItemsProcessed(state.iterations() * bench.table_a.NumRows() *
+                          bench.table_b.NumRows());
+}
+BENCHMARK(BM_Blocking);
+
+}  // namespace
+}  // namespace rpt
+
+// Custom main: tolerate the suite-wide --quick flag (mapped to a short
+// minimum time) so `for b in build/bench/*; do $b --quick; done` works.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool quick = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char min_time_flag[] = "--benchmark_min_time=0.05";
+  if (quick) args.push_back(min_time_flag);
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

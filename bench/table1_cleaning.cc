@@ -1,0 +1,229 @@
+// Reproduces **Table 1** of the paper: RPT-C vs BART on masked-value
+// prediction over product tuples.
+//
+// Protocol (mirroring §2.2 "Preliminary Results"):
+//   * Pre-train RPT-C on product *tables* (synthetic Abt-Buy +
+//     Walmart-Amazon catalogs) with structure-aware serialization and
+//     attribute-value masking.
+//   * The BART baseline shares the architecture but is pre-trained on
+//     *text*: a prose product corpus plus the same tables flattened to
+//     plain text (no [A]/[V] markers, no column embeddings, span
+//     infilling) — "a pretrained language model not customized for
+//     relational data".
+//   * Test on a held-out synthetic Amazon-Google catalog (fresh
+//     renderings; 70% of its products also occur in the training
+//     catalogs, as real marketplaces overlap). Mask price / manufacturer
+//     / title and compare predictions.
+//
+// Output: a showcase table like the paper's Table 1 plus aggregate
+// exact-match / token-F1 / numeric-error rows per masked column.
+//
+// Flags: --quick (smaller models and fewer steps, for CI).
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/bart_text.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "rpt/cleaner.h"
+#include "rpt/vocab_builder.h"
+#include "synth/benchmarks.h"
+#include "synth/text_corpus.h"
+#include "synth/universe.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace rpt;  // bench driver; the library itself never does this
+
+// Flattens a tuple to plain text ("title instant home design price 9.99")
+// for the BART baseline's table-as-text continued pre-training.
+std::string TupleAsText(const Schema& schema, const Tuple& tuple) {
+  std::string out;
+  for (int64_t c = 0; c < schema.size(); ++c) {
+    if (tuple[static_cast<size_t>(c)].is_null()) continue;
+    if (!out.empty()) out += ' ';
+    out += schema.name(c);
+    out += ' ';
+    out += tuple[static_cast<size_t>(c)].text();
+  }
+  return out;
+}
+
+struct ColumnScore {
+  int64_t total = 0;
+  int64_t exact = 0;
+  double token_f1_sum = 0;
+  double rel_err_sum = 0;  // numeric columns only
+  int64_t numeric_total = 0;
+
+  void Add(const std::string& predicted, const Value& truth) {
+    ++total;
+    exact += NormalizedExactMatch(predicted, truth.text());
+    token_f1_sum += TokenF1(predicted, truth.text());
+    if (truth.is_number()) {
+      const double p = ParseDoubleOr(predicted, 0.0);
+      const double t = truth.number();
+      if (t != 0) {
+        rel_err_sum += std::fabs(p - t) / std::fabs(t);
+        ++numeric_total;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int64_t universe_size = quick ? 120 : 250;
+  const int64_t steps_tables = quick ? 300 : 700;
+  const int64_t steps_text = quick ? 200 : 350;
+  const int64_t test_rows = quick ? 40 : 70;
+
+  PrintBanner("Table 1: RPT-C vs BART on masked-value prediction");
+  ProductUniverse universe(universe_size, 2021);
+
+  // Train/test product split with marketplace overlap.
+  std::vector<int64_t> train_ids, test_ids;
+  SplitProducts(universe_size, /*test_fraction=*/0.35,
+                /*overlap_fraction=*/0.7, 17, &train_ids, &test_ids);
+
+  const std::vector<std::string> columns = {"title", "manufacturer",
+                                            "price"};
+  RenderProfile train_profile;  // defaults: moderate alias noise
+  train_profile.missing_prob = 0.02;
+  RenderProfile test_profile;
+  test_profile.missing_prob = 0.0;
+  test_profile.typo_prob = 0.0;
+  test_profile.price_jitter_prob = 0.0;  // canonical list prices as truth
+
+  // Two training catalogs with different noise (Abt-Buy / Walmart-Amazon
+  // stand-ins), one held-out test catalog (Amazon-Google stand-in).
+  RenderProfile abt_profile = train_profile;
+  abt_profile.brand_alias_prob = 0.5;
+  Table abt_buy =
+      GenerateCleaningTable(universe, train_ids, columns, abt_profile, 31);
+  RenderProfile walmart_profile = train_profile;
+  walmart_profile.model_alias_prob = 0.5;
+  Table walmart_amazon = GenerateCleaningTable(universe, train_ids, columns,
+                                               walmart_profile, 32);
+  std::vector<int64_t> test_sample(
+      test_ids.begin(),
+      test_ids.begin() + std::min<size_t>(test_ids.size(),
+                                          static_cast<size_t>(test_rows)));
+  Table amazon_google = GenerateCleaningTable(universe, test_sample, columns,
+                                              test_profile, 33);
+
+  // Text corpus (both models may read text; only BART depends on it).
+  auto corpus = GenerateTextCorpus(universe, quick ? 300 : 1200, 55);
+  std::vector<std::string> table_text = corpus;
+  for (const Table* t : {&abt_buy, &walmart_amazon}) {
+    for (int64_t r = 0; r < t->NumRows(); ++r) {
+      table_text.push_back(TupleAsText(t->schema(), t->row(r)));
+    }
+  }
+
+  Vocab vocab = BuildVocabFromTablesAndTexts(
+      {&abt_buy, &walmart_amazon, &amazon_google}, table_text, 1);
+  std::printf("universe %lld products, train %zu ids, test %zu rows, "
+              "vocab %lld\n",
+              static_cast<long long>(universe_size), train_ids.size(),
+              test_sample.size(), static_cast<long long>(vocab.size()));
+
+  CleanerConfig config;
+  config.d_model = quick ? 48 : 64;
+  config.num_layers = 2;
+  config.num_heads = quick ? 2 : 4;
+  config.ffn_dim = quick ? 96 : 160;
+  config.dropout = 0.0f;
+  config.batch_size = 16;
+  config.learning_rate = 2e-3f;
+  config.masking = MaskingStrategy::kValueMasking;
+  config.seed = 1;
+
+  Timer timer;
+  RptCleaner rpt_c(config, vocab);
+  const double rpt_loss =
+      rpt_c.PretrainOnTables({&abt_buy, &walmart_amazon}, steps_tables);
+  std::printf("[rpt-c]  table pre-training loss %.3f (%.0f s)\n", rpt_loss,
+              timer.ElapsedSeconds());
+
+  timer.Reset();
+  BartTextBaseline bart(config, vocab);
+  const double bart_loss =
+      bart.PretrainOnText(table_text, steps_tables + steps_text);
+  std::printf("[bart]   text pre-training loss %.3f (%.0f s)\n", bart_loss,
+              timer.ElapsedSeconds());
+
+  // ---- Showcase rows (the paper's Table 1 format) -------------------------
+  PrintBanner("Sample predictions (masked column per row)");
+  ReportTable showcase(
+      {"masked", "context", "Truth", "RPT-C", "BART"});
+  const Schema& schema = amazon_google.schema();
+  for (int64_t i = 0; i < std::min<int64_t>(6, amazon_google.NumRows());
+       ++i) {
+    const int64_t col = i % 3;  // rotate masked column
+    const Tuple& row = amazon_google.row(i);
+    if (row[static_cast<size_t>(col)].is_null()) continue;
+    Tuple masked = row;
+    masked[static_cast<size_t>(col)] = Value::Null();
+    const std::string rpt_pred =
+        rpt_c.PredictValue(schema, masked, col).text();
+    const std::string bart_pred =
+        bart.PredictValue(schema, masked, col).text();
+    std::string context;
+    for (int64_t c = 0; c < schema.size(); ++c) {
+      if (c == col) continue;
+      if (!context.empty()) context += " | ";
+      context += row[static_cast<size_t>(c)].text();
+    }
+    if (context.size() > 38) context = context.substr(0, 35) + "...";
+    showcase.AddRow({schema.name(col), context,
+                     row[static_cast<size_t>(col)].text(), rpt_pred,
+                     bart_pred});
+  }
+  showcase.Print();
+
+  // ---- Aggregates -----------------------------------------------------------
+  PrintBanner("Aggregate masked-value prediction quality");
+  ReportTable aggregate({"column", "model", "exact", "tokenF1",
+                         "rel.err"});
+  for (int64_t col = 0; col < schema.size(); ++col) {
+    ColumnScore rpt_score, bart_score;
+    for (int64_t r = 0; r < amazon_google.NumRows(); ++r) {
+      const Tuple& row = amazon_google.row(r);
+      const Value& truth = row[static_cast<size_t>(col)];
+      if (truth.is_null()) continue;
+      Tuple masked = row;
+      masked[static_cast<size_t>(col)] = Value::Null();
+      rpt_score.Add(rpt_c.PredictValue(schema, masked, col).text(), truth);
+      bart_score.Add(bart.PredictValue(schema, masked, col).text(), truth);
+    }
+    auto add_rows = [&](const char* model, const ColumnScore& s) {
+      aggregate.AddRow(
+          {schema.name(col), model,
+           Fixed(s.total == 0 ? 0 : static_cast<double>(s.exact) / s.total),
+           Fixed(s.total == 0 ? 0 : s.token_f1_sum / s.total),
+           s.numeric_total == 0
+               ? std::string("-")
+               : Fixed(s.rel_err_sum / s.numeric_total)});
+    };
+    add_rows("RPT-C", rpt_score);
+    add_rows("BART", bart_score);
+  }
+  aggregate.Print();
+  std::printf(
+      "\nExpected shape (paper Table 1): RPT-C predictions track the\n"
+      "masked values (close prices, right manufacturers) while text-only\n"
+      "BART misses the tabular dependencies.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Reproduces **Table 2** of the paper: RPT-E vs ZeroER vs DeepMatcher
+// (F-measure) on Abt-Buy and Amazon-Google.
+//
+// Protocol (§3 "Preliminary Results"):
+//   * Five product benchmarks D1..D5 (synthetic stand-ins with distinct
+//     schemas and noise profiles).
+//   * RPT-E: schema-agnostic encoder matcher trained *leave-one-out* —
+//     when testing on D1, train on D2..D5 only (zero in-domain labels).
+//     The decision threshold is calibrated on the source benchmarks.
+//   * ZeroER: unsupervised EM mixture over similarity features, fit on
+//     the target's candidate pairs directly (zero labels).
+//   * DeepMatcher: supervised MLP trained with *in-domain* labels
+//     (70/30 split), mirroring its hundreds-to-thousands of examples.
+//   * Magellan (random forest, in-domain) is reported as an extra
+//     reference point.
+//
+// Expected shape: RPT-E > ZeroER, and RPT-E in the neighbourhood of
+// (can win or lose against) the supervised in-domain baselines.
+//
+// Flags: --quick.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/deepmatcher.h"
+#include "baselines/magellan.h"
+#include "baselines/zeroer.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "rpt/matcher.h"
+#include "rpt/vocab_builder.h"
+#include "synth/benchmarks.h"
+#include "synth/universe.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace rpt;  // bench driver; the library itself never does this
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int64_t universe_size = quick ? 250 : 500;
+  const double scale = quick ? 0.2 : 0.3;
+  const int64_t steps = quick ? 300 : 700;
+
+  PrintBanner("Table 2: RPT-E vs ZeroER vs DeepMatcher (F-measure)");
+  ProductUniverse universe(universe_size, 777);
+  auto suite = DefaultBenchmarkSuite(scale);
+  std::vector<ErBenchmark> benchmarks;
+  benchmarks.reserve(suite.size());
+  for (const auto& spec : suite) {
+    benchmarks.push_back(GenerateErBenchmark(universe, spec));
+  }
+  for (const auto& b : benchmarks) {
+    int64_t matches = 0;
+    for (const auto& p : b.pairs) matches += p.match;
+    std::printf("  %-16s %zu pairs (%lld matches)\n", b.name.c_str(),
+                b.pairs.size(), static_cast<long long>(matches));
+  }
+
+  MatcherConfig config;
+  config.d_model = quick ? 48 : 64;
+  config.num_heads = quick ? 2 : 4;
+  config.num_layers = 2;
+  config.ffn_dim = quick ? 96 : 128;
+  config.max_seq_len = 96;
+  config.dropout = 0.1f;
+  config.batch_size = 16;
+  config.learning_rate = 2e-3f;
+  config.warmup_steps = 50;
+
+  ReportTable table({"dataset", "RPT-E (transfer)", "ZeroER",
+                     "DeepMatcher", "Magellan-RF"});
+  // The paper reports D1 (Abt-Buy) and D2 (Amazon-Google).
+  for (size_t target = 0; target < 2; ++target) {
+    const ErBenchmark& bench = benchmarks[target];
+    PrintBanner("target: " + bench.name);
+
+    // RPT-E leave-one-out.
+    Timer timer;
+    std::vector<const ErBenchmark*> sources;
+    std::vector<const ErBenchmark*> all;
+    for (size_t i = 0; i < benchmarks.size(); ++i) {
+      all.push_back(&benchmarks[i]);
+      if (i != target) sources.push_back(&benchmarks[i]);
+    }
+    MatcherConfig run_config = config;
+    run_config.seed = 1000 + static_cast<uint64_t>(target);
+    RptMatcher matcher(run_config, BuildVocabFromBenchmarks(all, 2));
+    // Self-supervised pair pre-training on every *unlabeled* table
+    // (including the target's: no labels are used) — the stand-in for
+    // starting from a pre-trained language model.
+    std::vector<const Table*> tables;
+    for (const ErBenchmark* b : all) {
+      tables.push_back(&b->table_a);
+      tables.push_back(&b->table_b);
+    }
+    const double ssl_loss =
+        matcher.PretrainSelfSupervised(tables, steps / 2);
+    std::printf("[rpt-e] self-supervised pre-training loss %.3f\n",
+                ssl_loss);
+    const double loss = matcher.Train(sources, steps);
+    const double threshold = matcher.CalibrateThreshold(sources);
+    BinaryConfusion rpt_e = matcher.Evaluate(bench, threshold);
+    std::printf("[rpt-e] loss %.3f threshold %.2f  P %.3f R %.3f F1 %.3f"
+                "  (%.0f s)\n",
+                loss, threshold, rpt_e.Precision(), rpt_e.Recall(),
+                rpt_e.F1(), timer.ElapsedSeconds());
+
+    // ZeroER (unsupervised, on-target).
+    ZeroEr zeroer;
+    BinaryConfusion zero = zeroer.Evaluate(bench);
+    std::printf("[zeroer] P %.3f R %.3f F1 %.3f\n", zero.Precision(),
+                zero.Recall(), zero.F1());
+
+    // DeepMatcher (supervised in-domain).
+    DeepMatcherConfig dm_config;
+    dm_config.seed = 5 + target;
+    DeepMatcher deep(dm_config);
+    BinaryConfusion dm = deep.EvaluateInDomain(bench);
+    std::printf("[deepmatcher] P %.3f R %.3f F1 %.3f\n", dm.Precision(),
+                dm.Recall(), dm.F1());
+
+    // Magellan RF (supervised in-domain).
+    RandomForestConfig rf_config;
+    rf_config.seed = 9 + target;
+    RandomForest forest(rf_config);
+    BinaryConfusion rf = forest.EvaluateInDomain(bench);
+    std::printf("[magellan-rf] P %.3f R %.3f F1 %.3f\n", rf.Precision(),
+                rf.Recall(), rf.F1());
+
+    table.AddRow({bench.name, Fixed(rpt_e.F1()), Fixed(zero.F1()),
+                  Fixed(dm.F1()), Fixed(rf.F1())});
+  }
+
+  PrintBanner("Table 2 (paper: RPT-E 0.72/0.53, ZeroER 0.52/0.48, "
+              "DeepMatcher 0.63/0.69)");
+  table.Print();
+  std::printf(
+      "\nExpected shape: RPT-E (zero in-domain labels) beats unsupervised\n"
+      "ZeroER and lands in the neighbourhood of the supervised in-domain\n"
+      "baselines, winning on one dataset and losing on another.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// §5 extension: data transformation by example ("if Sam -> Samuel then
+// Mike -> Michael").
+//
+// For each synthetic transformation task, a character-level seq2seq is
+// trained on example pairs and evaluated on *unseen* inputs (exact match
+// and token F1), against an identity baseline (copy the input — the
+// score any do-nothing system gets). Flags: --quick.
+
+#include <cstdio>
+#include <cstring>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "rpt/value_transform.h"
+#include "synth/transform_tasks.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace rpt;  // bench driver; the library itself never does this
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int64_t train_pairs = quick ? 120 : 250;
+  const int64_t test_pairs = quick ? 15 : 25;
+  const int64_t steps = quick ? 300 : 450;
+
+  PrintBanner("Transformation by example (§5)");
+  ReportTable table({"task", "model", "exact", "tokenF1", "train s"});
+  for (const auto& task : TransformTaskNames()) {
+    auto train = GenerateTransformTask(task, train_pairs, 11);
+    auto test = GenerateTransformTask(task, test_pairs, 99991);
+
+    ValueTransformerConfig config;
+    config.d_model = quick ? 48 : 64;
+    config.num_heads = quick ? 2 : 4;
+    config.num_layers = 2;
+    config.ffn_dim = quick ? 96 : 128;
+    config.seed = 17;
+    ValueTransformer transformer(config);
+    Timer timer;
+    transformer.Train(train, steps);
+    const double train_seconds = timer.ElapsedSeconds();
+
+    double exact = 0, f1 = 0, id_exact = 0, id_f1 = 0;
+    for (const auto& [input, expected] : test) {
+      const std::string predicted = transformer.Apply(input);
+      exact += NormalizedExactMatch(predicted, expected);
+      f1 += TokenF1(predicted, expected);
+      id_exact += NormalizedExactMatch(input, expected);
+      id_f1 += TokenF1(input, expected);
+    }
+    const double n = static_cast<double>(test.size());
+    table.AddRow({task, "learned", Fixed(exact / n), Fixed(f1 / n),
+                  Fixed(train_seconds, 0)});
+    table.AddRow({"", "identity", Fixed(id_exact / n), Fixed(id_f1 / n),
+                  ""});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nExpected shape: the learned transformer generalizes each format\n"
+      "rule to unseen values (high exact match) while identity scores\n"
+      "only the token overlap the rewrite preserves.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "baselines/bart_text.h"
+
+namespace rpt {
+
+BartTextBaseline::BartTextBaseline(const CleanerConfig& config,
+                                   Vocab vocab) {
+  CleanerConfig text_config = config;
+  // A text-pretrained model has no notion of columns, token kinds, or
+  // [A]/[V] markers: it reads the tuple as a flat sentence with one [M],
+  // which *is* its pre-training format (text infilling).
+  text_config.use_column_embeddings = false;
+  text_config.use_type_embeddings = false;
+  text_config.serializer.use_structure_tokens = false;
+  cleaner_ = std::make_unique<RptCleaner>(text_config, std::move(vocab));
+}
+
+double BartTextBaseline::PretrainOnText(
+    const std::vector<std::string>& sentences, int64_t steps) {
+  return cleaner_->PretrainOnText(sentences, steps);
+}
+
+Value BartTextBaseline::PredictValue(const Schema& schema,
+                                     const Tuple& tuple,
+                                     int64_t column) const {
+  return cleaner_->PredictValue(schema, tuple, column);
+}
+
+}  // namespace rpt

@@ -1,0 +1,47 @@
+// BART text-only baseline for Table 1.
+//
+// Architecturally identical to RPT-C (the paper stresses "BART and RPT-C
+// have the same architecture"), but pre-trained exclusively on *text*
+// (span infilling over a prose corpus), never on serialized tuples —
+// so it has word knowledge but no table structure or intra-tuple
+// dependency knowledge. At prediction time it reads the same serialized
+// tuple RPT-C reads; the [A]/[V] markers and column embeddings are simply
+// tokens/parameters it never trained with (configured off), which is
+// exactly the "pretrained language model not customized for relational
+// data" condition the paper contrasts against.
+
+#ifndef RPT_BASELINES_BART_TEXT_H_
+#define RPT_BASELINES_BART_TEXT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpt/cleaner.h"
+
+namespace rpt {
+
+class BartTextBaseline {
+ public:
+  /// `config` is adapted: structural embeddings are disabled to reflect a
+  /// text-only pretrained model.
+  BartTextBaseline(const CleanerConfig& config, Vocab vocab);
+
+  /// Span-infilling pre-training on prose.
+  double PretrainOnText(const std::vector<std::string>& sentences,
+                        int64_t steps);
+
+  /// Reads the serialized tuple and infills the masked cell, exactly like
+  /// RptCleaner::PredictValue.
+  Value PredictValue(const Schema& schema, const Tuple& tuple,
+                     int64_t column) const;
+
+  const RptCleaner& cleaner() const { return *cleaner_; }
+
+ private:
+  std::unique_ptr<RptCleaner> cleaner_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_BASELINES_BART_TEXT_H_

@@ -1,0 +1,123 @@
+#include "baselines/deepmatcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/sim_features.h"
+#include "tensor/tensor.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+DeepMatcher::DeepMatcher(DeepMatcherConfig config)
+    : config_(config), rng_(config.seed) {
+  fc1_ = std::make_unique<Linear>(kNumPairFeatures, config_.hidden_dim,
+                                  &rng_);
+  fc2_ = std::make_unique<Linear>(config_.hidden_dim, 2, &rng_);
+}
+
+void DeepMatcher::Train(const std::vector<std::vector<double>>& features,
+                        const std::vector<bool>& labels) {
+  RPT_CHECK_EQ(features.size(), labels.size());
+  RPT_CHECK(!features.empty());
+  std::vector<Tensor> params = fc1_->Parameters();
+  for (auto& p : fc2_->Parameters()) params.push_back(p);
+  Adam opt(params, config_.learning_rate);
+
+  std::vector<size_t> order(features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(config_.batch_size)) {
+      const size_t end = std::min(
+          order.size(), begin + static_cast<size_t>(config_.batch_size));
+      const int64_t bs = static_cast<int64_t>(end - begin);
+      std::vector<float> x(static_cast<size_t>(bs * kNumPairFeatures));
+      std::vector<int32_t> y(static_cast<size_t>(bs));
+      for (size_t i = begin; i < end; ++i) {
+        const auto& f = features[order[i]];
+        for (size_t j = 0; j < f.size(); ++j) {
+          x[(i - begin) * static_cast<size_t>(kNumPairFeatures) + j] =
+              static_cast<float>(f[j]);
+        }
+        y[i - begin] = labels[order[i]] ? 1 : 0;
+      }
+      opt.ZeroGrad();
+      Tensor input = Tensor::FromVector(std::move(x),
+                                        {bs, kNumPairFeatures});
+      Tensor hidden = Relu(fc1_->Forward(input));
+      Tensor logits = fc2_->Forward(hidden);
+      Tensor loss = CrossEntropyLoss(logits, y);
+      loss.Backward();
+      opt.Step();
+    }
+  }
+}
+
+std::vector<double> DeepMatcher::Predict(
+    const std::vector<std::vector<double>>& features) const {
+  NoGradGuard no_grad;
+  std::vector<double> out;
+  out.reserve(features.size());
+  const int64_t n = static_cast<int64_t>(features.size());
+  std::vector<float> x(static_cast<size_t>(n * kNumPairFeatures));
+  for (size_t i = 0; i < features.size(); ++i) {
+    for (size_t j = 0; j < features[i].size(); ++j) {
+      x[i * static_cast<size_t>(kNumPairFeatures) + j] =
+          static_cast<float>(features[i][j]);
+    }
+  }
+  Tensor input = Tensor::FromVector(std::move(x), {n, kNumPairFeatures});
+  Tensor logits = fc2_->Forward(Relu(fc1_->Forward(input)));
+  for (int64_t i = 0; i < n; ++i) {
+    const float l0 = logits.at(i * 2);
+    const float l1 = logits.at(i * 2 + 1);
+    const double mx = std::max(l0, l1);
+    const double z = std::exp(l0 - mx) + std::exp(l1 - mx);
+    out.push_back(std::exp(l1 - mx) / z);
+  }
+  return out;
+}
+
+BinaryConfusion DeepMatcher::EvaluateInDomain(const ErBenchmark& bench,
+                                              double threshold) {
+  std::vector<std::vector<double>> features;
+  features.reserve(bench.pairs.size());
+  for (const auto& pair : bench.pairs) {
+    features.push_back(PairFeatures(
+        bench.table_a.schema(), bench.table_a.row(pair.a),
+        bench.table_b.schema(), bench.table_b.row(pair.b)));
+  }
+  // Deterministic split.
+  std::vector<size_t> order(features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng split_rng(config_.seed ^ 0x5517);
+  split_rng.Shuffle(&order);
+  const size_t train_n = static_cast<size_t>(
+      config_.train_fraction * static_cast<double>(order.size()));
+
+  std::vector<std::vector<double>> train_x;
+  std::vector<bool> train_y;
+  std::vector<std::vector<double>> test_x;
+  std::vector<bool> test_y;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < train_n) {
+      train_x.push_back(features[order[i]]);
+      train_y.push_back(bench.pairs[order[i]].match);
+    } else {
+      test_x.push_back(features[order[i]]);
+      test_y.push_back(bench.pairs[order[i]].match);
+    }
+  }
+  Train(train_x, train_y);
+  auto scores = Predict(test_x);
+  BinaryConfusion confusion;
+  for (size_t i = 0; i < test_x.size(); ++i) {
+    confusion.Add(scores[i] >= threshold, test_y[i]);
+  }
+  return confusion;
+}
+
+}  // namespace rpt

@@ -1,0 +1,60 @@
+// DeepMatcher baseline (Mudgal et al., SIGMOD 2018), as a supervised
+// neural matcher over similarity summaries.
+//
+// The original composes per-attribute RNN summarizers; at this scale an MLP
+// over the shared PairFeatures plays the same role in the protocol that
+// matters for Table 2: it is trained with *in-domain labels* (hundreds to
+// thousands), unlike RPT-E (zero in-domain labels) and ZeroER
+// (unsupervised).
+
+#ifndef RPT_BASELINES_DEEPMATCHER_H_
+#define RPT_BASELINES_DEEPMATCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "synth/benchmarks.h"
+#include "util/rng.h"
+
+namespace rpt {
+
+struct DeepMatcherConfig {
+  int64_t hidden_dim = 32;
+  int64_t epochs = 60;
+  int64_t batch_size = 32;
+  float learning_rate = 5e-3f;
+  double train_fraction = 0.7;  // in-domain labeled split
+  uint64_t seed = 3;
+};
+
+class DeepMatcher {
+ public:
+  explicit DeepMatcher(DeepMatcherConfig config = {});
+
+  /// Supervised training on labeled feature vectors.
+  void Train(const std::vector<std::vector<double>>& features,
+             const std::vector<bool>& labels);
+
+  /// P(match) per feature vector.
+  std::vector<double> Predict(
+      const std::vector<std::vector<double>>& features) const;
+
+  /// In-domain protocol: split the benchmark's labeled pairs
+  /// train/test, train on the train split, evaluate on the held-out split.
+  BinaryConfusion EvaluateInDomain(const ErBenchmark& bench,
+                                   double threshold = 0.5);
+
+ private:
+  DeepMatcherConfig config_;
+  Rng rng_;
+  std::unique_ptr<Linear> fc1_;
+  std::unique_ptr<Linear> fc2_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_BASELINES_DEEPMATCHER_H_

@@ -1,0 +1,206 @@
+#include "baselines/magellan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/sim_features.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+namespace {
+
+double Gini(int64_t pos, int64_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(pos) / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const std::vector<std::vector<double>>& x,
+                       const std::vector<bool>& y, const Options& options,
+                       Rng* rng) {
+  RPT_CHECK_EQ(x.size(), y.size());
+  RPT_CHECK(!x.empty());
+  nodes_.clear();
+  std::vector<int64_t> indices(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    indices[i] = static_cast<int64_t>(i);
+  }
+  Build(x, y, std::move(indices), 0, options, rng);
+}
+
+int64_t DecisionTree::Build(const std::vector<std::vector<double>>& x,
+                            const std::vector<bool>& y,
+                            std::vector<int64_t> indices, int64_t depth,
+                            const Options& options, Rng* rng) {
+  const int64_t node_id = static_cast<int64_t>(nodes_.size());
+  nodes_.emplace_back();
+  int64_t pos = 0;
+  for (int64_t i : indices) pos += y[static_cast<size_t>(i)];
+  nodes_[static_cast<size_t>(node_id)].positive_rate =
+      indices.empty() ? 0.0
+                      : static_cast<double>(pos) /
+                            static_cast<double>(indices.size());
+
+  const int64_t total = static_cast<int64_t>(indices.size());
+  if (depth >= options.max_depth || pos == 0 || pos == total ||
+      total < 2 * options.min_samples_leaf) {
+    return node_id;  // leaf
+  }
+
+  const int64_t num_features = static_cast<int64_t>(x[0].size());
+  std::vector<int64_t> feature_pool(static_cast<size_t>(num_features));
+  for (int64_t f = 0; f < num_features; ++f) {
+    feature_pool[static_cast<size_t>(f)] = f;
+  }
+  if (options.max_features > 0 && options.max_features < num_features) {
+    rng->Shuffle(&feature_pool);
+    feature_pool.resize(static_cast<size_t>(options.max_features));
+  }
+
+  double best_score = Gini(pos, total);
+  int64_t best_feature = -1;
+  double best_threshold = 0.0;
+  for (int64_t f : feature_pool) {
+    // Candidate thresholds: midpoints between sorted distinct values.
+    std::vector<double> values;
+    values.reserve(indices.size());
+    for (int64_t i : indices) {
+      values.push_back(x[static_cast<size_t>(i)][static_cast<size_t>(f)]);
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    for (size_t v = 0; v + 1 < values.size(); ++v) {
+      const double threshold = 0.5 * (values[v] + values[v + 1]);
+      int64_t left_total = 0, left_pos = 0;
+      for (int64_t i : indices) {
+        if (x[static_cast<size_t>(i)][static_cast<size_t>(f)] <=
+            threshold) {
+          ++left_total;
+          left_pos += y[static_cast<size_t>(i)];
+        }
+      }
+      const int64_t right_total = total - left_total;
+      const int64_t right_pos = pos - left_pos;
+      if (left_total < options.min_samples_leaf ||
+          right_total < options.min_samples_leaf) {
+        continue;
+      }
+      const double score =
+          (static_cast<double>(left_total) / total) *
+              Gini(left_pos, left_total) +
+          (static_cast<double>(right_total) / total) *
+              Gini(right_pos, right_total);
+      if (score + 1e-12 < best_score) {
+        best_score = score;
+        best_feature = f;
+        best_threshold = threshold;
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;  // no useful split
+
+  std::vector<int64_t> left_idx, right_idx;
+  for (int64_t i : indices) {
+    if (x[static_cast<size_t>(i)][static_cast<size_t>(best_feature)] <=
+        best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  const int64_t left =
+      Build(x, y, std::move(left_idx), depth + 1, options, rng);
+  const int64_t right =
+      Build(x, y, std::move(right_idx), depth + 1, options, rng);
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+double DecisionTree::PredictProba(const std::vector<double>& x) const {
+  RPT_CHECK(!nodes_.empty()) << "tree not fitted";
+  int64_t node = 0;
+  for (;;) {
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    if (n.feature < 0) return n.positive_rate;
+    node = x[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                            : n.right;
+  }
+}
+
+RandomForest::RandomForest(RandomForestConfig config)
+    : config_(config), rng_(config.seed) {}
+
+void RandomForest::Fit(const std::vector<std::vector<double>>& x,
+                       const std::vector<bool>& y) {
+  RPT_CHECK(!x.empty());
+  trees_.clear();
+  trees_.resize(static_cast<size_t>(config_.num_trees));
+  DecisionTree::Options tree_options = config_.tree;
+  if (tree_options.max_features == 0) {
+    tree_options.max_features = std::max<int64_t>(
+        2, static_cast<int64_t>(std::sqrt(
+               static_cast<double>(x[0].size()))) + 1);
+  }
+  for (auto& tree : trees_) {
+    // Bootstrap sample.
+    std::vector<std::vector<double>> bx;
+    std::vector<bool> by;
+    bx.reserve(x.size());
+    by.reserve(y.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      const size_t pick = rng_.UniformInt(x.size());
+      bx.push_back(x[pick]);
+      by.push_back(y[pick]);
+    }
+    tree.Fit(bx, by, tree_options, &rng_);
+  }
+}
+
+double RandomForest::PredictProba(const std::vector<double>& x) const {
+  RPT_CHECK(!trees_.empty()) << "forest not fitted";
+  double sum = 0;
+  for (const auto& tree : trees_) sum += tree.PredictProba(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+BinaryConfusion RandomForest::EvaluateInDomain(const ErBenchmark& bench,
+                                               double threshold) {
+  std::vector<std::vector<double>> features;
+  features.reserve(bench.pairs.size());
+  for (const auto& pair : bench.pairs) {
+    features.push_back(PairFeatures(
+        bench.table_a.schema(), bench.table_a.row(pair.a),
+        bench.table_b.schema(), bench.table_b.row(pair.b)));
+  }
+  std::vector<size_t> order(features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng split_rng(config_.seed ^ 0x7A7A);
+  split_rng.Shuffle(&order);
+  const size_t train_n = static_cast<size_t>(0.7 * order.size());
+  std::vector<std::vector<double>> train_x, test_x;
+  std::vector<bool> train_y, test_y;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < train_n) {
+      train_x.push_back(features[order[i]]);
+      train_y.push_back(bench.pairs[order[i]].match);
+    } else {
+      test_x.push_back(features[order[i]]);
+      test_y.push_back(bench.pairs[order[i]].match);
+    }
+  }
+  Fit(train_x, train_y);
+  BinaryConfusion confusion;
+  for (size_t i = 0; i < test_x.size(); ++i) {
+    confusion.Add(PredictProba(test_x[i]) >= threshold, test_y[i]);
+  }
+  return confusion;
+}
+
+}  // namespace rpt

@@ -1,0 +1,81 @@
+// Magellan-style baseline (Konda et al., VLDB 2016): a random forest over
+// similarity features. Includes a from-scratch CART decision tree (Gini
+// impurity) and bagged ensemble with feature subsampling.
+
+#ifndef RPT_BASELINES_MAGELLAN_H_
+#define RPT_BASELINES_MAGELLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "synth/benchmarks.h"
+#include "util/rng.h"
+
+namespace rpt {
+
+/// A binary CART classifier on dense double features.
+class DecisionTree {
+ public:
+  struct Options {
+    int64_t max_depth = 6;
+    int64_t min_samples_leaf = 2;
+    /// Features considered per split (0 = all).
+    int64_t max_features = 0;
+  };
+
+  DecisionTree() = default;
+
+  void Fit(const std::vector<std::vector<double>>& x,
+           const std::vector<bool>& y, const Options& options, Rng* rng);
+
+  /// P(positive) for one sample (leaf class frequency).
+  double PredictProba(const std::vector<double>& x) const;
+
+  int64_t NodeCount() const { return static_cast<int64_t>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int64_t feature = -1;      // -1 = leaf
+    double threshold = 0.0;
+    int64_t left = -1;
+    int64_t right = -1;
+    double positive_rate = 0.0;
+  };
+
+  int64_t Build(const std::vector<std::vector<double>>& x,
+                const std::vector<bool>& y, std::vector<int64_t> indices,
+                int64_t depth, const Options& options, Rng* rng);
+
+  std::vector<Node> nodes_;
+};
+
+struct RandomForestConfig {
+  int64_t num_trees = 15;
+  DecisionTree::Options tree;
+  uint64_t seed = 4;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(RandomForestConfig config = {});
+
+  void Fit(const std::vector<std::vector<double>>& x,
+           const std::vector<bool>& y);
+
+  double PredictProba(const std::vector<double>& x) const;
+
+  /// In-domain protocol identical to DeepMatcher's: 70/30 split.
+  BinaryConfusion EvaluateInDomain(const ErBenchmark& bench,
+                                   double threshold = 0.5);
+
+ private:
+  RandomForestConfig config_;
+  Rng rng_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_BASELINES_MAGELLAN_H_

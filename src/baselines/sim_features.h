@@ -1,0 +1,34 @@
+// Similarity feature extraction shared by the non-neural ER baselines
+// (ZeroER, DeepMatcher-as-implemented-here, Magellan-style random forest).
+//
+// Features are schema-agnostic: whole-record similarities over the
+// concatenated values plus aggregates over columns the two schemas share
+// by name. The vector length is fixed so models can be trained across
+// benchmarks with different schemas.
+
+#ifndef RPT_BASELINES_SIM_FEATURES_H_
+#define RPT_BASELINES_SIM_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace rpt {
+
+/// Number of features produced by PairFeatures.
+constexpr int64_t kNumPairFeatures = 10;
+
+/// Human-readable feature names (size kNumPairFeatures).
+const std::vector<std::string>& PairFeatureNames();
+
+/// Fixed-length similarity vector for a tuple pair.
+std::vector<double> PairFeatures(const Schema& schema_a, const Tuple& a,
+                                 const Schema& schema_b, const Tuple& b);
+
+/// All non-null values joined with spaces.
+std::string ConcatTuple(const Tuple& tuple);
+
+}  // namespace rpt
+
+#endif  // RPT_BASELINES_SIM_FEATURES_H_

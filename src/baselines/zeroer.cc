@@ -1,0 +1,122 @@
+#include "baselines/zeroer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/sim_features.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+std::vector<double> ZeroEr::FitPredict(
+    const std::vector<std::vector<double>>& features) {
+  const size_t n = features.size();
+  RPT_CHECK_GT(n, 1u);
+  const size_t d = features[0].size();
+
+  // Initialize responsibilities from the mean-feature quantile.
+  std::vector<double> mass(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0;
+    for (double f : features[i]) sum += f;
+    mass[i] = sum;
+  }
+  std::vector<double> sorted_mass = mass;
+  std::sort(sorted_mass.begin(), sorted_mass.end());
+  const double cut = sorted_mass[static_cast<size_t>(
+      config_.init_match_quantile * (n - 1))];
+  std::vector<double> resp(n);  // responsibility of the match component
+  for (size_t i = 0; i < n; ++i) {
+    resp[i] = mass[i] >= cut ? 0.9 : 0.1;
+  }
+
+  std::vector<double> mean_match(d, 0), mean_non(d, 0);
+  std::vector<double> var_match(d, 1), var_non(d, 1);
+  double prior_match = 0.15;
+
+  for (int64_t iter = 0; iter < config_.em_iterations; ++iter) {
+    // M step.
+    double weight_match = 0, weight_non = 0;
+    std::fill(mean_match.begin(), mean_match.end(), 0.0);
+    std::fill(mean_non.begin(), mean_non.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      weight_match += resp[i];
+      weight_non += 1.0 - resp[i];
+      for (size_t j = 0; j < d; ++j) {
+        mean_match[j] += resp[i] * features[i][j];
+        mean_non[j] += (1.0 - resp[i]) * features[i][j];
+      }
+    }
+    weight_match = std::max(weight_match, 1e-6);
+    weight_non = std::max(weight_non, 1e-6);
+    for (size_t j = 0; j < d; ++j) {
+      mean_match[j] /= weight_match;
+      mean_non[j] /= weight_non;
+    }
+    std::fill(var_match.begin(), var_match.end(), 0.0);
+    std::fill(var_non.begin(), var_non.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        const double dm = features[i][j] - mean_match[j];
+        const double dn = features[i][j] - mean_non[j];
+        var_match[j] += resp[i] * dm * dm;
+        var_non[j] += (1.0 - resp[i]) * dn * dn;
+      }
+    }
+    for (size_t j = 0; j < d; ++j) {
+      var_match[j] = std::max(var_match[j] / weight_match,
+                              config_.min_variance);
+      var_non[j] = std::max(var_non[j] / weight_non, config_.min_variance);
+    }
+    prior_match = weight_match / static_cast<double>(n);
+    prior_match = std::min(0.95, std::max(0.01, prior_match));
+
+    // E step (diagonal Gaussian log-likelihoods).
+    for (size_t i = 0; i < n; ++i) {
+      double log_match = std::log(prior_match);
+      double log_non = std::log(1.0 - prior_match);
+      for (size_t j = 0; j < d; ++j) {
+        const double dm = features[i][j] - mean_match[j];
+        const double dn = features[i][j] - mean_non[j];
+        log_match += -0.5 * (dm * dm / var_match[j] +
+                             std::log(2 * M_PI * var_match[j]));
+        log_non += -0.5 * (dn * dn / var_non[j] +
+                           std::log(2 * M_PI * var_non[j]));
+      }
+      const double mx = std::max(log_match, log_non);
+      const double pm = std::exp(log_match - mx);
+      const double pn = std::exp(log_non - mx);
+      resp[i] = pm / (pm + pn);
+    }
+  }
+
+  // Identify the match component: higher mean similarity mass.
+  double mass_match = 0, mass_non = 0;
+  for (size_t j = 0; j < d; ++j) {
+    mass_match += mean_match[j];
+    mass_non += mean_non[j];
+  }
+  if (mass_match < mass_non) {
+    for (auto& r : resp) r = 1.0 - r;
+  }
+  return resp;
+}
+
+BinaryConfusion ZeroEr::Evaluate(const ErBenchmark& bench,
+                                 double threshold) {
+  std::vector<std::vector<double>> features;
+  features.reserve(bench.pairs.size());
+  for (const auto& pair : bench.pairs) {
+    features.push_back(PairFeatures(
+        bench.table_a.schema(), bench.table_a.row(pair.a),
+        bench.table_b.schema(), bench.table_b.row(pair.b)));
+  }
+  auto scores = FitPredict(features);
+  BinaryConfusion confusion;
+  for (size_t i = 0; i < bench.pairs.size(); ++i) {
+    confusion.Add(scores[i] >= threshold, bench.pairs[i].match);
+  }
+  return confusion;
+}
+
+}  // namespace rpt

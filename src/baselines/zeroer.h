@@ -1,0 +1,48 @@
+// ZeroER baseline (Wu et al., SIGMOD 2020): entity resolution with zero
+// labeled examples.
+//
+// Re-implementation of the core idea: pair-similarity features follow a
+// two-component generative mixture (match vs non-match); fit it with EM
+// (diagonal Gaussians) and classify by posterior. The match component is
+// identified as the one with the higher mean feature mass. Initialization
+// seeds responsibilities from a similarity quantile, as in the original's
+// blocking-informed prior.
+
+#ifndef RPT_BASELINES_ZEROER_H_
+#define RPT_BASELINES_ZEROER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "synth/benchmarks.h"
+
+namespace rpt {
+
+struct ZeroErConfig {
+  int64_t em_iterations = 40;
+  double init_match_quantile = 0.85;  // top 15% similarity seeds matches
+  double min_variance = 1e-4;
+};
+
+class ZeroEr {
+ public:
+  explicit ZeroEr(ZeroErConfig config = {}) : config_(config) {}
+
+  /// Fits the mixture on the feature vectors of the given pairs (labels
+  /// unused — fully unsupervised) and returns P(match) per pair.
+  std::vector<double> FitPredict(
+      const std::vector<std::vector<double>>& features);
+
+  /// Convenience: extract features from a benchmark's pairs, fit, and
+  /// evaluate against the labels.
+  BinaryConfusion Evaluate(const ErBenchmark& bench,
+                           double threshold = 0.5);
+
+ private:
+  ZeroErConfig config_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_BASELINES_ZEROER_H_

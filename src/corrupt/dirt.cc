@@ -1,0 +1,92 @@
+#include "corrupt/dirt.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace rpt {
+
+std::string InjectTypo(const std::string& text, Rng* rng) {
+  if (text.size() < 2) return text;
+  std::string out = text;
+  const size_t pos = rng->UniformInt(out.size() - 1);
+  switch (rng->UniformInt(4)) {
+    case 0:  // swap adjacent
+      std::swap(out[pos], out[pos + 1]);
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    case 2:  // insert a nearby lowercase letter
+      out.insert(pos, 1,
+                 static_cast<char>('a' + rng->UniformInt(26)));
+      break;
+    default:  // replace
+      out[pos] = static_cast<char>('a' + rng->UniformInt(26));
+      break;
+  }
+  return out;
+}
+
+std::string DropWord(const std::string& text, Rng* rng) {
+  auto words = SplitWhitespace(text);
+  if (words.size() < 2) return text;
+  words.erase(words.begin() +
+              static_cast<int64_t>(rng->UniformInt(words.size())));
+  return Join(words, " ");
+}
+
+std::string DuplicateWord(const std::string& text, Rng* rng) {
+  auto words = SplitWhitespace(text);
+  if (words.empty()) return text;
+  const size_t pos = rng->UniformInt(words.size());
+  words.insert(words.begin() + static_cast<int64_t>(pos), words[pos]);
+  return Join(words, " ");
+}
+
+std::string ShoutCase(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+DirtReport ApplyDirt(Table* table, const DirtOptions& options, Rng* rng) {
+  DirtReport report;
+  for (int64_t r = 0; r < table->NumRows(); ++r) {
+    for (int64_t c = 0; c < table->NumColumns(); ++c) {
+      ++report.cells_seen;
+      const Value& v = table->at(r, c);
+      if (v.is_null()) continue;
+      if (!rng->Bernoulli(options.cell_rate)) continue;
+      const double which = rng->UniformDouble();
+      if (which < options.null_share) {
+        table->Set(r, c, Value::Null());
+        ++report.cells_nulled;
+      } else if (which < options.null_share + options.typo_share) {
+        if (v.is_number()) {
+          const double jitter =
+              1.0 + options.numeric_jitter * (rng->UniformDouble() * 2 - 1);
+          table->Set(r, c, Value::Number(v.number() * jitter));
+        } else {
+          table->Set(r, c, Value::String(InjectTypo(v.text(), rng)));
+        }
+        ++report.cells_typoed;
+      } else {
+        if (v.is_number()) {
+          const double jitter =
+              1.0 + options.numeric_jitter * (rng->UniformDouble() * 2 - 1);
+          table->Set(r, c, Value::Number(v.number() * jitter));
+          ++report.cells_typoed;
+        } else {
+          table->Set(r, c, Value::String(DropWord(v.text(), rng)));
+          ++report.cells_word_dropped;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace rpt

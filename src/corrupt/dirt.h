@@ -1,0 +1,50 @@
+// Dirt channels: realistic cell-level noise used both to make the synthetic
+// benchmarks hard (surface variation between matching entities) and to test
+// robustness of pre-training on dirty tables (paper §2.2 opportunity O2).
+
+#ifndef RPT_CORRUPT_DIRT_H_
+#define RPT_CORRUPT_DIRT_H_
+
+#include <string>
+
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace rpt {
+
+/// One random character-level typo: swap, delete, insert, or replace.
+/// Strings shorter than 2 characters are returned unchanged.
+std::string InjectTypo(const std::string& text, Rng* rng);
+
+/// Drops one random word (no-op for single-word strings).
+std::string DropWord(const std::string& text, Rng* rng);
+
+/// Duplicates one random word.
+std::string DuplicateWord(const std::string& text, Rng* rng);
+
+/// Uppercases the string (case noise; downstream tokenization lowercases,
+/// so this exercises normalization, not the model).
+std::string ShoutCase(const std::string& text);
+
+/// Statistics of an ApplyDirt pass.
+struct DirtReport {
+  int64_t cells_seen = 0;
+  int64_t cells_nulled = 0;
+  int64_t cells_typoed = 0;
+  int64_t cells_word_dropped = 0;
+};
+
+struct DirtOptions {
+  double cell_rate = 0.1;      // fraction of cells touched
+  double null_share = 0.4;     // of touched cells: null out
+  double typo_share = 0.4;     // of touched cells: inject a typo
+  // The remainder drops a word (strings) or jitters the value (numbers).
+  double numeric_jitter = 0.15;  // relative jitter for numeric cells
+};
+
+/// Corrupts cells of `table` in place and reports what was done.
+DirtReport ApplyDirt(Table* table, const DirtOptions& options, Rng* rng);
+
+}  // namespace rpt
+
+#endif  // RPT_CORRUPT_DIRT_H_

@@ -1,0 +1,90 @@
+#include "corrupt/masking.h"
+
+#include "util/logging.h"
+
+namespace rpt {
+
+const char* MaskingStrategyName(MaskingStrategy strategy) {
+  switch (strategy) {
+    case MaskingStrategy::kTokenMasking:
+      return "token";
+    case MaskingStrategy::kValueMasking:
+      return "value";
+    case MaskingStrategy::kFdGuided:
+      return "fd-guided";
+  }
+  return "?";
+}
+
+MaskingPolicy::MaskingPolicy(MaskingStrategy strategy,
+                             const TupleSerializer* serializer,
+                             std::vector<double> column_weights)
+    : strategy_(strategy),
+      serializer_(serializer),
+      column_weights_(std::move(column_weights)) {
+  RPT_CHECK(serializer_ != nullptr);
+}
+
+std::optional<DenoisingExample> MaskingPolicy::MakeExample(
+    const Schema& schema, const Tuple& tuple, Rng* rng) const {
+  switch (strategy_) {
+    case MaskingStrategy::kTokenMasking:
+      return MakeTokenMaskExample(schema, tuple, rng);
+    case MaskingStrategy::kValueMasking:
+    case MaskingStrategy::kFdGuided:
+      return MakeValueMaskExample(schema, tuple, rng);
+  }
+  return std::nullopt;
+}
+
+std::optional<DenoisingExample> MaskingPolicy::MakeValueMaskExample(
+    const Schema& schema, const Tuple& tuple, Rng* rng) const {
+  // Candidate columns: non-null cells.
+  std::vector<double> weights(tuple.size(), 0.0);
+  bool any = false;
+  for (size_t c = 0; c < tuple.size(); ++c) {
+    if (tuple[c].is_null()) continue;
+    double w = 1.0;
+    if (strategy_ == MaskingStrategy::kFdGuided &&
+        c < column_weights_.size()) {
+      // Bias toward determined columns but keep a floor so every column
+      // is occasionally exercised.
+      w = 0.05 + column_weights_[c];
+    }
+    weights[c] = w;
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  const int64_t column = static_cast<int64_t>(rng->WeightedIndex(weights));
+
+  DenoisingExample out;
+  out.masked_column = column;
+  out.corrupted = serializer_->SerializeWithMask(schema, tuple, column);
+  out.target =
+      serializer_->EncodeValue(tuple[static_cast<size_t>(column)]);
+  return out;
+}
+
+std::optional<DenoisingExample> MaskingPolicy::MakeTokenMaskExample(
+    const Schema& schema, const Tuple& tuple, Rng* rng) const {
+  TupleEncoding full = serializer_->Serialize(schema, tuple);
+  // Collect positions of value tokens (attribute names are never masked).
+  std::vector<int64_t> candidates;
+  for (int64_t i = 0; i < full.size(); ++i) {
+    if (full.type_ids[static_cast<size_t>(i)] == TokenKinds::kValueToken) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+  const int64_t pos = candidates[rng->UniformInt(candidates.size())];
+
+  DenoisingExample out;
+  out.target = {full.ids[static_cast<size_t>(pos)]};
+  out.corrupted = std::move(full);
+  out.corrupted.ids[static_cast<size_t>(pos)] = SpecialTokens::kMask;
+  out.corrupted.type_ids[static_cast<size_t>(pos)] = TokenKinds::kStructure;
+  out.masked_column = out.corrupted.col_ids[static_cast<size_t>(pos)];
+  return out;
+}
+
+}  // namespace rpt

@@ -1,0 +1,70 @@
+// Corruption policies for denoising pre-training (paper §2.2).
+//
+//   * Token masking — replace one token inside an attribute value with [M].
+//   * Attribute-value masking — replace a whole cell with a single [M]
+//     (text infilling: the model must also learn *how many* tokens the
+//     span hides).
+//   * FD-guided masking — like value masking, but the masked column is
+//     sampled proportionally to its determinedness (profiled FDs/NMI), so
+//     the model is asked to predict values its context actually determines.
+
+#ifndef RPT_CORRUPT_MASKING_H_
+#define RPT_CORRUPT_MASKING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "table/serializer.h"
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace rpt {
+
+enum class MaskingStrategy {
+  kTokenMasking,
+  kValueMasking,
+  kFdGuided,
+};
+
+const char* MaskingStrategyName(MaskingStrategy strategy);
+
+/// One denoising training example: a corrupted encoder input and the token
+/// ids the decoder must reconstruct (the masked span, no BOS/EOS).
+struct DenoisingExample {
+  TupleEncoding corrupted;
+  std::vector<int32_t> target;
+  int64_t masked_column = -1;
+};
+
+class MaskingPolicy {
+ public:
+  /// `column_weights` (optional, one per column) biases which column is
+  /// masked; used by kFdGuided. Unweighted strategies ignore it.
+  MaskingPolicy(MaskingStrategy strategy, const TupleSerializer* serializer,
+                std::vector<double> column_weights = {});
+
+  /// Builds one denoising example from a tuple, or nullopt when the tuple
+  /// has nothing maskable (all cells null).
+  std::optional<DenoisingExample> MakeExample(const Schema& schema,
+                                              const Tuple& tuple,
+                                              Rng* rng) const;
+
+  MaskingStrategy strategy() const { return strategy_; }
+
+ private:
+  std::optional<DenoisingExample> MakeValueMaskExample(const Schema& schema,
+                                                       const Tuple& tuple,
+                                                       Rng* rng) const;
+  std::optional<DenoisingExample> MakeTokenMaskExample(const Schema& schema,
+                                                       const Tuple& tuple,
+                                                       Rng* rng) const;
+
+  MaskingStrategy strategy_;
+  const TupleSerializer* serializer_;
+  std::vector<double> column_weights_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_CORRUPT_MASKING_H_

@@ -1,0 +1,90 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace rpt {
+
+void BinaryConfusion::Add(bool predicted, bool actual) {
+  if (predicted && actual) {
+    ++tp;
+  } else if (predicted && !actual) {
+    ++fp;
+  } else if (!predicted && actual) {
+    ++fn;
+  } else {
+    ++tn;
+  }
+}
+
+double BinaryConfusion::Precision() const {
+  return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+}
+
+double BinaryConfusion::Recall() const {
+  return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+}
+
+double BinaryConfusion::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double BinaryConfusion::Accuracy() const {
+  const int64_t total = Total();
+  return total == 0 ? 0.0 : static_cast<double>(tp + tn) / total;
+}
+
+bool NormalizedExactMatch(std::string_view predicted,
+                          std::string_view gold) {
+  return Tokenizer::Normalize(predicted) == Tokenizer::Normalize(gold);
+}
+
+double TokenF1(std::string_view predicted, std::string_view gold) {
+  auto pt = Tokenizer::Tokenize(predicted);
+  auto gt = Tokenizer::Tokenize(gold);
+  if (pt.empty() && gt.empty()) return 1.0;
+  if (pt.empty() || gt.empty()) return 0.0;
+  std::unordered_map<std::string, int64_t> gold_counts;
+  for (const auto& t : gt) ++gold_counts[t];
+  int64_t overlap = 0;
+  for (const auto& t : pt) {
+    auto it = gold_counts.find(t);
+    if (it != gold_counts.end() && it->second > 0) {
+      ++overlap;
+      --it->second;
+    }
+  }
+  if (overlap == 0) return 0.0;
+  const double precision = static_cast<double>(overlap) / pt.size();
+  const double recall = static_cast<double>(overlap) / gt.size();
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+BinaryConfusion PairwiseClusterConfusion(
+    const std::vector<int64_t>& cluster_of,
+    const std::vector<int64_t>& entity_of) {
+  BinaryConfusion confusion;
+  const size_t n = cluster_of.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const bool predicted = cluster_of[i] == cluster_of[j];
+      const bool actual = entity_of[i] == entity_of[j];
+      confusion.Add(predicted, actual);
+    }
+  }
+  return confusion;
+}
+
+double MeanOf(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace rpt

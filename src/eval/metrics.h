@@ -1,0 +1,50 @@
+// Evaluation metrics: binary classification (P/R/F1), exact match, token
+// F1 for span extraction, and pairwise clustering quality.
+
+#ifndef RPT_EVAL_METRICS_H_
+#define RPT_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpt {
+
+/// Accumulates a binary confusion matrix.
+struct BinaryConfusion {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+  int64_t tn = 0;
+
+  void Add(bool predicted, bool actual);
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double Accuracy() const;
+  int64_t Total() const { return tp + fp + fn + tn; }
+};
+
+/// Exact string match after normalization (lowercase, collapsed spaces).
+bool NormalizedExactMatch(std::string_view predicted,
+                          std::string_view gold);
+
+/// SQuAD-style token-level F1 between predicted and gold strings.
+double TokenF1(std::string_view predicted, std::string_view gold);
+
+/// Pairwise precision/recall/F1 of a clustering against ground-truth
+/// entity labels: every intra-cluster pair is a predicted match, every
+/// same-entity pair is a true match. `cluster_of` and `entity_of` are
+/// parallel (one per record).
+BinaryConfusion PairwiseClusterConfusion(
+    const std::vector<int64_t>& cluster_of,
+    const std::vector<int64_t>& entity_of);
+
+/// Mean of a vector (0 for empty).
+double MeanOf(const std::vector<double>& values);
+
+}  // namespace rpt
+
+#endif  // RPT_EVAL_METRICS_H_

@@ -1,0 +1,38 @@
+// Fixed-width table rendering for experiment harnesses: the bench binaries
+// print paper-style tables with this.
+
+#ifndef RPT_EVAL_REPORT_H_
+#define RPT_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace rpt {
+
+/// Accumulates rows and renders an aligned ASCII table.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule; columns are sized to their content.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed decimals ("0.72").
+std::string Fixed(double value, int decimals = 2);
+
+/// Prints a section banner ("==== title ====").
+void PrintBanner(const std::string& title);
+
+}  // namespace rpt
+
+#endif  // RPT_EVAL_REPORT_H_

@@ -1,0 +1,94 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rpt {
+
+Tensor BuildAttentionBias(int64_t batch, int64_t heads, int64_t q_len,
+                          int64_t k_len,
+                          const std::vector<uint8_t>& key_valid,
+                          bool causal) {
+  constexpr float kNegInf = -1e9f;
+  if (!key_valid.empty()) {
+    RPT_CHECK_EQ(static_cast<int64_t>(key_valid.size()), batch * k_len);
+  }
+  if (causal) RPT_CHECK_EQ(q_len, k_len);
+  Tensor bias = Tensor::Zeros({batch, heads, q_len, k_len});
+  float* d = bias.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t h = 0; h < heads; ++h) {
+      for (int64_t i = 0; i < q_len; ++i) {
+        float* row = d + ((b * heads + h) * q_len + i) * k_len;
+        for (int64_t j = 0; j < k_len; ++j) {
+          bool masked = false;
+          if (causal && j > i) masked = true;
+          if (!key_valid.empty() && key_valid[b * k_len + j] == 0) {
+            masked = true;
+          }
+          if (masked) row[j] = kNegInf;
+        }
+      }
+    }
+  }
+  return bias;
+}
+
+MultiHeadAttention::MultiHeadAttention(int64_t d_model, int64_t num_heads,
+                                       float dropout, Rng* rng)
+    : d_model_(d_model),
+      num_heads_(num_heads),
+      head_dim_(d_model / num_heads),
+      q_proj_(d_model, d_model, rng),
+      k_proj_(d_model, d_model, rng),
+      v_proj_(d_model, d_model, rng),
+      out_proj_(d_model, d_model, rng),
+      attn_dropout_(dropout) {
+  RPT_CHECK_EQ(head_dim_ * num_heads, d_model)
+      << "d_model must be divisible by num_heads";
+  RegisterModule("q_proj", &q_proj_);
+  RegisterModule("k_proj", &k_proj_);
+  RegisterModule("v_proj", &v_proj_);
+  RegisterModule("out_proj", &out_proj_);
+  RegisterModule("attn_dropout", &attn_dropout_);
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& query, const Tensor& key,
+                                   const Tensor& value, const Tensor& bias,
+                                   Rng* rng) const {
+  const int64_t batch = query.dim(0);
+  const int64_t q_len = query.dim(1);
+  const int64_t k_len = key.dim(1);
+  RPT_CHECK_EQ(query.dim(2), d_model_);
+  RPT_CHECK_EQ(key.dim(2), d_model_);
+  RPT_CHECK_EQ(value.dim(1), k_len);
+
+  // Project and split heads: [B, T, D] -> [B, H, T, Dh].
+  auto split_heads = [&](const Tensor& x, int64_t t) {
+    Tensor reshaped = Reshape(x, {batch, t, num_heads_, head_dim_});
+    return Transpose(reshaped, 1, 2);
+  };
+  Tensor q = split_heads(q_proj_.Forward(query), q_len);
+  Tensor k = split_heads(k_proj_.Forward(key), k_len);
+  Tensor v = split_heads(v_proj_.Forward(value), k_len);
+
+  // Scores: [B, H, Tq, Dh] x [B, H, Dh, Tk] -> [B, H, Tq, Tk].
+  Tensor kt = Transpose(k, 2, 3);
+  Tensor scores =
+      Scale(MatMul(q, kt), 1.0f / std::sqrt(static_cast<float>(head_dim_)));
+  if (bias.defined()) {
+    scores = Add(scores, bias);
+  }
+  Tensor attn = Softmax(scores);
+  attn = attn_dropout_.Forward(attn, rng);
+
+  // Context: [B, H, Tq, Tk] x [B, H, Tk, Dh] -> [B, H, Tq, Dh].
+  Tensor context = MatMul(attn, v);
+  // Merge heads: [B, H, Tq, Dh] -> [B, Tq, D].
+  context = Transpose(context, 1, 2);
+  context = Reshape(context, {batch, q_len, d_model_});
+  return out_proj_.Forward(context);
+}
+
+}  // namespace rpt

@@ -1,0 +1,55 @@
+// Multi-head scaled-dot-product attention (Vaswani et al., 2017).
+
+#ifndef RPT_NN_ATTENTION_H_
+#define RPT_NN_ATTENTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rpt {
+
+/// Builds an additive attention bias of shape [batch, heads, q_len, k_len]:
+/// 0 where attention is allowed and -1e9 where it is masked.
+///
+/// `key_valid` flags valid (non-pad) key positions, length batch*k_len (an
+/// empty vector means every key is valid). When `causal`, position i may
+/// additionally only attend to keys j <= i (requires q_len == k_len).
+Tensor BuildAttentionBias(int64_t batch, int64_t heads, int64_t q_len,
+                          int64_t k_len,
+                          const std::vector<uint8_t>& key_valid,
+                          bool causal);
+
+/// Standard multi-head attention. Query/key/value projections, per-head
+/// scaled dot-product with an additive bias, then an output projection.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int64_t d_model, int64_t num_heads, float dropout,
+                     Rng* rng);
+
+  /// query [B, Tq, D], key/value [B, Tk, D], bias [B, H, Tq, Tk] (may be
+  /// undefined for no masking). Returns [B, Tq, D].
+  Tensor Forward(const Tensor& query, const Tensor& key, const Tensor& value,
+                 const Tensor& bias, Rng* rng) const;
+
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  int64_t d_model_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  Linear q_proj_;
+  Linear k_proj_;
+  Linear v_proj_;
+  Linear out_proj_;
+  DropoutLayer attn_dropout_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_NN_ATTENTION_H_

@@ -1,0 +1,37 @@
+#include "nn/checkpoint.h"
+
+#include "util/serialize.h"
+
+namespace rpt {
+
+namespace {
+constexpr uint32_t kMagic = 0x52505431;  // "RPT1"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status SaveCheckpoint(const Module& module, const std::string& path) {
+  BinaryWriter writer;
+  writer.WriteU32(kMagic);
+  writer.WriteU32(kVersion);
+  module.SaveState(&writer);
+  return writer.SaveToFile(path);
+}
+
+Status LoadCheckpoint(Module* module, const std::string& path) {
+  auto reader = BinaryReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  auto magic = reader->ReadU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMagic) {
+    return Status::InvalidArgument(path + " is not an RPT checkpoint");
+  }
+  auto version = reader->ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(*version));
+  }
+  return module->LoadState(&*reader);
+}
+
+}  // namespace rpt

@@ -1,0 +1,21 @@
+// Model checkpoint files: magic + format version + named parameters.
+
+#ifndef RPT_NN_CHECKPOINT_H_
+#define RPT_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace rpt {
+
+/// Writes the module's parameters to `path`.
+Status SaveCheckpoint(const Module& module, const std::string& path);
+
+/// Restores parameters from `path` into an identically structured module.
+Status LoadCheckpoint(Module* module, const std::string& path);
+
+}  // namespace rpt
+
+#endif  // RPT_NN_CHECKPOINT_H_

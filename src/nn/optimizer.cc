@@ -1,0 +1,120 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rpt {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  learning_rate_ = lr;
+  if (momentum_ > 0.0f) {
+    velocity_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      velocity_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad_data();
+    const int64_t n = p.numel();
+    if (momentum_ > 0.0f) {
+      float* vel = velocity_[i].data();
+      for (int64_t j = 0; j < n; ++j) {
+        vel[j] = momentum_ * vel[j] + g[j];
+        w[j] -= learning_rate_ * vel[j];
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) {
+        w[j] -= learning_rate_ * g[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  learning_rate_ = lr;
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+    v_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad_data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      float update = mhat / (std::sqrt(vhat) + eps_);
+      if (weight_decay_ > 0.0f) {
+        update += weight_decay_ * w[j];
+      }
+      w[j] -= learning_rate_ * update;
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
+  RPT_CHECK_GT(max_norm, 0.0f);
+  double total_sq = 0.0;
+  for (const auto& p : params) {
+    if (!p.has_grad()) continue;
+    const float* g = p.grad_data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      total_sq += static_cast<double>(g[j]) * g[j];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params) {
+      if (!p.has_grad()) continue;
+      Tensor t = p;  // cheap handle copy
+      float* g = t.grad_data();
+      const int64_t n = t.numel();
+      for (int64_t j = 0; j < n; ++j) g[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+float WarmupSchedule::LearningRate(int64_t step) const {
+  RPT_CHECK_GE(step, 1);
+  const double s = static_cast<double>(step);
+  const double w = static_cast<double>(warmup_steps_);
+  const double scale = std::min(s / w, std::sqrt(w / s));
+  return static_cast<float>(peak_lr_ * scale);
+}
+
+}  // namespace rpt

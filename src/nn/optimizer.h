@@ -1,0 +1,88 @@
+// Optimizers (SGD, Adam, AdamW), gradient clipping, and LR schedules.
+
+#ifndef RPT_NN_OPTIMIZER_H_
+#define RPT_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rpt {
+
+/// Base optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients currently on the parameters.
+  /// Parameters without an allocated gradient are skipped.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ protected:
+  std::vector<Tensor> params_;
+  float learning_rate_ = 1e-3f;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba). With weight_decay > 0 this is AdamW (decoupled
+/// decay applied directly to the weights).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Scales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm);
+
+/// Linear warmup followed by inverse-sqrt decay ("Noam" schedule, scaled so
+/// the peak LR equals `peak_lr` at step == warmup_steps).
+class WarmupSchedule {
+ public:
+  WarmupSchedule(float peak_lr, int64_t warmup_steps)
+      : peak_lr_(peak_lr), warmup_steps_(warmup_steps) {}
+
+  /// LR for a 1-based step counter.
+  float LearningRate(int64_t step) const;
+
+ private:
+  float peak_lr_;
+  int64_t warmup_steps_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_NN_OPTIMIZER_H_

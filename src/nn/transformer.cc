@@ -1,0 +1,415 @@
+#include "nn/transformer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rpt {
+
+// ---- TokenBatch --------------------------------------------------------------
+
+TokenBatch TokenBatch::Pack(
+    const std::vector<std::vector<int32_t>>& seqs, int32_t pad_id,
+    const std::vector<std::vector<int32_t>>* col_seqs,
+    const std::vector<std::vector<int32_t>>* type_seqs) {
+  TokenBatch out;
+  out.batch = static_cast<int64_t>(seqs.size());
+  out.len = 1;  // avoid zero-length tensors for empty batches/sequences
+  for (const auto& s : seqs) {
+    out.len = std::max<int64_t>(out.len, static_cast<int64_t>(s.size()));
+  }
+  const size_t total = static_cast<size_t>(out.batch * out.len);
+  out.ids.assign(total, pad_id);
+  out.valid.assign(total, 0);
+  if (col_seqs != nullptr) out.col_ids.assign(total, 0);
+  if (type_seqs != nullptr) out.type_ids.assign(total, 0);
+  for (size_t b = 0; b < seqs.size(); ++b) {
+    const auto& s = seqs[b];
+    if (col_seqs != nullptr) {
+      RPT_CHECK_EQ((*col_seqs)[b].size(), s.size());
+    }
+    if (type_seqs != nullptr) {
+      RPT_CHECK_EQ((*type_seqs)[b].size(), s.size());
+    }
+    for (size_t t = 0; t < s.size(); ++t) {
+      const size_t idx = b * static_cast<size_t>(out.len) + t;
+      out.ids[idx] = s[t];
+      out.valid[idx] = 1;
+      if (col_seqs != nullptr) out.col_ids[idx] = (*col_seqs)[b][t];
+      if (type_seqs != nullptr) out.type_ids[idx] = (*type_seqs)[b][t];
+    }
+  }
+  return out;
+}
+
+// ---- FeedForward --------------------------------------------------------------
+
+FeedForward::FeedForward(int64_t d_model, int64_t ffn_dim, float dropout,
+                         Rng* rng)
+    : fc1_(d_model, ffn_dim, rng), fc2_(ffn_dim, d_model, rng),
+      dropout_(dropout) {
+  RegisterModule("fc1", &fc1_);
+  RegisterModule("fc2", &fc2_);
+  RegisterModule("dropout", &dropout_);
+}
+
+Tensor FeedForward::Forward(const Tensor& x, Rng* rng) const {
+  Tensor h = Gelu(fc1_.Forward(x));
+  h = dropout_.Forward(h, rng);
+  return fc2_.Forward(h);
+}
+
+// ---- Encoder layer -------------------------------------------------------------
+
+TransformerEncoderLayer::TransformerEncoderLayer(
+    const TransformerConfig& config, Rng* rng)
+    : ln1_(config.d_model),
+      self_attn_(config.d_model, config.num_heads, config.dropout, rng),
+      ln2_(config.d_model),
+      ffn_(config.d_model, config.ffn_dim, config.dropout, rng),
+      dropout_(config.dropout) {
+  RegisterModule("ln1", &ln1_);
+  RegisterModule("self_attn", &self_attn_);
+  RegisterModule("ln2", &ln2_);
+  RegisterModule("ffn", &ffn_);
+  RegisterModule("dropout", &dropout_);
+}
+
+Tensor TransformerEncoderLayer::Forward(const Tensor& x, const Tensor& bias,
+                                        Rng* rng) const {
+  Tensor normed = ln1_.Forward(x);
+  Tensor attn = self_attn_.Forward(normed, normed, normed, bias, rng);
+  Tensor h = Add(x, dropout_.Forward(attn, rng));
+  Tensor ff = ffn_.Forward(ln2_.Forward(h), rng);
+  return Add(h, dropout_.Forward(ff, rng));
+}
+
+// ---- Decoder layer -------------------------------------------------------------
+
+TransformerDecoderLayer::TransformerDecoderLayer(
+    const TransformerConfig& config, Rng* rng)
+    : ln1_(config.d_model),
+      self_attn_(config.d_model, config.num_heads, config.dropout, rng),
+      ln2_(config.d_model),
+      cross_attn_(config.d_model, config.num_heads, config.dropout, rng),
+      ln3_(config.d_model),
+      ffn_(config.d_model, config.ffn_dim, config.dropout, rng),
+      dropout_(config.dropout) {
+  RegisterModule("ln1", &ln1_);
+  RegisterModule("self_attn", &self_attn_);
+  RegisterModule("ln2", &ln2_);
+  RegisterModule("cross_attn", &cross_attn_);
+  RegisterModule("ln3", &ln3_);
+  RegisterModule("ffn", &ffn_);
+  RegisterModule("dropout", &dropout_);
+}
+
+Tensor TransformerDecoderLayer::Forward(const Tensor& x,
+                                        const Tensor& self_bias,
+                                        const Tensor& memory,
+                                        const Tensor& cross_bias,
+                                        Rng* rng) const {
+  Tensor normed = ln1_.Forward(x);
+  Tensor self = self_attn_.Forward(normed, normed, normed, self_bias, rng);
+  Tensor h = Add(x, dropout_.Forward(self, rng));
+
+  Tensor normed2 = ln2_.Forward(h);
+  Tensor cross =
+      cross_attn_.Forward(normed2, memory, memory, cross_bias, rng);
+  h = Add(h, dropout_.Forward(cross, rng));
+
+  Tensor ff = ffn_.Forward(ln3_.Forward(h), rng);
+  return Add(h, dropout_.Forward(ff, rng));
+}
+
+// ---- InputEmbedding -------------------------------------------------------------
+
+InputEmbedding::InputEmbedding(const TransformerConfig& config, Rng* rng)
+    : config_(config),
+      token_(config.vocab_size, config.d_model, rng),
+      position_(config.max_seq_len, config.d_model, rng),
+      dropout_(config.dropout) {
+  RegisterModule("token", &token_);
+  RegisterModule("position", &position_);
+  if (config.use_column_embeddings) {
+    column_ = std::make_unique<Embedding>(config.num_columns, config.d_model,
+                                          rng);
+    RegisterModule("column", column_.get());
+  }
+  if (config.use_type_embeddings) {
+    type_ = std::make_unique<Embedding>(config.num_token_types,
+                                        config.d_model, rng);
+    RegisterModule("type", type_.get());
+  }
+  RegisterModule("dropout", &dropout_);
+}
+
+Tensor InputEmbedding::Forward(const TokenBatch& batch, Rng* rng) const {
+  RPT_CHECK_LE(batch.len, config_.max_seq_len)
+      << "sequence length " << batch.len << " exceeds max_seq_len";
+  Tensor x = token_.Forward(batch.ids);  // [B*T, D]
+
+  std::vector<int32_t> pos_ids(batch.ids.size());
+  for (int64_t b = 0; b < batch.batch; ++b) {
+    for (int64_t t = 0; t < batch.len; ++t) {
+      pos_ids[static_cast<size_t>(b * batch.len + t)] =
+          static_cast<int32_t>(t);
+    }
+  }
+  x = Add(x, position_.Forward(pos_ids));
+
+  if (column_ != nullptr && !batch.col_ids.empty()) {
+    // Clamp column ids into the configured table.
+    std::vector<int32_t> col(batch.col_ids);
+    const int32_t max_col = static_cast<int32_t>(config_.num_columns - 1);
+    for (auto& c : col) c = std::min(std::max(c, 0), max_col);
+    x = Add(x, column_->Forward(col));
+  }
+  if (type_ != nullptr && !batch.type_ids.empty()) {
+    x = Add(x, type_->Forward(batch.type_ids));
+  }
+  x = Reshape(x, {batch.batch, batch.len, config_.d_model});
+  return dropout_.Forward(x, rng);
+}
+
+// ---- TransformerEncoderModel -------------------------------------------------------
+
+TransformerEncoderModel::TransformerEncoderModel(
+    const TransformerConfig& config, Rng* rng)
+    : config_(config), embedding_(config, rng), final_ln_(config.d_model) {
+  RPT_CHECK_GT(config.vocab_size, 0);
+  RegisterModule("embedding", &embedding_);
+  layers_.reserve(static_cast<size_t>(config.num_encoder_layers));
+  for (int64_t i = 0; i < config.num_encoder_layers; ++i) {
+    layers_.push_back(
+        std::make_unique<TransformerEncoderLayer>(config, rng));
+    RegisterModule("layer" + std::to_string(i), layers_.back().get());
+  }
+  RegisterModule("final_ln", &final_ln_);
+}
+
+Tensor TransformerEncoderModel::Encode(const TokenBatch& batch,
+                                       Rng* rng) const {
+  Tensor x = embedding_.Forward(batch, rng);
+  Tensor bias = BuildAttentionBias(batch.batch, config_.num_heads, batch.len,
+                                   batch.len, batch.valid,
+                                   /*causal=*/false);
+  for (const auto& layer : layers_) {
+    x = layer->Forward(x, bias, rng);
+  }
+  return final_ln_.Forward(x);
+}
+
+Tensor TransformerEncoderModel::EncodePooled(const TokenBatch& batch,
+                                             Rng* rng) const {
+  Tensor states = Encode(batch, rng);  // [B, T, D]
+  Tensor first = Slice(states, 1, 0, 1);
+  return Reshape(first, {batch.batch, config_.d_model});
+}
+
+// ---- Seq2SeqTransformer --------------------------------------------------------------
+
+Seq2SeqTransformer::Seq2SeqTransformer(const TransformerConfig& config,
+                                       Rng* rng)
+    : config_(config),
+      src_embedding_(config, rng),
+      tgt_embedding_(
+          [&config] {
+            // The decoder sees plain token sequences: no column/type ids.
+            TransformerConfig c = config;
+            c.use_column_embeddings = false;
+            c.use_type_embeddings = false;
+            return c;
+          }(),
+          rng),
+      encoder_ln_(config.d_model),
+      decoder_ln_(config.d_model),
+      lm_head_(config.d_model, config.vocab_size, rng) {
+  RPT_CHECK_GT(config.vocab_size, 0);
+  RegisterModule("src_embedding", &src_embedding_);
+  RegisterModule("tgt_embedding", &tgt_embedding_);
+  for (int64_t i = 0; i < config.num_encoder_layers; ++i) {
+    encoder_layers_.push_back(
+        std::make_unique<TransformerEncoderLayer>(config, rng));
+    RegisterModule("enc" + std::to_string(i), encoder_layers_.back().get());
+  }
+  for (int64_t i = 0; i < config.num_decoder_layers; ++i) {
+    decoder_layers_.push_back(
+        std::make_unique<TransformerDecoderLayer>(config, rng));
+    RegisterModule("dec" + std::to_string(i), decoder_layers_.back().get());
+  }
+  RegisterModule("encoder_ln", &encoder_ln_);
+  RegisterModule("decoder_ln", &decoder_ln_);
+  RegisterModule("lm_head", &lm_head_);
+}
+
+Tensor Seq2SeqTransformer::Encode(const TokenBatch& src, Rng* rng) const {
+  Tensor x = src_embedding_.Forward(src, rng);
+  Tensor bias = BuildAttentionBias(src.batch, config_.num_heads, src.len,
+                                   src.len, src.valid, /*causal=*/false);
+  for (const auto& layer : encoder_layers_) {
+    x = layer->Forward(x, bias, rng);
+  }
+  return encoder_ln_.Forward(x);
+}
+
+Tensor Seq2SeqTransformer::DecodeLogits(
+    const TokenBatch& tgt, const Tensor& memory,
+    const std::vector<uint8_t>& src_valid, Rng* rng) const {
+  Tensor x = tgt_embedding_.Forward(tgt, rng);
+  Tensor self_bias =
+      BuildAttentionBias(tgt.batch, config_.num_heads, tgt.len, tgt.len,
+                         tgt.valid, /*causal=*/true);
+  const int64_t src_len = memory.dim(1);
+  Tensor cross_bias =
+      BuildAttentionBias(tgt.batch, config_.num_heads, tgt.len, src_len,
+                         src_valid, /*causal=*/false);
+  for (const auto& layer : decoder_layers_) {
+    x = layer->Forward(x, self_bias, memory, cross_bias, rng);
+  }
+  x = decoder_ln_.Forward(x);
+  return lm_head_.Forward(x);  // [B, Tt, V]
+}
+
+Tensor Seq2SeqTransformer::Forward(const TokenBatch& src,
+                                   const TokenBatch& tgt, Rng* rng) const {
+  Tensor memory = Encode(src, rng);
+  return DecodeLogits(tgt, memory, src.valid, rng);
+}
+
+std::vector<std::vector<int32_t>> Seq2SeqTransformer::GenerateGreedy(
+    const TokenBatch& src, int32_t bos_id, int32_t eos_id, int64_t max_len,
+    Rng* rng) const {
+  NoGradGuard no_grad;
+  Tensor memory = Encode(src, rng);
+  const int64_t batch = src.batch;
+  std::vector<std::vector<int32_t>> generated(
+      static_cast<size_t>(batch), std::vector<int32_t>{bos_id});
+  std::vector<bool> done(static_cast<size_t>(batch), false);
+
+  for (int64_t step = 0; step < max_len; ++step) {
+    TokenBatch tgt = TokenBatch::Pack(generated, /*pad_id=*/eos_id);
+    Tensor logits = DecodeLogits(tgt, memory, src.valid, rng);
+    const int64_t v = config_.vocab_size;
+    bool all_done = true;
+    for (int64_t b = 0; b < batch; ++b) {
+      if (done[static_cast<size_t>(b)]) continue;
+      const int64_t t =
+          static_cast<int64_t>(generated[static_cast<size_t>(b)].size()) - 1;
+      const float* row = logits.data() + (b * tgt.len + t) * v;
+      int32_t best = 0;
+      for (int64_t c = 1; c < v; ++c) {
+        if (row[c] > row[best]) best = static_cast<int32_t>(c);
+      }
+      if (best == eos_id) {
+        done[static_cast<size_t>(b)] = true;
+      } else {
+        generated[static_cast<size_t>(b)].push_back(best);
+        all_done = false;
+      }
+    }
+    if (all_done) break;
+  }
+  for (auto& seq : generated) {
+    seq.erase(seq.begin());  // drop BOS
+  }
+  return generated;
+}
+
+std::vector<std::vector<int32_t>> Seq2SeqTransformer::GenerateBeam(
+    const TokenBatch& src, int32_t bos_id, int32_t eos_id, int64_t max_len,
+    int64_t beam_width, int64_t num_results, Rng* rng) const {
+  RPT_CHECK_EQ(src.batch, 1) << "GenerateBeam expects a single sequence";
+  RPT_CHECK_GE(beam_width, 1);
+  NoGradGuard no_grad;
+  Tensor memory = Encode(src, rng);
+
+  struct Hypothesis {
+    std::vector<int32_t> ids;  // starts with BOS
+    double log_prob = 0.0;
+    bool finished = false;
+  };
+  std::vector<Hypothesis> beam = {Hypothesis{{bos_id}, 0.0, false}};
+  std::vector<Hypothesis> finished;
+
+  for (int64_t step = 0; step < max_len && !beam.empty(); ++step) {
+    std::vector<Hypothesis> candidates;
+    // Batch all active hypotheses through the decoder at once.
+    std::vector<std::vector<int32_t>> prefixes;
+    prefixes.reserve(beam.size());
+    for (const auto& h : beam) prefixes.push_back(h.ids);
+    TokenBatch tgt = TokenBatch::Pack(prefixes, /*pad_id=*/eos_id);
+    // Replicate memory and masks per hypothesis.
+    std::vector<Tensor> memories(prefixes.size(), memory);
+    Tensor rep_memory = Concat(memories, 0);
+    std::vector<uint8_t> rep_valid;
+    for (size_t i = 0; i < prefixes.size(); ++i) {
+      rep_valid.insert(rep_valid.end(), src.valid.begin(), src.valid.end());
+    }
+    Tensor logits = DecodeLogits(tgt, rep_memory, rep_valid, rng);
+    const int64_t v = config_.vocab_size;
+    for (size_t hi = 0; hi < beam.size(); ++hi) {
+      const auto& h = beam[hi];
+      const int64_t t = static_cast<int64_t>(h.ids.size()) - 1;
+      const float* row =
+          logits.data() + (static_cast<int64_t>(hi) * tgt.len + t) * v;
+      // log-softmax of the row.
+      float mx = row[0];
+      for (int64_t c = 1; c < v; ++c) mx = std::max(mx, row[c]);
+      double sum = 0.0;
+      for (int64_t c = 0; c < v; ++c) sum += std::exp(row[c] - mx);
+      const double lse = mx + std::log(sum);
+      // Keep the top beam_width continuations of this hypothesis.
+      std::vector<int32_t> order(static_cast<size_t>(v));
+      for (int64_t c = 0; c < v; ++c) {
+        order[static_cast<size_t>(c)] = static_cast<int32_t>(c);
+      }
+      std::partial_sort(order.begin(),
+                        order.begin() +
+                            std::min<int64_t>(beam_width, v),
+                        order.end(), [row](int32_t a, int32_t b) {
+                          return row[a] > row[b];
+                        });
+      for (int64_t k = 0; k < std::min<int64_t>(beam_width, v); ++k) {
+        const int32_t tok = order[static_cast<size_t>(k)];
+        Hypothesis next = h;
+        next.log_prob += row[tok] - lse;
+        if (tok == eos_id) {
+          next.finished = true;
+          finished.push_back(next);
+        } else {
+          next.ids.push_back(tok);
+          candidates.push_back(std::move(next));
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Hypothesis& a, const Hypothesis& b) {
+                return a.log_prob > b.log_prob;
+              });
+    if (static_cast<int64_t>(candidates.size()) > beam_width) {
+      candidates.resize(static_cast<size_t>(beam_width));
+    }
+    beam = std::move(candidates);
+    if (static_cast<int64_t>(finished.size()) >= beam_width) break;
+  }
+  // Unfinished hypotheses still count (length cap reached).
+  for (const auto& h : beam) finished.push_back(h);
+  std::sort(finished.begin(), finished.end(),
+            [](const Hypothesis& a, const Hypothesis& b) {
+              // Length-normalized score.
+              const double la = a.log_prob / std::max<size_t>(1, a.ids.size());
+              const double lb = b.log_prob / std::max<size_t>(1, b.ids.size());
+              return la > lb;
+            });
+  std::vector<std::vector<int32_t>> out;
+  for (const auto& h : finished) {
+    if (static_cast<int64_t>(out.size()) >= num_results) break;
+    std::vector<int32_t> ids(h.ids.begin() + 1, h.ids.end());  // drop BOS
+    out.push_back(std::move(ids));
+  }
+  return out;
+}
+
+}  // namespace rpt

@@ -1,0 +1,201 @@
+// Transformer building blocks and the two model shells used by RPT:
+//   * TransformerEncoderModel — BERT-style bidirectional encoder (RPT-E
+//     matcher, RPT-I extractor).
+//   * Seq2SeqTransformer — BART-style encoder-decoder (RPT-C cleaner and the
+//     text-only BART baseline).
+//
+// Inputs are packed into TokenBatch: flat row-major id buffers plus validity
+// flags, with optional column ids and token-type ids whose embeddings are
+// summed into the encoder input (the paper's positional + column embeddings,
+// Fig. 4).
+
+#ifndef RPT_NN_TRANSFORMER_H_
+#define RPT_NN_TRANSFORMER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rpt {
+
+/// Hyper-parameters shared by both model shells.
+struct TransformerConfig {
+  int64_t vocab_size = 0;        // required
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t num_encoder_layers = 2;
+  int64_t num_decoder_layers = 2;
+  int64_t ffn_dim = 256;
+  int64_t max_seq_len = 128;
+  int64_t num_columns = 24;      // distinct column-position embeddings
+  int64_t num_token_types = 4;   // e.g. other/[A]/[V]/special
+  float dropout = 0.1f;
+  bool use_column_embeddings = true;  // Fig. 4 COL_i embeddings
+  bool use_type_embeddings = true;    // [A]/[V] token-kind embeddings
+};
+
+/// A batch of token sequences, padded to a common length.
+struct TokenBatch {
+  int64_t batch = 0;
+  int64_t len = 0;
+  std::vector<int32_t> ids;       // batch*len token ids
+  std::vector<int32_t> col_ids;   // batch*len or empty (no column ids)
+  std::vector<int32_t> type_ids;  // batch*len or empty
+  std::vector<uint8_t> valid;     // batch*len, 1 = real token, 0 = pad
+
+  /// Builds a padded batch from ragged sequences; `pad_id` fills the tail.
+  /// Column/type ids are optional per-sequence and padded with 0.
+  static TokenBatch Pack(const std::vector<std::vector<int32_t>>& seqs,
+                         int32_t pad_id,
+                         const std::vector<std::vector<int32_t>>* col_seqs =
+                             nullptr,
+                         const std::vector<std::vector<int32_t>>* type_seqs =
+                             nullptr);
+};
+
+/// Position-wise feed-forward block with GELU.
+class FeedForward : public Module {
+ public:
+  FeedForward(int64_t d_model, int64_t ffn_dim, float dropout, Rng* rng);
+  Tensor Forward(const Tensor& x, Rng* rng) const;
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+  DropoutLayer dropout_;
+};
+
+/// Pre-LN encoder layer: x += MHA(LN(x)); x += FFN(LN(x)).
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(const TransformerConfig& config, Rng* rng);
+  Tensor Forward(const Tensor& x, const Tensor& bias, Rng* rng) const;
+
+ private:
+  LayerNormLayer ln1_;
+  MultiHeadAttention self_attn_;
+  LayerNormLayer ln2_;
+  FeedForward ffn_;
+  DropoutLayer dropout_;
+};
+
+/// Pre-LN decoder layer: causal self-attention, cross-attention, FFN.
+class TransformerDecoderLayer : public Module {
+ public:
+  TransformerDecoderLayer(const TransformerConfig& config, Rng* rng);
+  Tensor Forward(const Tensor& x, const Tensor& self_bias,
+                 const Tensor& memory, const Tensor& cross_bias,
+                 Rng* rng) const;
+
+ private:
+  LayerNormLayer ln1_;
+  MultiHeadAttention self_attn_;
+  LayerNormLayer ln2_;
+  MultiHeadAttention cross_attn_;
+  LayerNormLayer ln3_;
+  FeedForward ffn_;
+  DropoutLayer dropout_;
+};
+
+/// Shared input embedding: token + position (+ column) (+ token type),
+/// followed by dropout.
+class InputEmbedding : public Module {
+ public:
+  InputEmbedding(const TransformerConfig& config, Rng* rng);
+
+  /// Embeds a TokenBatch into [B, T, D]. Column/type embeddings are added
+  /// when both configured and present in the batch.
+  Tensor Forward(const TokenBatch& batch, Rng* rng) const;
+
+  const Embedding& token_embedding() const { return token_; }
+
+ private:
+  TransformerConfig config_;
+  Embedding token_;
+  Embedding position_;
+  std::unique_ptr<Embedding> column_;
+  std::unique_ptr<Embedding> type_;
+  DropoutLayer dropout_;
+};
+
+/// BERT-style bidirectional encoder producing contextual states [B, T, D].
+class TransformerEncoderModel : public Module {
+ public:
+  TransformerEncoderModel(const TransformerConfig& config, Rng* rng);
+
+  /// Contextual hidden states [B, T, D].
+  Tensor Encode(const TokenBatch& batch, Rng* rng) const;
+
+  /// Hidden state of position 0 (conventionally [CLS]) for each sequence:
+  /// [B, D].
+  Tensor EncodePooled(const TokenBatch& batch, Rng* rng) const;
+
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  InputEmbedding embedding_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+  LayerNormLayer final_ln_;
+};
+
+/// BART-style denoising encoder-decoder with a tied-vocabulary LM head.
+class Seq2SeqTransformer : public Module {
+ public:
+  Seq2SeqTransformer(const TransformerConfig& config, Rng* rng);
+
+  /// Encoder states [B, Ts, D] for the (possibly corrupted) source.
+  Tensor Encode(const TokenBatch& src, Rng* rng) const;
+
+  /// Decoder logits [B, Tt, V] given teacher-forced target input ids.
+  /// `src_valid` is the source validity mask used for cross-attention.
+  Tensor DecodeLogits(const TokenBatch& tgt, const Tensor& memory,
+                      const std::vector<uint8_t>& src_valid,
+                      Rng* rng) const;
+
+  /// Convenience: encode src and return decoder logits for tgt.
+  Tensor Forward(const TokenBatch& src, const TokenBatch& tgt,
+                 Rng* rng) const;
+
+  /// Greedy autoregressive generation. Starts each sequence with `bos_id`,
+  /// stops at `eos_id` or `max_len`. Returns one id sequence per batch row
+  /// (without BOS/EOS).
+  std::vector<std::vector<int32_t>> GenerateGreedy(const TokenBatch& src,
+                                                   int32_t bos_id,
+                                                   int32_t eos_id,
+                                                   int64_t max_len,
+                                                   Rng* rng) const;
+
+  /// Beam-search generation for a single sequence (batch==1 slice of src).
+  /// Returns the highest-scoring candidates, best first (at most
+  /// `num_results`).
+  std::vector<std::vector<int32_t>> GenerateBeam(const TokenBatch& src,
+                                                 int32_t bos_id,
+                                                 int32_t eos_id,
+                                                 int64_t max_len,
+                                                 int64_t beam_width,
+                                                 int64_t num_results,
+                                                 Rng* rng) const;
+
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  InputEmbedding src_embedding_;
+  InputEmbedding tgt_embedding_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> encoder_layers_;
+  std::vector<std::unique_ptr<TransformerDecoderLayer>> decoder_layers_;
+  LayerNormLayer encoder_ln_;
+  LayerNormLayer decoder_ln_;
+  Linear lm_head_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_NN_TRANSFORMER_H_

@@ -1,0 +1,193 @@
+#include "profile/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace rpt {
+
+namespace {
+
+// A stable string key for a cell (distinguishes null from empty string).
+std::string CellKey(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      return "\x01null";
+    case Value::Kind::kNumber:
+      return "\x02" + std::to_string(v.number());
+    case Value::Kind::kString:
+      return "\x03" + v.text();
+  }
+  return "";
+}
+
+std::string GroupKey(const Tuple& row, const std::vector<int64_t>& cols) {
+  std::string key;
+  for (int64_t c : cols) {
+    key += CellKey(row[static_cast<size_t>(c)]);
+    key += '\x1F';
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string FunctionalDependency::ToString(const Schema& schema) const {
+  std::string out = "{";
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.name(lhs[i]);
+  }
+  out += "} -> ";
+  out += schema.name(rhs);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " (g3=%.3f)", g3_error);
+  out += buf;
+  return out;
+}
+
+double FdError(const Table& table, const std::vector<int64_t>& lhs,
+               int64_t rhs) {
+  RPT_CHECK(!lhs.empty());
+  // group key -> (rhs value key -> count)
+  std::unordered_map<std::string, std::unordered_map<std::string, int64_t>>
+      groups;
+  int64_t active = 0;
+  for (int64_t r = 0; r < table.NumRows(); ++r) {
+    const Tuple& row = table.row(r);
+    if (row[static_cast<size_t>(rhs)].is_null()) continue;
+    ++active;
+    groups[GroupKey(row, lhs)][CellKey(row[static_cast<size_t>(rhs)])]++;
+  }
+  if (active == 0) return 0.0;
+  int64_t kept = 0;
+  for (const auto& [key, counts] : groups) {
+    int64_t best = 0;
+    for (const auto& [value, count] : counts) best = std::max(best, count);
+    kept += best;
+  }
+  return 1.0 - static_cast<double>(kept) / static_cast<double>(active);
+}
+
+std::vector<FunctionalDependency> DiscoverFds(
+    const Table& table, const ProfilerOptions& options) {
+  std::vector<FunctionalDependency> out;
+  const int64_t cols = table.NumColumns();
+  if (table.NumRows() < options.min_rows || cols < 2) return out;
+
+  // Track which (rhs) columns are already determined by a single column so
+  // pair LHSes can be pruned to minimal FDs.
+  std::vector<std::vector<bool>> single_holds(
+      static_cast<size_t>(cols), std::vector<bool>(static_cast<size_t>(cols),
+                                                   false));
+  for (int64_t a = 0; a < cols; ++a) {
+    // Skip trivially-unique determinants? No: a key column legitimately
+    // determines everything; the masking policy wants exactly that signal.
+    for (int64_t b = 0; b < cols; ++b) {
+      if (a == b) continue;
+      const double err = FdError(table, {a}, b);
+      if (err <= options.max_g3_error) {
+        single_holds[static_cast<size_t>(a)][static_cast<size_t>(b)] = true;
+        out.push_back({{a}, b, err});
+      }
+    }
+  }
+  if (options.max_lhs_size >= 2) {
+    for (int64_t a = 0; a < cols; ++a) {
+      for (int64_t b = a + 1; b < cols; ++b) {
+        for (int64_t c = 0; c < cols; ++c) {
+          if (c == a || c == b) continue;
+          // Minimality: skip when a subset already determines c.
+          if (single_holds[static_cast<size_t>(a)][static_cast<size_t>(c)] ||
+              single_holds[static_cast<size_t>(b)][static_cast<size_t>(c)]) {
+            continue;
+          }
+          const double err = FdError(table, {a, b}, c);
+          if (err <= options.max_g3_error) {
+            out.push_back({{a, b}, c, err});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double NormalizedMutualInformation(const Table& table, int64_t col_x,
+                                   int64_t col_y) {
+  const int64_t n = table.NumRows();
+  if (n == 0) return 0.0;
+  std::unordered_map<std::string, int64_t> px, py;
+  std::unordered_map<std::string, int64_t> pxy;
+  for (int64_t r = 0; r < n; ++r) {
+    const std::string kx = CellKey(table.at(r, col_x));
+    const std::string ky = CellKey(table.at(r, col_y));
+    ++px[kx];
+    ++py[ky];
+    ++pxy[kx + '\x1F' + ky];
+  }
+  auto entropy = [n](const std::unordered_map<std::string, int64_t>& counts) {
+    double h = 0.0;
+    for (const auto& [key, count] : counts) {
+      const double p = static_cast<double>(count) / n;
+      h -= p * std::log2(p);
+    }
+    return h;
+  };
+  const double hx = entropy(px);
+  const double hy = entropy(py);
+  const double hxy = entropy(pxy);
+  const double mi = hx + hy - hxy;
+  const double denom = std::min(hx, hy);
+  if (denom <= 1e-12) return 0.0;  // a constant column carries no signal
+  return std::max(0.0, std::min(1.0, mi / denom));
+}
+
+std::vector<double> ColumnDeterminedness(const Table& table,
+                                         const ProfilerOptions& options) {
+  const int64_t cols = table.NumColumns();
+  std::vector<double> weights(static_cast<size_t>(cols), 0.0);
+  if (table.NumRows() < options.min_rows) return weights;
+  // Best single-column FD strength per RHS.
+  for (int64_t a = 0; a < cols; ++a) {
+    for (int64_t b = 0; b < cols; ++b) {
+      if (a == b) continue;
+      const double strength = 1.0 - FdError(table, {a}, b);
+      weights[static_cast<size_t>(b)] =
+          std::max(weights[static_cast<size_t>(b)], strength);
+    }
+  }
+  // Blend in pairwise NMI (captures soft, non-functional correlation).
+  for (int64_t a = 0; a < cols; ++a) {
+    for (int64_t b = 0; b < cols; ++b) {
+      if (a == b) continue;
+      const double nmi = NormalizedMutualInformation(table, a, b);
+      weights[static_cast<size_t>(b)] =
+          std::max(weights[static_cast<size_t>(b)], nmi);
+    }
+  }
+  return weights;
+}
+
+int64_t DistinctCount(const Table& table, int64_t col) {
+  std::unordered_map<std::string, int64_t> counts;
+  for (int64_t r = 0; r < table.NumRows(); ++r) {
+    const Value& v = table.at(r, col);
+    if (v.is_null()) continue;
+    ++counts[CellKey(v)];
+  }
+  return static_cast<int64_t>(counts.size());
+}
+
+double NullFraction(const Table& table, int64_t col) {
+  if (table.NumRows() == 0) return 0.0;
+  int64_t nulls = 0;
+  for (int64_t r = 0; r < table.NumRows(); ++r) {
+    nulls += table.at(r, col).is_null();
+  }
+  return static_cast<double>(nulls) / table.NumRows();
+}
+
+}  // namespace rpt

@@ -1,0 +1,66 @@
+// Data profiling: approximate functional-dependency discovery and
+// CORDS-style soft-dependency scores (paper §2.2, "Attribute Value
+// Masking": mask the attributes that are determined by other attributes).
+//
+// FD quality uses the standard g3 error: the minimum fraction of tuples
+// that must be removed for X -> A to hold exactly. Soft dependencies are
+// scored with normalized mutual information between column pairs.
+
+#ifndef RPT_PROFILE_PROFILER_H_
+#define RPT_PROFILE_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace rpt {
+
+/// An (approximate) functional dependency lhs -> rhs.
+struct FunctionalDependency {
+  std::vector<int64_t> lhs;  // determinant column indices (sorted)
+  int64_t rhs = 0;           // dependent column index
+  double g3_error = 0.0;     // fraction of violating tuples
+
+  std::string ToString(const Schema& schema) const;
+};
+
+struct ProfilerOptions {
+  int64_t max_lhs_size = 2;     // consider single and pair determinants
+  double max_g3_error = 0.05;   // report FDs at most this dirty
+  int64_t min_rows = 3;         // below this, report nothing
+};
+
+/// g3 error of lhs -> rhs on `table`: 1 - (sum over lhs-groups of the
+/// modal rhs count) / N. Rows with a null rhs are ignored.
+double FdError(const Table& table, const std::vector<int64_t>& lhs,
+               int64_t rhs);
+
+/// Enumerates approximate FDs up to options.max_lhs_size, pruned: a pair
+/// LHS is only reported when no subset already determines the same RHS
+/// within the error budget (minimal FDs only).
+std::vector<FunctionalDependency> DiscoverFds(
+    const Table& table, const ProfilerOptions& options = {});
+
+/// Normalized mutual information NMI(X;Y) in [0, 1] between two columns
+/// (1 = fully dependent, 0 = independent). Null cells participate as a
+/// distinct value.
+double NormalizedMutualInformation(const Table& table, int64_t col_x,
+                                   int64_t col_y);
+
+/// Per-column "determinedness" weights in [0, 1]: how strongly each column
+/// is implied by the rest of the tuple. Combines the best FD (1 - g3) and
+/// the best pairwise NMI. Used by FD-guided masking.
+std::vector<double> ColumnDeterminedness(
+    const Table& table, const ProfilerOptions& options = {});
+
+/// Number of distinct non-null values in a column.
+int64_t DistinctCount(const Table& table, int64_t col);
+
+/// Fraction of null cells in a column.
+double NullFraction(const Table& table, int64_t col);
+
+}  // namespace rpt
+
+#endif  // RPT_PROFILE_PROFILER_H_

@@ -1,0 +1,142 @@
+#include "rpt/annotator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+namespace {
+
+TransformerConfig BuildEncoderConfig(const AnnotatorConfig& config,
+                                     int64_t vocab_size) {
+  TransformerConfig model;
+  model.vocab_size = vocab_size;
+  model.d_model = config.d_model;
+  model.num_heads = config.num_heads;
+  model.num_encoder_layers = config.num_layers;
+  model.num_decoder_layers = 0;
+  model.ffn_dim = config.ffn_dim;
+  model.max_seq_len = config.max_seq_len;
+  model.dropout = config.dropout;
+  model.use_column_embeddings = false;
+  model.use_type_embeddings = false;
+  return model;
+}
+
+}  // namespace
+
+ColumnAnnotator::ColumnAnnotator(const AnnotatorConfig& config, Vocab vocab,
+                                 std::vector<std::string> type_names)
+    : config_(config),
+      vocab_(std::move(vocab)),
+      type_names_(std::move(type_names)),
+      rng_(config.seed),
+      schedule_(config.learning_rate, config.warmup_steps) {
+  RPT_CHECK(!type_names_.empty());
+  Rng init_rng = rng_.Fork();
+  encoder_ = std::make_unique<TransformerEncoderModel>(
+      BuildEncoderConfig(config_, vocab_.size()), &init_rng);
+  head_ = std::make_unique<Linear>(
+      config_.d_model, static_cast<int64_t>(type_names_.size()),
+      &init_rng);
+  std::vector<Tensor> params = encoder_->Parameters();
+  for (auto& p : head_->Parameters()) params.push_back(p);
+  optimizer_ = std::make_unique<Adam>(std::move(params),
+                                      config_.learning_rate);
+}
+
+std::vector<int32_t> ColumnAnnotator::EncodeSample(
+    const std::vector<std::string>& values, Rng* rng) const {
+  std::vector<int32_t> ids = {SpecialTokens::kCls};
+  const int64_t k = config_.values_per_sample;
+  for (int64_t i = 0; i < k && !values.empty(); ++i) {
+    const std::string& value =
+        rng != nullptr
+            ? values[rng->UniformInt(values.size())]
+            : values[static_cast<size_t>(i) % values.size()];
+    for (int32_t id : Tokenizer::Encode(value, vocab_)) ids.push_back(id);
+    ids.push_back(SpecialTokens::kSep);
+  }
+  const size_t limit = static_cast<size_t>(config_.max_seq_len);
+  if (ids.size() > limit) ids.resize(limit);
+  return ids;
+}
+
+double ColumnAnnotator::Train(const std::vector<ColumnExample>& examples,
+                              int64_t steps) {
+  RPT_CHECK(!examples.empty());
+  encoder_->SetTraining(true);
+  head_->SetTraining(true);
+  std::vector<double> tail_losses;
+  for (int64_t step = 0; step < steps; ++step) {
+    std::vector<std::vector<int32_t>> seqs;
+    std::vector<int32_t> targets;
+    for (int64_t b = 0; b < config_.batch_size; ++b) {
+      const ColumnExample& ex = examples[rng_.UniformInt(examples.size())];
+      if (ex.values.empty()) continue;
+      seqs.push_back(EncodeSample(ex.values, &rng_));
+      targets.push_back(ex.type);
+    }
+    if (seqs.empty()) continue;
+    TokenBatch packed = TokenBatch::Pack(seqs, SpecialTokens::kPad);
+    ++global_step_;
+    optimizer_->set_learning_rate(schedule_.LearningRate(global_step_));
+    optimizer_->ZeroGrad();
+    Tensor pooled = encoder_->EncodePooled(packed, &rng_);
+    Tensor logits = head_->Forward(pooled);
+    Tensor loss = CrossEntropyLoss(logits, targets);
+    const double loss_value = loss.item();
+    loss.Backward();
+    std::vector<Tensor> params = encoder_->Parameters();
+    for (auto& p : head_->Parameters()) params.push_back(p);
+    ClipGradNorm(params, config_.clip_norm);
+    optimizer_->Step();
+    if (step >= steps - std::max<int64_t>(1, steps / 5)) {
+      tail_losses.push_back(loss_value);
+    }
+  }
+  double sum = 0;
+  for (double l : tail_losses) sum += l;
+  return tail_losses.empty() ? 0.0 : sum / tail_losses.size();
+}
+
+int32_t ColumnAnnotator::Predict(
+    const std::vector<std::string>& values) const {
+  RPT_CHECK(!values.empty());
+  NoGradGuard no_grad;
+  auto* self = const_cast<ColumnAnnotator*>(this);
+  self->encoder_->SetTraining(false);
+  self->head_->SetTraining(false);
+  std::vector<int32_t> ids = EncodeSample(values, /*rng=*/nullptr);
+  TokenBatch packed = TokenBatch::Pack({ids}, SpecialTokens::kPad);
+  Rng eval_rng(config_.seed ^ 0x5A5A);
+  Tensor pooled = encoder_->EncodePooled(packed, &eval_rng);
+  Tensor logits = head_->Forward(pooled);
+  return ArgmaxLastDim(logits)[0];
+}
+
+const std::string& ColumnAnnotator::PredictName(
+    const std::vector<std::string>& values) const {
+  const int32_t type = Predict(values);
+  return type_names_[static_cast<size_t>(type)];
+}
+
+std::vector<std::string> ColumnAnnotator::AnnotateTable(
+    const Table& table) const {
+  std::vector<std::string> out;
+  for (int64_t c = 0; c < table.NumColumns(); ++c) {
+    std::vector<std::string> values;
+    for (int64_t r = 0; r < table.NumRows(); ++r) {
+      if (!table.at(r, c).is_null()) {
+        values.push_back(table.at(r, c).text());
+      }
+    }
+    out.push_back(values.empty() ? "unknown" : PredictName(values));
+  }
+  return out;
+}
+
+}  // namespace rpt

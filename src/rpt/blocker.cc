@@ -1,0 +1,92 @@
+#include "rpt/blocker.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace rpt {
+
+namespace {
+
+// Distinct tokens of all non-null cells of a row.
+std::unordered_set<std::string> RowTokens(const Table& table, int64_t row) {
+  std::unordered_set<std::string> tokens;
+  for (int64_t c = 0; c < table.NumColumns(); ++c) {
+    const Value& v = table.at(row, c);
+    if (v.is_null()) continue;
+    for (auto& t : Tokenizer::Tokenize(v.text())) {
+      if (t.size() > 1 || std::isalnum(static_cast<unsigned char>(t[0]))) {
+        tokens.insert(std::move(t));
+      }
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::vector<std::pair<int64_t, int64_t>> Blocker::GenerateCandidates(
+    const Table& table_a, const Table& table_b, BlockerStats* stats) const {
+  const int64_t na = table_a.NumRows();
+  const int64_t nb = table_b.NumRows();
+
+  // Token -> rows (built over both tables to compute document frequency).
+  std::vector<std::unordered_set<std::string>> tokens_a(
+      static_cast<size_t>(na));
+  std::vector<std::unordered_set<std::string>> tokens_b(
+      static_cast<size_t>(nb));
+  std::unordered_map<std::string, int64_t> doc_freq;
+  for (int64_t r = 0; r < na; ++r) {
+    tokens_a[static_cast<size_t>(r)] = RowTokens(table_a, r);
+    for (const auto& t : tokens_a[static_cast<size_t>(r)]) ++doc_freq[t];
+  }
+  for (int64_t r = 0; r < nb; ++r) {
+    tokens_b[static_cast<size_t>(r)] = RowTokens(table_b, r);
+    for (const auto& t : tokens_b[static_cast<size_t>(r)]) ++doc_freq[t];
+  }
+  const int64_t total_records = na + nb;
+  const int64_t max_df = std::max<int64_t>(
+      2, static_cast<int64_t>(options_.max_token_frequency * total_records));
+
+  // Inverted index over table B on rare tokens only.
+  std::unordered_map<std::string, std::vector<int64_t>> index_b;
+  for (int64_t r = 0; r < nb; ++r) {
+    for (const auto& t : tokens_b[static_cast<size_t>(r)]) {
+      if (doc_freq[t] <= max_df) index_b[t].push_back(r);
+    }
+  }
+
+  // Probe with table A; count shared rare tokens per (a, b).
+  std::vector<std::pair<int64_t, int64_t>> candidates;
+  std::unordered_map<int64_t, int64_t> shared;  // b-row -> count
+  for (int64_t ra = 0; ra < na; ++ra) {
+    shared.clear();
+    for (const auto& t : tokens_a[static_cast<size_t>(ra)]) {
+      auto it = index_b.find(t);
+      if (it == index_b.end()) continue;
+      for (int64_t rb : it->second) ++shared[rb];
+    }
+    for (const auto& [rb, count] : shared) {
+      if (count >= options_.min_shared_tokens) {
+        candidates.emplace_back(ra, rb);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  if (stats != nullptr) {
+    stats->candidates = static_cast<int64_t>(candidates.size());
+    stats->total_pairs = na * nb;
+    stats->reduction_ratio =
+        stats->total_pairs == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(stats->candidates) /
+                        static_cast<double>(stats->total_pairs);
+  }
+  return candidates;
+}
+
+}  // namespace rpt

@@ -1,0 +1,261 @@
+#include "rpt/cleaner.h"
+
+#include <algorithm>
+
+#include "profile/profiler.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+namespace {
+
+TransformerConfig BuildModelConfig(const CleanerConfig& config,
+                                   int64_t vocab_size) {
+  TransformerConfig model;
+  model.vocab_size = vocab_size;
+  model.d_model = config.d_model;
+  model.num_heads = config.num_heads;
+  model.num_encoder_layers = config.num_layers;
+  model.num_decoder_layers = config.num_layers;
+  model.ffn_dim = config.ffn_dim;
+  model.max_seq_len = config.max_seq_len;
+  model.dropout = config.dropout;
+  model.use_column_embeddings = config.use_column_embeddings;
+  model.use_type_embeddings = config.use_type_embeddings;
+  return model;
+}
+
+}  // namespace
+
+RptCleaner::RptCleaner(const CleanerConfig& config, Vocab vocab)
+    : config_(config),
+      vocab_(std::move(vocab)),
+      serializer_(&vocab_, config.serializer),
+      rng_(config.seed),
+      schedule_(config.learning_rate, config.warmup_steps) {
+  Rng init_rng = rng_.Fork();
+  model_ = std::make_unique<Seq2SeqTransformer>(
+      BuildModelConfig(config_, vocab_.size()), &init_rng);
+  optimizer_ = std::make_unique<Adam>(model_->Parameters(),
+                                      config_.learning_rate);
+}
+
+TokenBatch RptCleaner::PackSources(
+    const std::vector<DenoisingExample>& batch) const {
+  std::vector<std::vector<int32_t>> ids, cols, types;
+  for (const auto& ex : batch) {
+    // Truncate over-long tuples to the model's window.
+    const size_t limit = static_cast<size_t>(config_.max_seq_len);
+    std::vector<int32_t> i(ex.corrupted.ids.begin(),
+                           ex.corrupted.ids.end());
+    std::vector<int32_t> c(ex.corrupted.col_ids.begin(),
+                           ex.corrupted.col_ids.end());
+    std::vector<int32_t> t(ex.corrupted.type_ids.begin(),
+                           ex.corrupted.type_ids.end());
+    if (i.size() > limit) {
+      i.resize(limit);
+      c.resize(limit);
+      t.resize(limit);
+    }
+    ids.push_back(std::move(i));
+    cols.push_back(std::move(c));
+    types.push_back(std::move(t));
+  }
+  return TokenBatch::Pack(ids, SpecialTokens::kPad, &cols, &types);
+}
+
+double RptCleaner::TrainStep(const std::vector<DenoisingExample>& batch) {
+  RPT_CHECK(!batch.empty());
+  TokenBatch src = PackSources(batch);
+
+  // Teacher-forced decoder input/output.
+  std::vector<std::vector<int32_t>> tgt_in;
+  std::vector<std::vector<int32_t>> tgt_out;
+  for (const auto& ex : batch) {
+    std::vector<int32_t> target = ex.target;
+    const size_t limit = static_cast<size_t>(config_.max_target_len);
+    if (target.size() > limit) target.resize(limit);
+    std::vector<int32_t> in = {SpecialTokens::kBos};
+    in.insert(in.end(), target.begin(), target.end());
+    std::vector<int32_t> out = target;
+    out.push_back(SpecialTokens::kEos);
+    tgt_in.push_back(std::move(in));
+    tgt_out.push_back(std::move(out));
+  }
+  TokenBatch tin = TokenBatch::Pack(tgt_in, SpecialTokens::kPad);
+  std::vector<int32_t> targets(
+      static_cast<size_t>(tin.batch * tin.len), -100);
+  for (size_t b = 0; b < tgt_out.size(); ++b) {
+    for (size_t t = 0; t < tgt_out[b].size(); ++t) {
+      targets[b * static_cast<size_t>(tin.len) + t] = tgt_out[b][t];
+    }
+  }
+
+  ++global_step_;
+  optimizer_->set_learning_rate(schedule_.LearningRate(global_step_));
+  optimizer_->ZeroGrad();
+  Tensor logits = model_->Forward(src, tin, &rng_);
+  Tensor flat = Reshape(logits,
+                        {tin.batch * tin.len, vocab_.size()});
+  Tensor loss = CrossEntropyLoss(flat, targets, /*ignore_index=*/-100,
+                                 config_.label_smoothing);
+  const double loss_value = loss.item();
+  loss.Backward();
+  ClipGradNorm(model_->Parameters(), config_.clip_norm);
+  optimizer_->Step();
+  return loss_value;
+}
+
+double RptCleaner::PretrainOnTables(
+    const std::vector<const Table*>& tables, int64_t steps) {
+  RPT_CHECK(!tables.empty());
+  model_->SetTraining(true);
+
+  // Build one masking policy per table (FD-guided needs per-table profiling).
+  std::vector<MaskingPolicy> policies;
+  policies.reserve(tables.size());
+  for (const Table* table : tables) {
+    std::vector<double> weights;
+    if (config_.masking == MaskingStrategy::kFdGuided) {
+      weights = ColumnDeterminedness(*table);
+    }
+    policies.emplace_back(config_.masking, &serializer_,
+                          std::move(weights));
+  }
+
+  std::vector<double> tail_losses;
+  for (int64_t step = 0; step < steps; ++step) {
+    std::vector<DenoisingExample> batch;
+    while (static_cast<int64_t>(batch.size()) < config_.batch_size) {
+      const size_t ti = rng_.UniformInt(tables.size());
+      const Table* table = tables[ti];
+      if (table->NumRows() == 0) continue;
+      const int64_t row = static_cast<int64_t>(
+          rng_.UniformInt(static_cast<uint64_t>(table->NumRows())));
+      auto ex = policies[ti].MakeExample(table->schema(), table->row(row),
+                                         &rng_);
+      if (ex.has_value()) batch.push_back(std::move(*ex));
+    }
+    const double loss = TrainStep(batch);
+    if (step >= steps - std::max<int64_t>(1, steps / 5)) {
+      tail_losses.push_back(loss);
+    }
+  }
+  double sum = 0;
+  for (double l : tail_losses) sum += l;
+  return tail_losses.empty() ? 0.0 : sum / tail_losses.size();
+}
+
+double RptCleaner::PretrainOnText(
+    const std::vector<std::string>& sentences, int64_t steps) {
+  RPT_CHECK(!sentences.empty());
+  model_->SetTraining(true);
+  std::vector<double> tail_losses;
+  for (int64_t step = 0; step < steps; ++step) {
+    std::vector<DenoisingExample> batch;
+    while (static_cast<int64_t>(batch.size()) < config_.batch_size) {
+      const std::string& sentence =
+          sentences[rng_.UniformInt(sentences.size())];
+      std::vector<int32_t> ids = Tokenizer::Encode(sentence, vocab_);
+      if (ids.size() < 3) continue;
+      const size_t limit = static_cast<size_t>(config_.max_seq_len);
+      if (ids.size() > limit) ids.resize(limit);
+      // Text infilling: a random span of 1-3 tokens becomes one [M].
+      const size_t span_len =
+          1 + rng_.UniformInt(std::min<size_t>(3, ids.size() - 1));
+      const size_t start = rng_.UniformInt(ids.size() - span_len + 1);
+      DenoisingExample ex;
+      ex.target.assign(
+          ids.begin() + static_cast<int64_t>(start),
+          ids.begin() + static_cast<int64_t>(start + span_len));
+      ex.corrupted.ids.assign(ids.begin(),
+                              ids.begin() + static_cast<int64_t>(start));
+      ex.corrupted.ids.push_back(SpecialTokens::kMask);
+      ex.corrupted.ids.insert(
+          ex.corrupted.ids.end(),
+          ids.begin() + static_cast<int64_t>(start + span_len), ids.end());
+      ex.corrupted.col_ids.assign(ex.corrupted.ids.size(), 0);
+      ex.corrupted.type_ids.assign(ex.corrupted.ids.size(),
+                                   TokenKinds::kOther);
+      batch.push_back(std::move(ex));
+    }
+    const double loss = TrainStep(batch);
+    if (step >= steps - std::max<int64_t>(1, steps / 5)) {
+      tail_losses.push_back(loss);
+    }
+  }
+  double sum = 0;
+  for (double l : tail_losses) sum += l;
+  return tail_losses.empty() ? 0.0 : sum / tail_losses.size();
+}
+
+std::vector<std::string> RptCleaner::PredictCandidates(
+    const Schema& schema, const Tuple& tuple, int64_t column,
+    int64_t k) const {
+  TupleEncoding enc = serializer_.SerializeWithMask(schema, tuple, column);
+  DenoisingExample ex;
+  ex.corrupted = std::move(enc);
+  TokenBatch src = PackSources({ex});
+
+  // Decoding mutates no model state; the generator RNG only drives dropout,
+  // which is off in eval mode.
+  auto* self = const_cast<RptCleaner*>(this);
+  self->model_->SetTraining(false);
+  Rng decode_rng(config_.seed ^ 0xD0D0);
+  auto beams = model_->GenerateBeam(src, SpecialTokens::kBos,
+                                    SpecialTokens::kEos,
+                                    config_.max_target_len,
+                                    config_.beam_width, k, &decode_rng);
+  std::vector<std::string> out;
+  out.reserve(beams.size());
+  for (const auto& ids : beams) {
+    out.push_back(vocab_.Decode(ids));
+  }
+  return out;
+}
+
+Value RptCleaner::PredictValue(const Schema& schema, const Tuple& tuple,
+                               int64_t column) const {
+  auto candidates = PredictCandidates(schema, tuple, column, 1);
+  if (candidates.empty() || candidates[0].empty()) return Value::Null();
+  return Value::Parse(candidates[0]);
+}
+
+int64_t RptCleaner::AutoComplete(Table* table) const {
+  RPT_CHECK(table != nullptr);
+  int64_t filled = 0;
+  for (int64_t r = 0; r < table->NumRows(); ++r) {
+    for (int64_t c = 0; c < table->NumColumns(); ++c) {
+      if (!table->at(r, c).is_null()) continue;
+      Value predicted = PredictValue(table->schema(), table->row(r), c);
+      if (!predicted.is_null()) {
+        table->Set(r, c, std::move(predicted));
+        ++filled;
+      }
+    }
+  }
+  return filled;
+}
+
+std::vector<CellError> RptCleaner::DetectErrors(const Table& table) const {
+  std::vector<CellError> errors;
+  for (int64_t r = 0; r < table.NumRows(); ++r) {
+    for (int64_t c = 0; c < table.NumColumns(); ++c) {
+      const Value& observed = table.at(r, c);
+      if (observed.is_null()) continue;
+      Value predicted = PredictValue(table.schema(), table.row(r), c);
+      if (predicted.is_null()) continue;
+      const std::string norm_observed =
+          Tokenizer::Normalize(observed.text());
+      const std::string norm_predicted =
+          Tokenizer::Normalize(predicted.text());
+      if (norm_observed != norm_predicted) {
+        errors.push_back({r, c, observed.text(), predicted.text()});
+      }
+    }
+  }
+  return errors;
+}
+
+}  // namespace rpt

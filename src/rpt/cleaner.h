@@ -1,0 +1,121 @@
+// RPT-C: the denoising encoder-decoder data-cleaning model (paper §2).
+//
+// A BART-style Seq2SeqTransformer reads a tuple serialized with [A]/[V]
+// structure tokens plus positional/column embeddings (Fig. 4), with one cell
+// corrupted to a single [M]; the autoregressive decoder reconstructs the
+// masked value (text infilling). Pre-training is fully unsupervised:
+// corrupt-and-reconstruct over raw tables (and optionally text, which is
+// also how the text-only BART baseline is built).
+//
+// Inference APIs: predict a cell from its context, auto-complete nulls, and
+// flag suspicious cells (error detection).
+
+#ifndef RPT_RPT_CLEANER_H_
+#define RPT_RPT_CLEANER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corrupt/masking.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+#include "table/serializer.h"
+#include "table/table.h"
+#include "text/vocab.h"
+#include "util/rng.h"
+
+namespace rpt {
+
+struct CleanerConfig {
+  // Model size (vocab_size is overwritten from the Vocab at construction).
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t num_layers = 2;       // encoder and decoder depth
+  int64_t ffn_dim = 128;
+  int64_t max_seq_len = 96;
+  float dropout = 0.1f;
+  bool use_column_embeddings = true;
+  bool use_type_embeddings = true;
+  SerializerOptions serializer;
+
+  // Training.
+  MaskingStrategy masking = MaskingStrategy::kFdGuided;
+  int64_t batch_size = 16;
+  float learning_rate = 1e-3f;
+  int64_t warmup_steps = 50;
+  float clip_norm = 1.0f;
+  float label_smoothing = 0.05f;
+
+  // Decoding.
+  int64_t max_target_len = 12;
+  int64_t beam_width = 3;
+
+  uint64_t seed = 1234;
+};
+
+/// A suspicious cell flagged by DetectErrors.
+struct CellError {
+  int64_t row = 0;
+  int64_t column = 0;
+  std::string observed;
+  std::string predicted;
+};
+
+class RptCleaner {
+ public:
+  RptCleaner(const CleanerConfig& config, Vocab vocab);
+
+  /// Unsupervised denoising pre-training on tables for `steps` optimizer
+  /// steps. Masking strategy comes from the config; kFdGuided profiles each
+  /// table first. Returns the mean training loss of the final 20% of steps.
+  double PretrainOnTables(const std::vector<const Table*>& tables,
+                          int64_t steps);
+
+  /// Span-infilling pre-training on plain text (no table structure). Used
+  /// alone this yields the text-only BART baseline of Table 1.
+  double PretrainOnText(const std::vector<std::string>& sentences,
+                        int64_t steps);
+
+  /// Predicts the value of `column` from the rest of the tuple.
+  Value PredictValue(const Schema& schema, const Tuple& tuple,
+                     int64_t column) const;
+
+  /// Top-k candidate strings (beam search), best first.
+  std::vector<std::string> PredictCandidates(const Schema& schema,
+                                             const Tuple& tuple,
+                                             int64_t column,
+                                             int64_t k) const;
+
+  /// Fills every null cell in place; returns the number filled.
+  int64_t AutoComplete(Table* table) const;
+
+  /// Flags cells whose model prediction disagrees with the observed value
+  /// (normalized comparison). Null cells are skipped.
+  std::vector<CellError> DetectErrors(const Table& table) const;
+
+  const Vocab& vocab() const { return vocab_; }
+  const TupleSerializer& serializer() const { return serializer_; }
+  Seq2SeqTransformer& model() { return *model_; }
+  const Seq2SeqTransformer& model() const { return *model_; }
+  const CleanerConfig& config() const { return config_; }
+
+ private:
+  /// One optimizer step over a batch of denoising examples; returns loss.
+  double TrainStep(const std::vector<DenoisingExample>& batch);
+
+  TokenBatch PackSources(const std::vector<DenoisingExample>& batch) const;
+
+  CleanerConfig config_;
+  Vocab vocab_;
+  TupleSerializer serializer_;
+  Rng rng_;
+  std::unique_ptr<Seq2SeqTransformer> model_;
+  std::unique_ptr<Adam> optimizer_;
+  WarmupSchedule schedule_;
+  int64_t global_step_ = 0;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_RPT_CLEANER_H_

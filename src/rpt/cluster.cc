@@ -1,0 +1,205 @@
+#include "rpt/cluster.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace rpt {
+
+UnionFind::UnionFind(int64_t n)
+    : parent_(static_cast<size_t>(n)), rank_(static_cast<size_t>(n), 0) {
+  for (int64_t i = 0; i < n; ++i) parent_[static_cast<size_t>(i)] = i;
+}
+
+int64_t UnionFind::Find(int64_t x) {
+  RPT_CHECK(x >= 0 && x < static_cast<int64_t>(parent_.size()));
+  int64_t root = x;
+  while (parent_[static_cast<size_t>(root)] != root) {
+    root = parent_[static_cast<size_t>(root)];
+  }
+  while (parent_[static_cast<size_t>(x)] != root) {
+    int64_t next = parent_[static_cast<size_t>(x)];
+    parent_[static_cast<size_t>(x)] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(int64_t x, int64_t y) {
+  int64_t rx = Find(x);
+  int64_t ry = Find(y);
+  if (rx == ry) return false;
+  if (rank_[static_cast<size_t>(rx)] < rank_[static_cast<size_t>(ry)]) {
+    std::swap(rx, ry);
+  }
+  parent_[static_cast<size_t>(ry)] = rx;
+  if (rank_[static_cast<size_t>(rx)] == rank_[static_cast<size_t>(ry)]) {
+    ++rank_[static_cast<size_t>(rx)];
+  }
+  return true;
+}
+
+std::vector<int64_t> UnionFind::ClusterIds() {
+  std::vector<int64_t> ids(parent_.size());
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    ids[i] = Find(static_cast<int64_t>(i));
+  }
+  return ids;
+}
+
+int64_t UnionFind::NumClusters() {
+  std::unordered_set<int64_t> roots;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    roots.insert(Find(static_cast<int64_t>(i)));
+  }
+  return static_cast<int64_t>(roots.size());
+}
+
+UnionFind BuildClusters(int64_t num_records,
+                        const std::vector<MatchEdge>& edges,
+                        double threshold) {
+  UnionFind uf(num_records);
+  for (const auto& e : edges) {
+    if (e.score >= threshold) uf.Union(e.u, e.v);
+  }
+  return uf;
+}
+
+std::vector<MatchEdge> MutualBestEdges(const std::vector<MatchEdge>& edges) {
+  std::unordered_map<int64_t, std::pair<int64_t, double>> best;  // node -> (partner, score)
+  auto consider = [&best](int64_t node, int64_t partner, double score) {
+    auto it = best.find(node);
+    if (it == best.end() || score > it->second.second) {
+      best[node] = {partner, score};
+    }
+  };
+  for (const auto& e : edges) {
+    consider(e.u, e.v, e.score);
+    consider(e.v, e.u, e.score);
+  }
+  std::vector<MatchEdge> out;
+  for (const auto& e : edges) {
+    const auto& bu = best.at(e.u);
+    const auto& bv = best.at(e.v);
+    if (bu.first == e.v && bv.first == e.u) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<MatchEdge> BestPerRecordEdges(
+    const std::vector<MatchEdge>& edges) {
+  std::unordered_map<int64_t, size_t> best;  // node -> edge index
+  for (size_t i = 0; i < edges.size(); ++i) {
+    for (int64_t node : {edges[i].u, edges[i].v}) {
+      auto it = best.find(node);
+      if (it == best.end() || edges[i].score > edges[it->second].score) {
+        best[node] = i;
+      }
+    }
+  }
+  std::vector<bool> keep(edges.size(), false);
+  for (const auto& [node, index] : best) keep[index] = true;
+  std::vector<MatchEdge> out;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (keep[i]) out.push_back(edges[i]);
+  }
+  return out;
+}
+
+std::vector<Conflict> DetectConflicts(UnionFind* clusters,
+                                      const std::vector<MatchEdge>& all_scores,
+                                      double accept_threshold,
+                                      double conflict_threshold) {
+  RPT_CHECK(clusters != nullptr);
+  RPT_CHECK_LE(conflict_threshold, accept_threshold);
+  std::vector<Conflict> conflicts;
+  for (const auto& e : all_scores) {
+    if (e.score >= conflict_threshold) continue;  // not contradicting
+    if (clusters->Find(e.u) == clusters->Find(e.v)) {
+      // Clustered together by transitivity, yet this direct pair scored
+      // low: a conflict worth surfacing (Fig. 5, E2).
+      conflicts.push_back({e.u, e.v, e.score});
+    }
+  }
+  std::sort(conflicts.begin(), conflicts.end(),
+            [](const Conflict& a, const Conflict& b) {
+              return a.score < b.score;  // most contradictory first
+            });
+  return conflicts;
+}
+
+int64_t ResolveConflictsWithOracle(
+    int64_t num_records, std::vector<MatchEdge>* edges, double threshold,
+    const std::vector<Conflict>& conflicts, int64_t budget,
+    const std::function<bool(int64_t, int64_t)>& oracle,
+    UnionFind* rebuilt) {
+  RPT_CHECK(edges != nullptr && rebuilt != nullptr);
+  int64_t calls = 0;
+  // Records confirmed non-matching by the oracle; any accepted edge whose
+  // endpoints the oracle separated is dropped before re-clustering.
+  std::unordered_set<int64_t> cut;  // encoded pair key u * N + v
+  auto key = [num_records](int64_t u, int64_t v) {
+    return std::min(u, v) * num_records + std::max(u, v);
+  };
+  for (const auto& conflict : conflicts) {
+    if (calls >= budget) break;
+    ++calls;
+    if (!oracle(conflict.u, conflict.v)) {
+      cut.insert(key(conflict.u, conflict.v));
+    }
+  }
+  // Remove accepted edges that connect oracle-separated records via any
+  // cut pair endpoint: a simple, conservative policy — drop the weakest
+  // accepted edge incident to each cut pair's endpoints.
+  if (!cut.empty()) {
+    std::vector<MatchEdge> kept;
+    kept.reserve(edges->size());
+    for (const auto& e : *edges) {
+      if (cut.count(key(e.u, e.v))) continue;  // direct contradiction
+      kept.push_back(e);
+    }
+    // For transitive contradictions, iteratively remove the weakest edge
+    // on any path connecting a cut pair. Cheap approximation: rebuild and
+    // while a cut pair is still connected, delete the globally weakest
+    // accepted edge inside that cluster.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      UnionFind uf(num_records);
+      for (const auto& e : kept) {
+        if (e.score >= threshold) uf.Union(e.u, e.v);
+      }
+      for (int64_t packed : cut) {
+        const int64_t u = packed / num_records;
+        const int64_t v = packed % num_records;
+        if (uf.Find(u) != uf.Find(v)) continue;
+        // Delete the weakest accepted edge in that cluster.
+        int64_t weakest = -1;
+        double weakest_score = 2.0;
+        const int64_t root = uf.Find(u);
+        for (size_t i = 0; i < kept.size(); ++i) {
+          const auto& e = kept[i];
+          if (e.score < threshold) continue;
+          UnionFind probe(uf);
+          if (probe.Find(e.u) != root) continue;
+          if (e.score < weakest_score) {
+            weakest_score = e.score;
+            weakest = static_cast<int64_t>(i);
+          }
+        }
+        if (weakest >= 0) {
+          kept.erase(kept.begin() + weakest);
+          changed = true;
+          break;
+        }
+      }
+    }
+    *edges = std::move(kept);
+  }
+  *rebuilt = BuildClusters(num_records, *edges, threshold);
+  return calls;
+}
+
+}  // namespace rpt

@@ -1,0 +1,89 @@
+// RPT-E clustering (paper §3, Fig. 5): transitive closure over matcher
+// decisions, conflict detection inside clusters, and oracle-driven
+// resolution (the paper's active-learning-from-conflicts idea).
+
+#ifndef RPT_RPT_CLUSTER_H_
+#define RPT_RPT_CLUSTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace rpt {
+
+/// Disjoint-set forest with union by rank and path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(int64_t n);
+
+  int64_t Find(int64_t x);
+  /// Returns true when the two sets were merged (false if already joined).
+  bool Union(int64_t x, int64_t y);
+
+  /// Canonical cluster id per element (Find of each).
+  std::vector<int64_t> ClusterIds();
+
+  int64_t NumClusters();
+
+ private:
+  std::vector<int64_t> parent_;
+  std::vector<int64_t> rank_;
+};
+
+/// A scored edge between two records (global record indexing).
+struct MatchEdge {
+  int64_t u = 0;
+  int64_t v = 0;
+  double score = 0.0;  // matcher probability
+};
+
+/// Builds clusters over `num_records` records from edges with
+/// score >= threshold (transitive closure).
+UnionFind BuildClusters(int64_t num_records,
+                        const std::vector<MatchEdge>& edges,
+                        double threshold);
+
+/// Keeps only *mutual-best* edges: (u, v) survives iff v is u's highest-
+/// scoring partner and u is v's. Standard ER post-processing that stops
+/// transitive closure from snowballing through borderline scores; apply
+/// before BuildClusters when candidates are dense.
+std::vector<MatchEdge> MutualBestEdges(const std::vector<MatchEdge>& edges);
+
+/// Keeps, for every record, only its highest-scoring incident edge (the
+/// union over both endpoints, deduplicated). Less strict than mutual-best:
+/// several same-entity rows can still chain onto one partner, while dense
+/// borderline edges are dropped.
+std::vector<MatchEdge> BestPerRecordEdges(
+    const std::vector<MatchEdge>& edges);
+
+/// A within-cluster pair whose matcher score *contradicts* the transitive
+/// closure (both endpoints clustered together, but scored below
+/// `conflict_threshold`). These are exactly the cases the paper proposes to
+/// resolve with user feedback.
+struct Conflict {
+  int64_t u = 0;
+  int64_t v = 0;
+  double score = 0.0;
+};
+
+/// Detects conflicts: intra-cluster record pairs among `edges`'s endpoints
+/// whose score < conflict_threshold. Only pairs that appear in `all_scores`
+/// (the scored candidate set) are inspected.
+std::vector<Conflict> DetectConflicts(UnionFind* clusters,
+                                      const std::vector<MatchEdge>& all_scores,
+                                      double accept_threshold,
+                                      double conflict_threshold);
+
+/// Resolves conflicts with an oracle (simulated active learning): for up to
+/// `budget` conflicts, ask `oracle(u, v)`; edges the oracle rejects are
+/// removed and clusters rebuilt. Returns the number of oracle calls made.
+int64_t ResolveConflictsWithOracle(
+    int64_t num_records, std::vector<MatchEdge>* edges, double threshold,
+    const std::vector<Conflict>& conflicts, int64_t budget,
+    const std::function<bool(int64_t, int64_t)>& oracle,
+    UnionFind* rebuilt);
+
+}  // namespace rpt
+
+#endif  // RPT_RPT_CLUSTER_H_

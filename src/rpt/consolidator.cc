@@ -1,0 +1,133 @@
+#include "rpt/consolidator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rpt {
+
+const char* PreferenceRuleName(PreferenceRule rule) {
+  switch (rule) {
+    case PreferenceRule::kMajority:
+      return "majority";
+    case PreferenceRule::kNewer:
+      return "newer";
+    case PreferenceRule::kLonger:
+      return "longer";
+  }
+  return "?";
+}
+
+namespace {
+
+// Extracts the trailing/embedded number of a value ("iphone 12" -> 12).
+// Returns false when the string carries no number.
+bool ExtractNumber(const std::string& text, double* out) {
+  double best = 0;
+  bool found = false;
+  for (const auto& token : Tokenizer::Tokenize(text)) {
+    if (IsNumber(token)) {
+      best = ParseDoubleOr(token, 0);
+      found = true;  // keep the last number (usually the model/version)
+    }
+  }
+  *out = best;
+  return found;
+}
+
+}  // namespace
+
+PreferenceRule InferPreferenceRule(
+    const std::vector<std::pair<std::string, std::string>>& examples) {
+  if (examples.empty()) return PreferenceRule::kMajority;
+  // Candidate relation "newer": every preferred value carries a strictly
+  // larger number than its alternative.
+  bool newer_consistent = true;
+  for (const auto& [preferred, other] : examples) {
+    double np = 0, no = 0;
+    if (!ExtractNumber(preferred, &np) || !ExtractNumber(other, &no) ||
+        np <= no) {
+      newer_consistent = false;
+      break;
+    }
+  }
+  if (newer_consistent) return PreferenceRule::kNewer;
+  // Candidate relation "longer" (more specific rendition).
+  bool longer_consistent = true;
+  for (const auto& [preferred, other] : examples) {
+    if (preferred.size() <= other.size()) {
+      longer_consistent = false;
+      break;
+    }
+  }
+  if (longer_consistent) return PreferenceRule::kLonger;
+  return PreferenceRule::kMajority;
+}
+
+bool Prefer(PreferenceRule rule, const std::string& a,
+            const std::string& b) {
+  switch (rule) {
+    case PreferenceRule::kNewer: {
+      double na = 0, nb = 0;
+      const bool ha = ExtractNumber(a, &na);
+      const bool hb = ExtractNumber(b, &nb);
+      if (ha && hb && na != nb) return na > nb;
+      return a.size() >= b.size();
+    }
+    case PreferenceRule::kLonger:
+      return a.size() >= b.size();
+    case PreferenceRule::kMajority:
+      return a <= b;  // deterministic lexicographic tie-break
+  }
+  return true;
+}
+
+Tuple Consolidator::GoldenRecord(const Schema& schema,
+                                 const std::vector<Tuple>& cluster) const {
+  RPT_CHECK(!cluster.empty());
+  for (const auto& t : cluster) {
+    RPT_CHECK_EQ(static_cast<int64_t>(t.size()), schema.size());
+  }
+  Tuple golden(static_cast<size_t>(schema.size()));
+  for (int64_t c = 0; c < schema.size(); ++c) {
+    // Vote by normalized form, remembering the best original rendition of
+    // each group (preference rule picks among renditions too).
+    std::map<std::string, std::pair<int64_t, std::string>> votes;
+    for (const auto& t : cluster) {
+      const Value& v = t[static_cast<size_t>(c)];
+      if (v.is_null()) continue;
+      const std::string norm = Tokenizer::Normalize(v.text());
+      auto it = votes.find(norm);
+      if (it == votes.end()) {
+        votes.emplace(norm, std::make_pair(int64_t{1}, v.text()));
+      } else {
+        ++it->second.first;
+        if (Prefer(rule_, v.text(), it->second.second)) {
+          it->second.second = v.text();
+        }
+      }
+    }
+    if (votes.empty()) {
+      golden[static_cast<size_t>(c)] = Value::Null();
+      continue;
+    }
+    // Majority; preference rule breaks ties across groups.
+    int64_t best_count = 0;
+    std::string best_text;
+    for (const auto& [norm, entry] : votes) {
+      const auto& [count, text] = entry;
+      if (count > best_count ||
+          (count == best_count && Prefer(rule_, text, best_text))) {
+        best_count = count;
+        best_text = text;
+      }
+    }
+    golden[static_cast<size_t>(c)] = Value::Parse(best_text);
+  }
+  return golden;
+}
+
+}  // namespace rpt

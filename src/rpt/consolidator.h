@@ -1,0 +1,62 @@
+// RPT-E Consolidator (paper §3, Fig. 5): merges each cluster into a golden
+// record.
+//
+// Per attribute, non-null values vote by normalized form (majority). Ties —
+// and the "which rendition is better" question — are resolved by a
+// preference relation learned from a few examples ("iPhone 12 is [M] than
+// iPhone 10" -> "newer"), the paper's PET-style consolidation idea: from a
+// handful of (preferred, other) pairs the consolidator infers whether the
+// task prefers newer (larger numeric), longer (more specific), or simply
+// majority values.
+
+#ifndef RPT_RPT_CONSOLIDATOR_H_
+#define RPT_RPT_CONSOLIDATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "table/table.h"
+
+namespace rpt {
+
+/// The relation the preference examples imply.
+enum class PreferenceRule {
+  kMajority,  // no consistent signal: plain majority voting
+  kNewer,     // preferred values are numerically larger ("newer")
+  kLonger,    // preferred values are longer / more specific
+};
+
+const char* PreferenceRuleName(PreferenceRule rule);
+
+/// Learns a PreferenceRule from few-shot (preferred, other) value pairs.
+/// Mirrors filling the cloze template "<a> is [M] than <b>" and requiring
+/// one consistent relation word across all examples.
+PreferenceRule InferPreferenceRule(
+    const std::vector<std::pair<std::string, std::string>>& examples);
+
+/// Applies a rule to pick between two candidate value strings; returns
+/// true when `a` is preferred over `b`.
+bool Prefer(PreferenceRule rule, const std::string& a, const std::string& b);
+
+class Consolidator {
+ public:
+  explicit Consolidator(PreferenceRule rule = PreferenceRule::kMajority)
+      : rule_(rule) {}
+
+  /// Builds the golden record of a cluster of tuples under one schema.
+  /// Per column: majority over normalized non-null values; ties resolved
+  /// with the preference rule; all-null columns stay null.
+  Tuple GoldenRecord(const Schema& schema,
+                     const std::vector<Tuple>& cluster) const;
+
+  PreferenceRule rule() const { return rule_; }
+
+ private:
+  PreferenceRule rule_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_RPT_CONSOLIDATOR_H_

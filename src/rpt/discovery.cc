@@ -1,0 +1,186 @@
+#include "rpt/discovery.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+namespace {
+
+// 64-bit FNV-1a over a string, mixed with a per-permutation seed.
+uint64_t HashToken(const std::string& token, uint64_t seed) {
+  uint64_t h = 1469598103934665603ull ^ seed;
+  for (char c : token) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  // Final avalanche (splitmix64 tail).
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
+std::vector<std::string> ColumnTokens(const Table& table, int64_t column) {
+  std::unordered_set<std::string> tokens;
+  for (int64_t r = 0; r < table.NumRows(); ++r) {
+    const Value& v = table.at(r, column);
+    if (v.is_null()) continue;
+    for (auto& t : Tokenizer::Tokenize(v.text())) {
+      tokens.insert(std::move(t));
+    }
+  }
+  return {tokens.begin(), tokens.end()};
+}
+
+}  // namespace
+
+ColumnSketch ColumnSketch::FromColumn(const Table& table, int64_t column,
+                                      int64_t num_hashes) {
+  return FromTokens(ColumnTokens(table, column), num_hashes);
+}
+
+ColumnSketch ColumnSketch::FromTokens(
+    const std::vector<std::string>& tokens, int64_t num_hashes) {
+  RPT_CHECK_GT(num_hashes, 0);
+  ColumnSketch sketch;
+  sketch.signature_.assign(static_cast<size_t>(num_hashes),
+                           ~uint64_t{0});
+  if (tokens.empty()) return sketch;
+  sketch.empty_ = false;
+  for (const auto& token : tokens) {
+    for (int64_t h = 0; h < num_hashes; ++h) {
+      const uint64_t value =
+          HashToken(token, 0x9E3779B97F4A7C15ull * (h + 1));
+      auto& slot = sketch.signature_[static_cast<size_t>(h)];
+      slot = std::min(slot, value);
+    }
+  }
+  return sketch;
+}
+
+double ColumnSketch::EstimateJaccard(const ColumnSketch& other) const {
+  RPT_CHECK_EQ(signature_.size(), other.signature_.size());
+  if (empty_ && other.empty_) return 1.0;
+  if (empty_ || other.empty_) return 0.0;
+  int64_t agree = 0;
+  for (size_t i = 0; i < signature_.size(); ++i) {
+    agree += signature_[i] == other.signature_[i];
+  }
+  return static_cast<double>(agree) /
+         static_cast<double>(signature_.size());
+}
+
+DiscoveryIndex::DiscoveryIndex(int64_t num_hashes, int64_t bands)
+    : num_hashes_(num_hashes), bands_(bands) {
+  RPT_CHECK_GT(bands, 0);
+  RPT_CHECK_EQ(num_hashes % bands, 0)
+      << "num_hashes must be divisible by bands";
+  rows_per_band_ = num_hashes / bands;
+  band_tables_.resize(static_cast<size_t>(bands));
+}
+
+uint64_t DiscoveryIndex::BandKey(const std::vector<uint64_t>& signature,
+                                 int64_t band, int64_t rows_per_band) {
+  uint64_t key = 0xCBF29CE484222325ull;
+  for (int64_t r = 0; r < rows_per_band; ++r) {
+    key ^= signature[static_cast<size_t>(band * rows_per_band + r)];
+    key *= 1099511628211ull;
+  }
+  return key;
+}
+
+void DiscoveryIndex::AddTable(const std::string& name, const Table& table) {
+  RPT_CHECK(!columns_by_table_.count(name))
+      << "table already registered: " << name;
+  for (int64_t c = 0; c < table.NumColumns(); ++c) {
+    Entry entry;
+    entry.ref = {name, c, table.schema().name(c)};
+    entry.sketch = ColumnSketch::FromColumn(table, c, num_hashes_);
+    const size_t index = columns_.size();
+    if (!entry.sketch.empty()) {
+      for (int64_t b = 0; b < bands_; ++b) {
+        const uint64_t key =
+            BandKey(entry.sketch.signature(), b, rows_per_band_);
+        band_tables_[static_cast<size_t>(b)][key].push_back(index);
+      }
+    }
+    columns_by_table_[name].push_back(index);
+    columns_.push_back(std::move(entry));
+  }
+}
+
+std::vector<JoinCandidate> DiscoveryIndex::FindJoinableColumns(
+    const ColumnSketch& query, double threshold) const {
+  std::vector<JoinCandidate> out;
+  if (query.empty()) return out;
+  RPT_CHECK_EQ(query.num_hashes(), num_hashes_);
+  std::unordered_set<size_t> candidates;
+  for (int64_t b = 0; b < bands_; ++b) {
+    const uint64_t key = BandKey(query.signature(), b, rows_per_band_);
+    auto it = band_tables_[static_cast<size_t>(b)].find(key);
+    if (it == band_tables_[static_cast<size_t>(b)].end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+  for (size_t index : candidates) {
+    const double jaccard =
+        query.EstimateJaccard(columns_[index].sketch);
+    if (jaccard >= threshold) {
+      out.push_back({columns_[index].ref, jaccard});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JoinCandidate& a, const JoinCandidate& b) {
+              return a.estimated_jaccard > b.estimated_jaccard;
+            });
+  return out;
+}
+
+std::vector<JoinCandidate> DiscoveryIndex::FindJoinableColumns(
+    const Table& table, int64_t column, double threshold) const {
+  return FindJoinableColumns(
+      ColumnSketch::FromColumn(table, column, num_hashes_), threshold);
+}
+
+std::vector<UnionCandidate> DiscoveryIndex::FindUnionableTables(
+    const Table& query, double min_alignment) const {
+  // Sketch every query column once.
+  std::vector<ColumnSketch> query_sketches;
+  for (int64_t c = 0; c < query.NumColumns(); ++c) {
+    query_sketches.push_back(
+        ColumnSketch::FromColumn(query, c, num_hashes_));
+  }
+  std::vector<UnionCandidate> out;
+  for (const auto& [name, column_indices] : columns_by_table_) {
+    double total = 0;
+    int64_t counted = 0;
+    for (const auto& sketch : query_sketches) {
+      if (sketch.empty()) continue;
+      double best = 0;
+      for (size_t index : column_indices) {
+        if (columns_[index].sketch.empty()) continue;
+        best = std::max(best,
+                        sketch.EstimateJaccard(columns_[index].sketch));
+      }
+      total += best;
+      ++counted;
+    }
+    if (counted == 0) continue;
+    const double alignment = total / static_cast<double>(counted);
+    if (alignment >= min_alignment) {
+      out.push_back({name, alignment});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const UnionCandidate& a, const UnionCandidate& b) {
+              return a.alignment > b.alignment;
+            });
+  return out;
+}
+
+}  // namespace rpt

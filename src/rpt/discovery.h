@@ -1,0 +1,118 @@
+// Data discovery over data lakes (paper §5: "storing, indexing, and
+// querying (or data discovery) over data lakes").
+//
+// Classic content-based discovery over a corpus of tables:
+//   * ColumnSketch — a MinHash signature of a column's token set, giving
+//     constant-space Jaccard estimation between any two columns;
+//   * DiscoveryIndex — LSH-banded index over sketches answering
+//     - FindJoinableColumns(query column): columns whose token sets have
+//       estimated Jaccard >= threshold (join-key candidates), and
+//     - FindUnionableTables(query table): tables ranked by schema-level
+//       alignment (mean best-match column similarity).
+
+#ifndef RPT_RPT_DISCOVERY_H_
+#define RPT_RPT_DISCOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/table.h"
+
+namespace rpt {
+
+/// MinHash signature of a token set.
+class ColumnSketch {
+ public:
+  /// Builds a sketch with `num_hashes` permutations from the distinct
+  /// tokens of all non-null cells of the column.
+  static ColumnSketch FromColumn(const Table& table, int64_t column,
+                                 int64_t num_hashes = 64);
+
+  /// Builds directly from a token set.
+  static ColumnSketch FromTokens(const std::vector<std::string>& tokens,
+                                 int64_t num_hashes = 64);
+
+  /// Unbiased estimate of the Jaccard similarity of the two token sets.
+  double EstimateJaccard(const ColumnSketch& other) const;
+
+  int64_t num_hashes() const {
+    return static_cast<int64_t>(signature_.size());
+  }
+  const std::vector<uint64_t>& signature() const { return signature_; }
+  bool empty() const { return empty_; }
+
+ private:
+  std::vector<uint64_t> signature_;
+  bool empty_ = true;
+};
+
+/// A registered column: owning table and column index.
+struct ColumnRef {
+  std::string table_name;
+  int64_t column = 0;
+  std::string column_name;
+};
+
+/// A joinability hit.
+struct JoinCandidate {
+  ColumnRef column;
+  double estimated_jaccard = 0.0;
+};
+
+/// A unionability hit.
+struct UnionCandidate {
+  std::string table_name;
+  double alignment = 0.0;  // mean best-match column similarity in [0,1]
+};
+
+class DiscoveryIndex {
+ public:
+  explicit DiscoveryIndex(int64_t num_hashes = 64, int64_t bands = 16);
+
+  /// Registers all columns of a table under `name` (unique per index).
+  void AddTable(const std::string& name, const Table& table);
+
+  /// Columns (across all registered tables) with estimated Jaccard to the
+  /// query sketch >= threshold, best first. LSH candidate generation plus
+  /// exact signature verification.
+  std::vector<JoinCandidate> FindJoinableColumns(
+      const ColumnSketch& query, double threshold = 0.5) const;
+
+  /// Convenience: sketch the query column and search.
+  std::vector<JoinCandidate> FindJoinableColumns(
+      const Table& table, int64_t column, double threshold = 0.5) const;
+
+  /// Tables ranked by mean best-match column similarity to the query
+  /// table's columns (>= min_alignment), best first.
+  std::vector<UnionCandidate> FindUnionableTables(
+      const Table& query, double min_alignment = 0.3) const;
+
+  int64_t NumColumns() const {
+    return static_cast<int64_t>(columns_.size());
+  }
+
+ private:
+  struct Entry {
+    ColumnRef ref;
+    ColumnSketch sketch;
+  };
+
+  /// LSH band key for a signature row range.
+  static uint64_t BandKey(const std::vector<uint64_t>& signature,
+                          int64_t band, int64_t rows_per_band);
+
+  int64_t num_hashes_;
+  int64_t bands_;
+  int64_t rows_per_band_;
+  std::vector<Entry> columns_;
+  // band -> (band key -> column entry indices)
+  std::vector<std::unordered_map<uint64_t, std::vector<size_t>>>
+      band_tables_;
+  std::unordered_map<std::string, std::vector<size_t>> columns_by_table_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_RPT_DISCOVERY_H_

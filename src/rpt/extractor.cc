@@ -1,0 +1,215 @@
+#include "rpt/extractor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+namespace {
+
+TransformerConfig BuildEncoderConfig(const ExtractorConfig& config,
+                                     int64_t vocab_size) {
+  TransformerConfig model;
+  model.vocab_size = vocab_size;
+  model.d_model = config.d_model;
+  model.num_heads = config.num_heads;
+  model.num_encoder_layers = config.num_layers;
+  model.num_decoder_layers = 0;
+  model.ffn_dim = config.ffn_dim;
+  model.max_seq_len = config.max_seq_len;
+  model.dropout = config.dropout;
+  model.use_column_embeddings = false;
+  model.use_type_embeddings = false;
+  return model;
+}
+
+// Finds `needle` as a contiguous subsequence of `haystack`; returns the
+// first index or -1.
+int64_t FindSubsequence(const std::vector<int32_t>& haystack,
+                        const std::vector<int32_t>& needle,
+                        size_t from) {
+  if (needle.empty() || haystack.size() < needle.size()) return -1;
+  for (size_t i = from; i + needle.size() <= haystack.size(); ++i) {
+    bool ok = true;
+    for (size_t j = 0; j < needle.size(); ++j) {
+      if (haystack[i + j] != needle[j]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+RptExtractor::RptExtractor(const ExtractorConfig& config, Vocab vocab)
+    : config_(config),
+      vocab_(std::move(vocab)),
+      rng_(config.seed),
+      schedule_(config.learning_rate, config.warmup_steps) {
+  Rng init_rng = rng_.Fork();
+  encoder_ = std::make_unique<TransformerEncoderModel>(
+      BuildEncoderConfig(config_, vocab_.size()), &init_rng);
+  start_head_ = std::make_unique<Linear>(config_.d_model, 1, &init_rng);
+  end_head_ = std::make_unique<Linear>(config_.d_model, 1, &init_rng);
+  std::vector<Tensor> params = encoder_->Parameters();
+  for (auto& p : start_head_->Parameters()) params.push_back(p);
+  for (auto& p : end_head_->Parameters()) params.push_back(p);
+  optimizer_ = std::make_unique<Adam>(std::move(params),
+                                      config_.learning_rate);
+}
+
+RptExtractor::EncodedQa RptExtractor::Encode(
+    const std::string& question, const std::string& paragraph,
+    const std::string& answer) const {
+  EncodedQa out;
+  out.ids.push_back(SpecialTokens::kCls);
+  for (int32_t id : Tokenizer::Encode(question, vocab_)) {
+    out.ids.push_back(id);
+  }
+  out.ids.push_back(SpecialTokens::kSep);
+  out.paragraph_begin = static_cast<int64_t>(out.ids.size());
+  for (int32_t id : Tokenizer::Encode(paragraph, vocab_)) {
+    out.ids.push_back(id);
+  }
+  const size_t limit = static_cast<size_t>(config_.max_seq_len);
+  if (out.ids.size() > limit) out.ids.resize(limit);
+
+  if (!answer.empty()) {
+    const std::vector<int32_t> answer_ids =
+        Tokenizer::Encode(answer, vocab_);
+    const int64_t pos = FindSubsequence(
+        out.ids, answer_ids, static_cast<size_t>(out.paragraph_begin));
+    if (pos >= 0) {
+      out.answer_begin = pos;
+      out.answer_end = pos + static_cast<int64_t>(answer_ids.size()) - 1;
+    }
+  }
+  return out;
+}
+
+double RptExtractor::TrainStep(const std::vector<EncodedQa>& batch) {
+  RPT_CHECK(!batch.empty());
+  std::vector<std::vector<int32_t>> seqs;
+  std::vector<int32_t> start_targets, end_targets;
+  for (const auto& qa : batch) {
+    seqs.push_back(qa.ids);
+    start_targets.push_back(static_cast<int32_t>(qa.answer_begin));
+    end_targets.push_back(static_cast<int32_t>(qa.answer_end));
+  }
+  TokenBatch packed = TokenBatch::Pack(seqs, SpecialTokens::kPad);
+
+  ++global_step_;
+  optimizer_->set_learning_rate(schedule_.LearningRate(global_step_));
+  optimizer_->ZeroGrad();
+  Tensor states = encoder_->Encode(packed, &rng_);  // [B, T, D]
+  Tensor start_logits = Reshape(start_head_->Forward(states),
+                                {packed.batch, packed.len});
+  Tensor end_logits = Reshape(end_head_->Forward(states),
+                              {packed.batch, packed.len});
+  // Mask out pad and question positions with a large negative bias so the
+  // softmax runs over paragraph tokens only.
+  Tensor bias = Tensor::Zeros({packed.batch, packed.len});
+  for (size_t b = 0; b < batch.size(); ++b) {
+    for (int64_t t = 0; t < packed.len; ++t) {
+      const size_t idx = b * static_cast<size_t>(packed.len) +
+                         static_cast<size_t>(t);
+      const bool valid = packed.valid[idx] != 0 &&
+                         t >= batch[b].paragraph_begin;
+      if (!valid) bias.data()[idx] = -1e9f;
+    }
+  }
+  start_logits = Add(start_logits, bias);
+  end_logits = Add(end_logits, bias);
+  Tensor loss_start = CrossEntropyLoss(start_logits, start_targets);
+  Tensor loss_end = CrossEntropyLoss(end_logits, end_targets);
+  Tensor loss = Scale(Add(loss_start, loss_end), 0.5f);
+  const double loss_value = loss.item();
+  loss.Backward();
+  std::vector<Tensor> params = encoder_->Parameters();
+  for (auto& p : start_head_->Parameters()) params.push_back(p);
+  for (auto& p : end_head_->Parameters()) params.push_back(p);
+  ClipGradNorm(params, config_.clip_norm);
+  optimizer_->Step();
+  return loss_value;
+}
+
+double RptExtractor::Train(const std::vector<QaExample>& examples,
+                           int64_t steps) {
+  RPT_CHECK(!examples.empty());
+  // Pre-encode and keep only alignable examples.
+  std::vector<EncodedQa> pool;
+  for (const auto& ex : examples) {
+    EncodedQa qa = Encode(ex.question, ex.paragraph, ex.answer);
+    if (qa.answer_begin >= 0) pool.push_back(std::move(qa));
+  }
+  RPT_CHECK(!pool.empty()) << "no alignable QA examples";
+  encoder_->SetTraining(true);
+  start_head_->SetTraining(true);
+  end_head_->SetTraining(true);
+
+  std::vector<double> tail_losses;
+  for (int64_t step = 0; step < steps; ++step) {
+    std::vector<EncodedQa> batch;
+    const int64_t batch_size = std::min<int64_t>(
+        config_.batch_size, static_cast<int64_t>(pool.size()));
+    for (int64_t i = 0; i < batch_size; ++i) {
+      batch.push_back(pool[rng_.UniformInt(pool.size())]);
+    }
+    const double loss = TrainStep(batch);
+    if (step >= steps - std::max<int64_t>(1, steps / 5)) {
+      tail_losses.push_back(loss);
+    }
+  }
+  double sum = 0;
+  for (double l : tail_losses) sum += l;
+  return tail_losses.empty() ? 0.0 : sum / tail_losses.size();
+}
+
+std::string RptExtractor::Extract(const std::string& question,
+                                  const std::string& paragraph) const {
+  NoGradGuard no_grad;
+  auto* self = const_cast<RptExtractor*>(this);
+  self->encoder_->SetTraining(false);
+  self->start_head_->SetTraining(false);
+  self->end_head_->SetTraining(false);
+
+  EncodedQa qa = Encode(question, paragraph, /*answer=*/"");
+  TokenBatch packed = TokenBatch::Pack({qa.ids}, SpecialTokens::kPad);
+  Rng eval_rng(config_.seed ^ 0xABCD);
+  Tensor states = encoder_->Encode(packed, &eval_rng);
+  Tensor start_logits = Reshape(start_head_->Forward(states),
+                                {packed.len});
+  Tensor end_logits = Reshape(end_head_->Forward(states), {packed.len});
+
+  // Best (start <= end <= start + max_answer_tokens) span over paragraph
+  // positions.
+  double best_score = -1e18;
+  int64_t best_start = -1, best_end = -1;
+  for (int64_t s = qa.paragraph_begin; s < packed.len; ++s) {
+    const int64_t max_e =
+        std::min<int64_t>(packed.len - 1,
+                          s + config_.max_answer_tokens - 1);
+    for (int64_t e = s; e <= max_e; ++e) {
+      const double score = static_cast<double>(start_logits.at(s)) +
+                           end_logits.at(e);
+      if (score > best_score) {
+        best_score = score;
+        best_start = s;
+        best_end = e;
+      }
+    }
+  }
+  if (best_start < 0) return "";
+  std::vector<int32_t> span(
+      qa.ids.begin() + best_start,
+      qa.ids.begin() + best_end + 1);
+  return vocab_.Decode(span);
+}
+
+}  // namespace rpt

@@ -1,0 +1,93 @@
+// RPT-I: information extraction as extractive question answering
+// (paper §4, Fig. 6).
+//
+// Input  [CLS] question [SEP] paragraph  goes through a bidirectional
+// encoder; two linear heads score every token as the answer-span start and
+// end. Training uses synthetic (question, paragraph, answer-span) triples;
+// the question itself is instantiated from one example via the PET template
+// "what is the [M]" (see rpt/pet.h).
+
+#ifndef RPT_RPT_EXTRACTOR_H_
+#define RPT_RPT_EXTRACTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+#include "text/vocab.h"
+#include "util/rng.h"
+
+namespace rpt {
+
+struct ExtractorConfig {
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t num_layers = 2;
+  int64_t ffn_dim = 128;
+  int64_t max_seq_len = 96;
+  float dropout = 0.1f;
+
+  int64_t batch_size = 16;
+  float learning_rate = 1e-3f;
+  int64_t warmup_steps = 50;
+  float clip_norm = 1.0f;
+  int64_t max_answer_tokens = 8;
+
+  uint64_t seed = 7;
+};
+
+/// One QA training/evaluation example; `answer` must occur in `paragraph`.
+struct QaExample {
+  std::string question;
+  std::string paragraph;
+  std::string answer;
+};
+
+class RptExtractor {
+ public:
+  RptExtractor(const ExtractorConfig& config, Vocab vocab);
+
+  /// Trains the span heads for `steps` optimizer steps; examples whose
+  /// answer cannot be aligned to a token span are skipped. Returns mean
+  /// loss over the final 20% of steps.
+  double Train(const std::vector<QaExample>& examples, int64_t steps);
+
+  /// Extracts the best-scoring answer span for a question over a
+  /// paragraph; empty string when nothing scores.
+  std::string Extract(const std::string& question,
+                      const std::string& paragraph) const;
+
+  const Vocab& vocab() const { return vocab_; }
+  const ExtractorConfig& config() const { return config_; }
+
+ private:
+  struct EncodedQa {
+    std::vector<int32_t> ids;
+    int64_t paragraph_begin = 0;  // first paragraph token position
+    int64_t answer_begin = -1;    // gold span (token positions), -1 = none
+    int64_t answer_end = -1;      // inclusive
+  };
+
+  /// Builds [CLS] q [SEP] p and locates the gold answer span (when given).
+  EncodedQa Encode(const std::string& question, const std::string& paragraph,
+                   const std::string& answer) const;
+
+  double TrainStep(const std::vector<EncodedQa>& batch);
+
+  ExtractorConfig config_;
+  Vocab vocab_;
+  Rng rng_;
+  std::unique_ptr<TransformerEncoderModel> encoder_;
+  std::unique_ptr<Linear> start_head_;
+  std::unique_ptr<Linear> end_head_;
+  std::unique_ptr<Adam> optimizer_;
+  WarmupSchedule schedule_;
+  int64_t global_step_ = 0;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_RPT_EXTRACTOR_H_

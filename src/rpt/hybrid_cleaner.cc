@@ -1,0 +1,156 @@
+#include "rpt/hybrid_cleaner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "eval/report.h"
+#include "profile/profiler.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+namespace {
+
+double Median(std::vector<double> values) {
+  RPT_CHECK(!values.empty());
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double m = values[mid];
+  if (values.size() % 2 == 0) {
+    std::nth_element(values.begin(), values.begin() + mid - 1,
+                     values.end());
+    m = 0.5 * (m + values[mid - 1]);
+  }
+  return m;
+}
+
+}  // namespace
+
+double NumericOutlierDetector::ModifiedZScore(
+    double value, const std::vector<double>& column) {
+  if (column.size() < 2) return 0.0;
+  const double median = Median(column);
+  std::vector<double> deviations;
+  deviations.reserve(column.size());
+  for (double v : column) deviations.push_back(std::fabs(v - median));
+  const double mad = Median(std::move(deviations));
+  if (mad <= 1e-12) {
+    // Degenerate spread: any deviation is infinitely surprising.
+    return std::fabs(value - median) > 1e-12 ? 1e9 : 0.0;
+  }
+  return std::fabs(value - median) / (1.4826 * mad);
+}
+
+std::vector<CellError> NumericOutlierDetector::Detect(
+    const Table& table) const {
+  std::vector<CellError> errors;
+  for (int64_t c = 0; c < table.NumColumns(); ++c) {
+    std::vector<double> values;
+    for (int64_t r = 0; r < table.NumRows(); ++r) {
+      if (table.at(r, c).is_number()) {
+        values.push_back(table.at(r, c).number());
+      }
+    }
+    if (values.size() < 5) continue;
+    for (int64_t r = 0; r < table.NumRows(); ++r) {
+      const Value& v = table.at(r, c);
+      if (!v.is_number()) continue;
+      const double z = ModifiedZScore(v.number(), values);
+      if (z > z_threshold_) {
+        errors.push_back({r, c, v.text(), "numeric outlier (z=" +
+                                              Fixed(z, 1) + ")"});
+      }
+    }
+  }
+  return errors;
+}
+
+HybridCleaner::HybridCleaner(const RptCleaner* cleaner,
+                             HybridCleanerOptions options)
+    : cleaner_(cleaner), options_(options) {
+  RPT_CHECK(cleaner_ != nullptr);
+}
+
+std::vector<CellError> HybridCleaner::DetectErrors(
+    const Table& table) const {
+  // Decide per column: numeric-majority columns go to the quantitative
+  // detector, others to the language model.
+  std::vector<bool> numeric_column(
+      static_cast<size_t>(table.NumColumns()), false);
+  for (int64_t c = 0; c < table.NumColumns(); ++c) {
+    int64_t numeric = 0, filled = 0;
+    for (int64_t r = 0; r < table.NumRows(); ++r) {
+      if (table.at(r, c).is_null()) continue;
+      ++filled;
+      numeric += table.at(r, c).is_number();
+    }
+    numeric_column[static_cast<size_t>(c)] =
+        filled > 0 && numeric * 2 > filled;
+  }
+
+  NumericOutlierDetector detector(options_.z_threshold);
+  std::vector<CellError> errors = detector.Detect(table);
+
+  // RPT-C disagreement on non-numeric columns only.
+  for (int64_t r = 0; r < table.NumRows(); ++r) {
+    for (int64_t c = 0; c < table.NumColumns(); ++c) {
+      if (numeric_column[static_cast<size_t>(c)]) continue;
+      const Value& observed = table.at(r, c);
+      if (observed.is_null()) continue;
+      Value predicted =
+          cleaner_->PredictValue(table.schema(), table.row(r), c);
+      if (predicted.is_null()) continue;
+      if (Tokenizer::Normalize(observed.text()) !=
+          Tokenizer::Normalize(predicted.text())) {
+        errors.push_back({r, c, observed.text(), predicted.text()});
+      }
+    }
+  }
+  return errors;
+}
+
+Value HybridCleaner::RepairCell(const Table& reference, const Tuple& tuple,
+                                int64_t column) const {
+  auto candidates = cleaner_->PredictCandidates(
+      reference.schema(), tuple, column, options_.beam_candidates);
+  if (candidates.empty()) return Value::Null();
+
+  // Categorical columns: constrain to the observed dictionary.
+  const int64_t distinct = DistinctCount(reference, column);
+  const int64_t rows = reference.NumRows();
+  const bool categorical =
+      rows > 0 && static_cast<double>(distinct) / rows <=
+                      options_.categorical_ratio;
+  if (!categorical) {
+    return candidates[0].empty() ? Value::Null()
+                                 : Value::Parse(candidates[0]);
+  }
+  std::set<std::string> dictionary;
+  for (int64_t r = 0; r < rows; ++r) {
+    const Value& v = reference.at(r, column);
+    if (!v.is_null()) dictionary.insert(Tokenizer::Normalize(v.text()));
+  }
+  // First in-dictionary beam candidate wins.
+  for (const auto& candidate : candidates) {
+    if (dictionary.count(Tokenizer::Normalize(candidate))) {
+      return Value::Parse(candidate);
+    }
+  }
+  // Otherwise snap the top candidate to its nearest dictionary entry.
+  const std::string& top = candidates[0];
+  std::string best;
+  double best_sim = -1.0;
+  for (const auto& entry : dictionary) {
+    const double sim = QGramJaccard(top, entry);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = entry;
+    }
+  }
+  return best.empty() ? Value::Null() : Value::Parse(best);
+}
+
+}  // namespace rpt

@@ -1,0 +1,79 @@
+// Hybrid cleaning (paper §2.2, opportunity O1): "combine [RPT-C] with
+// other (quantitatively) DC methods from a rich set of Types I & II DC
+// solutions".
+//
+// Components:
+//   * NumericOutlierDetector — a Type-I quantitative detector: robust
+//     per-column statistics (median / MAD) flag numeric outliers, which a
+//     purely categorical language model handles poorly.
+//   * HybridCleaner — routes detection by column type (numeric columns to
+//     the outlier detector, categorical/text columns to RPT-C) and
+//     constrains repairs of low-cardinality columns to the column's
+//     observed value dictionary (Type-I dictionary knowledge re-ranking
+//     the model's beam).
+
+#ifndef RPT_RPT_HYBRID_CLEANER_H_
+#define RPT_RPT_HYBRID_CLEANER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpt/cleaner.h"
+#include "table/table.h"
+
+namespace rpt {
+
+/// Robust numeric outlier detection via the modified z-score
+/// |x - median| / (1.4826 * MAD).
+class NumericOutlierDetector {
+ public:
+  explicit NumericOutlierDetector(double z_threshold = 3.5)
+      : z_threshold_(z_threshold) {}
+
+  /// Cells in numeric columns whose modified z-score exceeds the
+  /// threshold. Columns with fewer than 5 numeric values are skipped.
+  std::vector<CellError> Detect(const Table& table) const;
+
+  /// Modified z-score of one value against a column sample.
+  static double ModifiedZScore(double value,
+                               const std::vector<double>& column);
+
+ private:
+  double z_threshold_;
+};
+
+struct HybridCleanerOptions {
+  double z_threshold = 3.5;
+  /// A column is treated as categorical (dictionary-constrained repair)
+  /// when distinct/N is below this ratio.
+  double categorical_ratio = 0.3;
+  int64_t beam_candidates = 3;
+};
+
+/// RPT-C plus quantitative detection and dictionary-constrained repair.
+class HybridCleaner {
+ public:
+  /// Does not own the cleaner; it must outlive this object.
+  HybridCleaner(const RptCleaner* cleaner, HybridCleanerOptions options = {});
+
+  /// Detection routed by type: numeric columns -> outlier detector;
+  /// other columns -> RPT-C disagreement.
+  std::vector<CellError> DetectErrors(const Table& table) const;
+
+  /// Predicts a repair for one cell. For categorical columns, the beam is
+  /// re-ranked against the column's observed dictionary (from
+  /// `reference`, typically the table itself): an in-dictionary candidate
+  /// wins; otherwise the dictionary entry most similar to the top
+  /// candidate is chosen.
+  Value RepairCell(const Table& reference, const Tuple& tuple,
+                   int64_t column) const;
+
+ private:
+  const RptCleaner* cleaner_;
+  HybridCleanerOptions options_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_RPT_HYBRID_CLEANER_H_

@@ -1,0 +1,569 @@
+#include "rpt/matcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/sim_features.h"
+#include "corrupt/dirt.h"
+#include "text/similarity.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+namespace {
+
+TransformerConfig BuildEncoderConfig(const MatcherConfig& config,
+                                     int64_t vocab_size) {
+  TransformerConfig model;
+  model.vocab_size = vocab_size;
+  model.d_model = config.d_model;
+  model.num_heads = config.num_heads;
+  model.num_encoder_layers = config.num_layers;
+  model.num_decoder_layers = 0;
+  model.ffn_dim = config.ffn_dim;
+  model.max_seq_len = config.max_seq_len;
+  model.dropout = config.dropout;
+  return model;
+}
+
+}  // namespace
+
+RptMatcher::RptMatcher(const MatcherConfig& config, Vocab vocab)
+    : config_(config),
+      vocab_(std::move(vocab)),
+      serializer_(&vocab_),
+      rng_(config.seed),
+      schedule_(config.learning_rate, config.warmup_steps) {
+  Rng init_rng = rng_.Fork();
+  encoder_ = std::make_unique<TransformerEncoderModel>(
+      BuildEncoderConfig(config_, vocab_.size()), &init_rng);
+  const int64_t head_inputs =
+      config_.d_model +
+      (config_.use_similarity_features ? kNumPairFeatures : 0);
+  // A small MLP head: the nonlinearity lets the classifier combine the
+  // learned [CLS] evidence with the injected similarity features across
+  // benchmarks whose feature distributions shift.
+  head_fc1_ = std::make_unique<Linear>(head_inputs, 32, &init_rng);
+  head_fc2_ = std::make_unique<Linear>(32, 2, &init_rng);
+  mlm_head_ = std::make_unique<Linear>(config_.d_model, vocab_.size(),
+                                       &init_rng);
+  std::vector<Tensor> params = encoder_->Parameters();
+  for (auto& p : head_fc1_->Parameters()) params.push_back(p);
+  for (auto& p : head_fc2_->Parameters()) params.push_back(p);
+  optimizer_ = std::make_unique<Adam>(std::move(params),
+                                      config_.learning_rate);
+  std::vector<Tensor> mlm_params = encoder_->Parameters();
+  for (auto& p : mlm_head_->Parameters()) mlm_params.push_back(p);
+  mlm_optimizer_ = std::make_unique<Adam>(std::move(mlm_params),
+                                          config_.learning_rate);
+}
+
+double RptMatcher::PretrainMlm(const std::vector<const Table*>& tables,
+                               int64_t steps) {
+  RPT_CHECK(!tables.empty());
+  encoder_->SetTraining(true);
+  std::vector<double> tail_losses;
+  for (int64_t step = 0; step < steps; ++step) {
+    // Sample tuples and mask ~15% of their value tokens.
+    std::vector<std::vector<int32_t>> ids, cols, types;
+    std::vector<int32_t> targets;
+    int64_t max_len = 0;
+    std::vector<std::vector<int32_t>> gold;
+    while (static_cast<int64_t>(ids.size()) < config_.batch_size) {
+      const Table* table = tables[rng_.UniformInt(tables.size())];
+      if (table->NumRows() == 0) continue;
+      const int64_t row = static_cast<int64_t>(
+          rng_.UniformInt(static_cast<uint64_t>(table->NumRows())));
+      TupleEncoding enc =
+          serializer_.Serialize(table->schema(), table->row(row));
+      const size_t limit = static_cast<size_t>(config_.max_seq_len);
+      if (enc.ids.size() > limit) {
+        enc.ids.resize(limit);
+        enc.col_ids.resize(limit);
+        enc.type_ids.resize(limit);
+      }
+      std::vector<int32_t> g(enc.ids.size(), -100);
+      bool masked_any = false;
+      for (size_t i = 0; i < enc.ids.size(); ++i) {
+        if (enc.type_ids[i] != TokenKinds::kValueToken) continue;
+        if (!rng_.Bernoulli(0.15)) continue;
+        g[i] = enc.ids[i];
+        enc.ids[i] = SpecialTokens::kMask;
+        masked_any = true;
+      }
+      if (!masked_any) continue;
+      max_len = std::max<int64_t>(max_len,
+                                  static_cast<int64_t>(enc.ids.size()));
+      ids.push_back(std::move(enc.ids));
+      cols.push_back(std::move(enc.col_ids));
+      types.push_back(std::move(enc.type_ids));
+      gold.push_back(std::move(g));
+    }
+    TokenBatch packed = TokenBatch::Pack(ids, SpecialTokens::kPad, &cols,
+                                         &types);
+    targets.assign(static_cast<size_t>(packed.batch * packed.len), -100);
+    for (size_t b = 0; b < gold.size(); ++b) {
+      for (size_t t = 0; t < gold[b].size(); ++t) {
+        targets[b * static_cast<size_t>(packed.len) + t] = gold[b][t];
+      }
+    }
+    ++mlm_step_;
+    mlm_optimizer_->set_learning_rate(schedule_.LearningRate(mlm_step_));
+    mlm_optimizer_->ZeroGrad();
+    Tensor states = encoder_->Encode(packed, &rng_);  // [B, T, D]
+    Tensor logits = mlm_head_->Forward(states);       // [B, T, V]
+    Tensor flat =
+        Reshape(logits, {packed.batch * packed.len, vocab_.size()});
+    Tensor loss = CrossEntropyLoss(flat, targets);
+    const double loss_value = loss.item();
+    loss.Backward();
+    std::vector<Tensor> params = encoder_->Parameters();
+    for (auto& p : mlm_head_->Parameters()) params.push_back(p);
+    ClipGradNorm(params, config_.clip_norm);
+    mlm_optimizer_->Step();
+    if (step >= steps - std::max<int64_t>(1, steps / 5)) {
+      tail_losses.push_back(loss_value);
+    }
+  }
+  double sum = 0;
+  for (double l : tail_losses) sum += l;
+  return tail_losses.empty() ? 0.0 : sum / tail_losses.size();
+}
+
+namespace {
+
+// Corrupts a tuple into a plausible alternative rendering of the same
+// entity: null some attributes, drop/duplicate words, inject typos.
+Tuple CorruptTuple(const Tuple& tuple, Rng* rng) {
+  Tuple out = tuple;
+  for (auto& value : out) {
+    if (value.is_null()) continue;
+    if (rng->Bernoulli(0.2)) {
+      value = Value::Null();
+      continue;
+    }
+    if (value.is_number()) {
+      if (rng->Bernoulli(0.25)) {
+        value = Value::Number(value.number() *
+                              (1.0 + 0.1 * (rng->UniformDouble() - 0.5)));
+      }
+      continue;
+    }
+    std::string text = value.text();
+    if (rng->Bernoulli(0.35)) text = DropWord(text, rng);
+    if (rng->Bernoulli(0.15)) text = InjectTypo(text, rng);
+    if (rng->Bernoulli(0.1)) text = DuplicateWord(text, rng);
+    value = Value::String(text);
+  }
+  return out;
+}
+
+// Picks a hard negative row for `row`: the most token-overlapping of a few
+// random probes (unsupervised sibling proxy).
+int64_t PickHardNegative(const Table& table, int64_t row, Rng* rng) {
+  const std::string self = ConcatTuple(table.row(row));
+  int64_t best = -1;
+  double best_sim = -1.0;
+  for (int probe = 0; probe < 6; ++probe) {
+    const int64_t other = static_cast<int64_t>(
+        rng->UniformInt(static_cast<uint64_t>(table.NumRows())));
+    if (other == row) continue;
+    const double sim = TokenJaccard(self, ConcatTuple(table.row(other)));
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = other;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double RptMatcher::PretrainSelfSupervised(
+    const std::vector<const Table*>& tables, int64_t steps) {
+  RPT_CHECK(!tables.empty());
+  encoder_->SetTraining(true);
+  head_fc1_->SetTraining(true);
+  head_fc2_->SetTraining(true);
+  std::vector<double> tail_losses;
+  for (int64_t step = 0; step < steps; ++step) {
+    std::vector<EncodedPair> batch;
+    while (static_cast<int64_t>(batch.size()) < config_.batch_size) {
+      const Table* table = tables[rng_.UniformInt(tables.size())];
+      if (table->NumRows() < 2) continue;
+      const int64_t row = static_cast<int64_t>(
+          rng_.UniformInt(static_cast<uint64_t>(table->NumRows())));
+      if (batch.size() % 2 == 0) {
+        // Positive: the row vs a corrupted copy of itself.
+        Tuple corrupted = CorruptTuple(table->row(row), &rng_);
+        batch.push_back(EncodePair(table->schema(), table->row(row),
+                                   table->schema(), corrupted,
+                                   /*match=*/true, &rng_));
+      } else {
+        // Negative: the row vs a (preferably similar) other row.
+        const int64_t other = PickHardNegative(*table, row, &rng_);
+        if (other < 0) continue;
+        batch.push_back(EncodePair(table->schema(), table->row(row),
+                                   table->schema(), table->row(other),
+                                   /*match=*/false, &rng_));
+      }
+    }
+    const double loss = TrainStep(batch);
+    if (step >= steps - std::max<int64_t>(1, steps / 5)) {
+      tail_losses.push_back(loss);
+    }
+  }
+  double sum = 0;
+  for (double l : tail_losses) sum += l;
+  return tail_losses.empty() ? 0.0 : sum / tail_losses.size();
+}
+
+RptMatcher::EncodedPair RptMatcher::EncodePair(const Schema& schema_a,
+                                               const Tuple& a,
+                                               const Schema& schema_b,
+                                               const Tuple& b, bool match,
+                                               Rng* augment_rng) const {
+  // Budget each side half the window so a long tuple_a cannot evict
+  // tuple_b entirely (Ditto-style symmetric truncation).
+  const size_t side_budget =
+      (static_cast<size_t>(config_.max_seq_len) - 2) / 2;
+  auto truncate = [side_budget](TupleEncoding enc) {
+    if (enc.ids.size() > side_budget) {
+      enc.ids.resize(side_budget);
+      enc.col_ids.resize(side_budget);
+      enc.type_ids.resize(side_budget);
+    }
+    return enc;
+  };
+  TupleEncoding ea =
+      augment_rng != nullptr
+          ? truncate(serializer_.SerializeShuffled(schema_a, a, augment_rng))
+          : truncate(serializer_.Serialize(schema_a, a));
+  TupleEncoding eb =
+      augment_rng != nullptr
+          ? truncate(serializer_.SerializeShuffled(schema_b, b, augment_rng))
+          : truncate(serializer_.Serialize(schema_b, b));
+  if (augment_rng != nullptr && augment_rng->Bernoulli(0.5)) {
+    std::swap(ea, eb);  // match is symmetric
+  }
+
+  EncodedPair out;
+  if (config_.use_similarity_features) {
+    out.features = PairFeatures(schema_a, a, schema_b, b);
+  }
+  auto push = [&out](int32_t id, int32_t col, int32_t type) {
+    out.encoding.ids.push_back(id);
+    out.encoding.col_ids.push_back(col);
+    out.encoding.type_ids.push_back(type);
+  };
+  push(SpecialTokens::kCls, 0, TokenKinds::kStructure);
+  for (int64_t i = 0; i < ea.size(); ++i) {
+    push(ea.ids[static_cast<size_t>(i)],
+         ea.col_ids[static_cast<size_t>(i)],
+         ea.type_ids[static_cast<size_t>(i)]);
+  }
+  push(SpecialTokens::kSep, 0, TokenKinds::kStructure);
+  for (int64_t i = 0; i < eb.size(); ++i) {
+    push(eb.ids[static_cast<size_t>(i)],
+         eb.col_ids[static_cast<size_t>(i)],
+         eb.type_ids[static_cast<size_t>(i)]);
+  }
+  out.match = match;
+  return out;
+}
+
+Tensor RptMatcher::WithFeatures(
+    const Tensor& pooled, const std::vector<EncodedPair>& batch) const {
+  if (!config_.use_similarity_features) return pooled;
+  const int64_t n = static_cast<int64_t>(batch.size());
+  std::vector<float> data(static_cast<size_t>(n * kNumPairFeatures));
+  for (size_t b = 0; b < batch.size(); ++b) {
+    RPT_CHECK_EQ(static_cast<int64_t>(batch[b].features.size()),
+                 kNumPairFeatures)
+        << "pair encoded without features";
+    for (size_t f = 0; f < batch[b].features.size(); ++f) {
+      data[b * static_cast<size_t>(kNumPairFeatures) + f] =
+          static_cast<float>(batch[b].features[f]);
+    }
+  }
+  Tensor features =
+      Tensor::FromVector(std::move(data), {n, kNumPairFeatures});
+  return Concat({pooled, features}, 1);
+}
+
+double RptMatcher::TrainStep(const std::vector<EncodedPair>& batch) {
+  RPT_CHECK(!batch.empty());
+  std::vector<std::vector<int32_t>> ids, cols, types;
+  std::vector<int32_t> targets;
+  for (const auto& pair : batch) {
+    ids.push_back(pair.encoding.ids);
+    cols.push_back(pair.encoding.col_ids);
+    types.push_back(pair.encoding.type_ids);
+    targets.push_back(pair.match ? 1 : 0);
+  }
+  TokenBatch packed = TokenBatch::Pack(ids, SpecialTokens::kPad, &cols,
+                                       &types);
+  ++global_step_;
+  optimizer_->set_learning_rate(schedule_.LearningRate(global_step_));
+  optimizer_->ZeroGrad();
+  Tensor pooled = encoder_->EncodePooled(packed, &rng_);  // [B, D]
+  Tensor head_input = WithFeatures(pooled, batch);
+  Tensor logits =
+      head_fc2_->Forward(Relu(head_fc1_->Forward(head_input)));  // [B, 2]
+  Tensor loss = CrossEntropyLoss(logits, targets);
+  const double loss_value = loss.item();
+  loss.Backward();
+  std::vector<Tensor> params = encoder_->Parameters();
+  for (auto& p : head_fc1_->Parameters()) params.push_back(p);
+  for (auto& p : head_fc2_->Parameters()) params.push_back(p);
+  ClipGradNorm(params, config_.clip_norm);
+  optimizer_->Step();
+  return loss_value;
+}
+
+double RptMatcher::Train(const std::vector<const ErBenchmark*>& sources,
+                         int64_t steps) {
+  RPT_CHECK(!sources.empty());
+  encoder_->SetTraining(true);
+  head_fc1_->SetTraining(true);
+  head_fc2_->SetTraining(true);
+
+  // Flatten all labeled pairs with their owning benchmark.
+  struct SourcePair {
+    const ErBenchmark* bench;
+    const LabeledPair* pair;
+  };
+  std::vector<SourcePair> pool;
+  for (const ErBenchmark* bench : sources) {
+    for (const auto& pair : bench->pairs) {
+      pool.push_back({bench, &pair});
+    }
+  }
+  RPT_CHECK(!pool.empty());
+
+  std::vector<double> tail_losses;
+  for (int64_t step = 0; step < steps; ++step) {
+    std::vector<EncodedPair> batch;
+    // Balance classes: half matches, half non-matches per batch.
+    int64_t want_pos = config_.batch_size / 2;
+    int64_t want_neg = config_.batch_size - want_pos;
+    int64_t guard = 0;
+    while ((want_pos > 0 || want_neg > 0) &&
+           guard++ < config_.batch_size * 50) {
+      const SourcePair& sp = pool[rng_.UniformInt(pool.size())];
+      if (sp.pair->match && want_pos == 0) continue;
+      if (!sp.pair->match && want_neg == 0) continue;
+      batch.push_back(EncodePair(
+          sp.bench->table_a.schema(),
+          sp.bench->table_a.row(sp.pair->a),
+          sp.bench->table_b.schema(),
+          sp.bench->table_b.row(sp.pair->b), sp.pair->match, &rng_));
+      (sp.pair->match ? want_pos : want_neg)--;
+    }
+    const double loss = TrainStep(batch);
+    if (step >= steps - std::max<int64_t>(1, steps / 5)) {
+      tail_losses.push_back(loss);
+    }
+  }
+  double sum = 0;
+  for (double l : tail_losses) sum += l;
+  return tail_losses.empty() ? 0.0 : sum / tail_losses.size();
+}
+
+double RptMatcher::FineTune(const ErBenchmark& bench,
+                            const std::vector<LabeledPair>& pairs,
+                            int64_t steps) {
+  RPT_CHECK(!pairs.empty());
+  encoder_->SetTraining(true);
+  head_fc1_->SetTraining(true);
+  head_fc2_->SetTraining(true);
+  // Balance classes regardless of how the user's few shots are skewed.
+  std::vector<const LabeledPair*> positives, negatives;
+  for (const auto& pair : pairs) {
+    (pair.match ? positives : negatives).push_back(&pair);
+  }
+  std::vector<double> tail_losses;
+  for (int64_t step = 0; step < steps; ++step) {
+    std::vector<EncodedPair> batch;
+    const int64_t batch_size =
+        std::min<int64_t>(config_.batch_size,
+                          static_cast<int64_t>(pairs.size()));
+    for (int64_t i = 0; i < batch_size; ++i) {
+      const LabeledPair* pair = nullptr;
+      const bool want_positive = (i % 2 == 0);
+      if (want_positive && !positives.empty()) {
+        pair = positives[rng_.UniformInt(positives.size())];
+      } else if (!negatives.empty()) {
+        pair = negatives[rng_.UniformInt(negatives.size())];
+      } else {
+        pair = positives[rng_.UniformInt(positives.size())];
+      }
+      batch.push_back(EncodePair(bench.table_a.schema(),
+                                 bench.table_a.row(pair->a),
+                                 bench.table_b.schema(),
+                                 bench.table_b.row(pair->b), pair->match,
+                                 &rng_));
+    }
+    // Few-shot adaptation must not wash out the pre-trained weights: use
+    // a small constant LR instead of the training schedule (TrainStep
+    // restores the scheduled LR on the next regular training step).
+    ++global_step_;
+    optimizer_->set_learning_rate(config_.learning_rate * 0.1f);
+    optimizer_->ZeroGrad();
+    std::vector<std::vector<int32_t>> ids, cols, types;
+    std::vector<int32_t> targets;
+    for (const auto& pair : batch) {
+      ids.push_back(pair.encoding.ids);
+      cols.push_back(pair.encoding.col_ids);
+      types.push_back(pair.encoding.type_ids);
+      targets.push_back(pair.match ? 1 : 0);
+    }
+    TokenBatch packed = TokenBatch::Pack(ids, SpecialTokens::kPad, &cols,
+                                         &types);
+    Tensor pooled = encoder_->EncodePooled(packed, &rng_);
+    Tensor logits = head_fc2_->Forward(
+        Relu(head_fc1_->Forward(WithFeatures(pooled, batch))));
+    Tensor loss = CrossEntropyLoss(logits, targets);
+    const double loss_value = loss.item();
+    loss.Backward();
+    std::vector<Tensor> params = encoder_->Parameters();
+    for (auto& p : head_fc1_->Parameters()) params.push_back(p);
+    for (auto& p : head_fc2_->Parameters()) params.push_back(p);
+    ClipGradNorm(params, config_.clip_norm);
+    optimizer_->Step();
+    if (step >= steps - std::max<int64_t>(1, steps / 5)) {
+      tail_losses.push_back(loss_value);
+    }
+  }
+  double sum = 0;
+  for (double l : tail_losses) sum += l;
+  return tail_losses.empty() ? 0.0 : sum / tail_losses.size();
+}
+
+std::vector<double> RptMatcher::ScoreBatch(
+    const std::vector<EncodedPair>& batch) const {
+  NoGradGuard no_grad;
+  auto* self = const_cast<RptMatcher*>(this);
+  self->encoder_->SetTraining(false);
+  self->head_fc1_->SetTraining(false);
+  self->head_fc2_->SetTraining(false);
+  std::vector<std::vector<int32_t>> ids, cols, types;
+  for (const auto& pair : batch) {
+    ids.push_back(pair.encoding.ids);
+    cols.push_back(pair.encoding.col_ids);
+    types.push_back(pair.encoding.type_ids);
+  }
+  TokenBatch packed = TokenBatch::Pack(ids, SpecialTokens::kPad, &cols,
+                                       &types);
+  Rng eval_rng(config_.seed ^ 0xEEEE);
+  Tensor pooled = encoder_->EncodePooled(packed, &eval_rng);
+  Tensor logits = head_fc2_->Forward(
+      Relu(head_fc1_->Forward(WithFeatures(pooled, batch))));  // [B, 2]
+  std::vector<double> out;
+  out.reserve(batch.size());
+  for (size_t b = 0; b < batch.size(); ++b) {
+    const float l0 = logits.at(static_cast<int64_t>(b) * 2);
+    const float l1 = logits.at(static_cast<int64_t>(b) * 2 + 1);
+    const double mx = std::max(l0, l1);
+    const double z = std::exp(l0 - mx) + std::exp(l1 - mx);
+    out.push_back(std::exp(l1 - mx) / z);
+  }
+  return out;
+}
+
+double RptMatcher::ScorePair(const Schema& schema_a, const Tuple& a,
+                             const Schema& schema_b, const Tuple& b) const {
+  return ScoreBatch({EncodePair(schema_a, a, schema_b, b, false)})[0];
+}
+
+std::vector<double> RptMatcher::ScorePairs(
+    const ErBenchmark& bench, const std::vector<LabeledPair>& pairs) const {
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  const int64_t chunk = 32;
+  for (size_t begin = 0; begin < pairs.size();
+       begin += static_cast<size_t>(chunk)) {
+    std::vector<EncodedPair> batch;
+    const size_t end =
+        std::min(pairs.size(), begin + static_cast<size_t>(chunk));
+    for (size_t i = begin; i < end; ++i) {
+      batch.push_back(EncodePair(bench.table_a.schema(),
+                                 bench.table_a.row(pairs[i].a),
+                                 bench.table_b.schema(),
+                                 bench.table_b.row(pairs[i].b), false));
+    }
+    auto chunk_scores = ScoreBatch(batch);
+    scores.insert(scores.end(), chunk_scores.begin(), chunk_scores.end());
+  }
+  return scores;
+}
+
+double RptMatcher::CalibrateThreshold(
+    const std::vector<const ErBenchmark*>& sources) const {
+  RPT_CHECK(!sources.empty());
+  // Score every source pair once, then sweep thresholds.
+  std::vector<std::vector<double>> all_scores;
+  for (const ErBenchmark* bench : sources) {
+    all_scores.push_back(ScorePairs(*bench, bench->pairs));
+  }
+  double best_threshold = 0.5;
+  double best_f1 = -1.0;
+  for (double threshold = 0.2; threshold <= 0.951; threshold += 0.05) {
+    double f1_sum = 0;
+    for (size_t s = 0; s < sources.size(); ++s) {
+      BinaryConfusion confusion;
+      const auto& pairs = sources[s]->pairs;
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        confusion.Add(all_scores[s][i] >= threshold, pairs[i].match);
+      }
+      f1_sum += confusion.F1();
+    }
+    const double mean_f1 = f1_sum / static_cast<double>(sources.size());
+    if (mean_f1 > best_f1) {
+      best_f1 = mean_f1;
+      best_threshold = threshold;
+    }
+  }
+  return best_threshold;
+}
+
+ParameterSnapshot RptMatcher::CaptureParameters() const {
+  ParameterSnapshot snapshot = ParameterSnapshot::Capture(*encoder_);
+  for (const Linear* head : {head_fc1_.get(), head_fc2_.get()}) {
+    ParameterSnapshot part = ParameterSnapshot::Capture(*head);
+    snapshot.values.insert(snapshot.values.end(), part.values.begin(),
+                           part.values.end());
+  }
+  return snapshot;
+}
+
+void RptMatcher::RestoreParameters(const ParameterSnapshot& snapshot) {
+  const size_t encoder_count = encoder_->NamedParameters().size();
+  const size_t fc1_count = head_fc1_->NamedParameters().size();
+  const size_t fc2_count = head_fc2_->NamedParameters().size();
+  RPT_CHECK_EQ(snapshot.values.size(),
+               encoder_count + fc1_count + fc2_count);
+  auto begin = snapshot.values.begin();
+  ParameterSnapshot encoder_part, fc1_part, fc2_part;
+  encoder_part.values.assign(begin,
+                             begin + static_cast<int64_t>(encoder_count));
+  begin += static_cast<int64_t>(encoder_count);
+  fc1_part.values.assign(begin, begin + static_cast<int64_t>(fc1_count));
+  begin += static_cast<int64_t>(fc1_count);
+  fc2_part.values.assign(begin, begin + static_cast<int64_t>(fc2_count));
+  encoder_part.Restore(encoder_.get());
+  fc1_part.Restore(head_fc1_.get());
+  fc2_part.Restore(head_fc2_.get());
+}
+
+BinaryConfusion RptMatcher::Evaluate(const ErBenchmark& bench,
+                                     double threshold) const {
+  auto scores = ScorePairs(bench, bench.pairs);
+  BinaryConfusion confusion;
+  for (size_t i = 0; i < bench.pairs.size(); ++i) {
+    confusion.Add(scores[i] >= threshold, bench.pairs[i].match);
+  }
+  return confusion;
+}
+
+}  // namespace rpt

@@ -1,0 +1,156 @@
+// RPT-E Matcher (paper §3): a pre-trained bidirectional encoder with a
+// binary match/non-match head over the [CLS] state.
+//
+// Pairs are serialized schema-agnostically as  [CLS] tuple_a [SEP] tuple_b
+// (Ditto-style). Collaborative training follows the paper's protocol: when
+// evaluating on benchmark D_i, train only on the *other* benchmarks — no
+// in-domain labels. Few-shot fine-tuning then layers a handful of in-domain
+// examples on top (opportunity O2).
+
+#ifndef RPT_RPT_MATCHER_H_
+#define RPT_RPT_MATCHER_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/sim_features.h"
+#include "eval/metrics.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+#include "rpt/platform.h"
+#include "synth/benchmarks.h"
+#include "table/serializer.h"
+#include "text/vocab.h"
+#include "util/rng.h"
+
+namespace rpt {
+
+struct MatcherConfig {
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t num_layers = 2;
+  int64_t ffn_dim = 128;
+  int64_t max_seq_len = 112;
+  float dropout = 0.1f;
+
+  int64_t batch_size = 16;
+  float learning_rate = 1e-3f;
+  int64_t warmup_steps = 50;
+  float clip_norm = 1.0f;
+
+  /// Concatenate the schema-agnostic PairFeatures vector to the [CLS]
+  /// state before classification (Ditto-style domain-knowledge
+  /// injection). At this model scale it substitutes for the text prior a
+  /// real pre-trained BERT would contribute; ablated in bench/table2_er.
+  bool use_similarity_features = true;
+
+  uint64_t seed = 99;
+};
+
+class RptMatcher {
+ public:
+  RptMatcher(const MatcherConfig& config, Vocab vocab);
+
+  /// Masked-language-model pre-training of the encoder on raw tables
+  /// (unsupervised, schema-agnostic). This is the stand-in for starting
+  /// from a pre-trained BERT, which is where Ditto/RPT-E get their
+  /// "objective" matching knowledge (alias co-occurrence). Returns the
+  /// mean loss over the final 20% of steps.
+  double PretrainMlm(const std::vector<const Table*>& tables,
+                     int64_t steps);
+
+  /// Self-supervised matcher pre-training on *unlabeled* tables (paper
+  /// desideratum 2: "self-learning by automatically trying different
+  /// tasks"). Positive pairs are a tuple vs a corrupted copy of itself
+  /// (dropped attributes/words, typos, attribute reordering); negatives
+  /// pair a tuple with another row — preferring token-overlapping rows so
+  /// the task is not trivially solvable by counting common words. Trains
+  /// the same [CLS] head as supervised training. May legitimately include
+  /// the target benchmark's tables: no labels are used.
+  double PretrainSelfSupervised(const std::vector<const Table*>& tables,
+                                int64_t steps);
+
+  /// Collaborative (leave-one-out) training on the labeled pairs of the
+  /// source benchmarks for `steps` optimizer steps. Returns the mean loss
+  /// over the final 20% of steps.
+  double Train(const std::vector<const ErBenchmark*>& sources,
+               int64_t steps);
+
+  /// Few-shot fine-tuning on explicit in-domain pairs (small `pairs`).
+  double FineTune(const ErBenchmark& bench,
+                  const std::vector<LabeledPair>& pairs, int64_t steps);
+
+  /// P(match) for one pair of tuples (possibly different schemas).
+  double ScorePair(const Schema& schema_a, const Tuple& a,
+                   const Schema& schema_b, const Tuple& b) const;
+
+  /// Batched scoring of benchmark pairs (row indices into the benchmark
+  /// tables). Order matches `pairs`.
+  std::vector<double> ScorePairs(const ErBenchmark& bench,
+                                 const std::vector<LabeledPair>& pairs) const;
+
+  /// F-measure & co. on every labeled pair of a benchmark.
+  BinaryConfusion Evaluate(const ErBenchmark& bench,
+                           double threshold = 0.5) const;
+
+  /// Picks the decision threshold maximizing mean F1 over the *source*
+  /// benchmarks (no target labels touched). Training balances classes
+  /// 50/50 while real pair pools are match-sparse, so the optimal
+  /// operating point is usually above 0.5.
+  double CalibrateThreshold(
+      const std::vector<const ErBenchmark*>& sources) const;
+
+  const Vocab& vocab() const { return vocab_; }
+  TransformerEncoderModel& encoder() { return *encoder_; }
+  const MatcherConfig& config() const { return config_; }
+
+  /// Full trainable state (encoder + classification head), for the
+  /// collaborative platform (§3 O1): parties exchange these snapshots'
+  /// deltas instead of data.
+  ParameterSnapshot CaptureParameters() const;
+  void RestoreParameters(const ParameterSnapshot& snapshot);
+
+ private:
+  struct EncodedPair {
+    TupleEncoding encoding;
+    std::vector<double> features;  // PairFeatures (may be empty)
+    bool match = false;
+  };
+
+  /// When `augment_rng` is non-null (training), attribute order is
+  /// shuffled per side and the two sides may swap (matching is symmetric
+  /// and tuples are sets — paper desideratum 1).
+  EncodedPair EncodePair(const Schema& schema_a, const Tuple& a,
+                         const Schema& schema_b, const Tuple& b,
+                         bool match, Rng* augment_rng = nullptr) const;
+
+  /// Appends the similarity-feature columns to the pooled [CLS] states
+  /// (identity when the config disables features).
+  Tensor WithFeatures(const Tensor& pooled,
+                      const std::vector<EncodedPair>& batch) const;
+
+  /// One optimizer step; returns loss.
+  double TrainStep(const std::vector<EncodedPair>& batch);
+
+  /// Match probabilities for a batch of encoded pairs.
+  std::vector<double> ScoreBatch(const std::vector<EncodedPair>& batch) const;
+
+  MatcherConfig config_;
+  Vocab vocab_;
+  TupleSerializer serializer_;
+  Rng rng_;
+  std::unique_ptr<TransformerEncoderModel> encoder_;
+  std::unique_ptr<Linear> head_fc1_;
+  std::unique_ptr<Linear> head_fc2_;
+  std::unique_ptr<Linear> mlm_head_;
+  std::unique_ptr<Adam> optimizer_;
+  std::unique_ptr<Adam> mlm_optimizer_;
+  WarmupSchedule schedule_;
+  int64_t global_step_ = 0;
+  int64_t mlm_step_ = 0;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_RPT_MATCHER_H_

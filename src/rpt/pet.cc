@@ -1,0 +1,96 @@
+#include "rpt/pet.h"
+
+#include <algorithm>
+
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace rpt {
+
+std::vector<AttributeImportance> InferImportantAttributes(
+    const ErBenchmark& bench, const std::vector<LabeledPair>& examples) {
+  std::vector<AttributeImportance> out;
+  const Schema& sa = bench.table_a.schema();
+  const Schema& sb = bench.table_b.schema();
+  for (int64_t ca = 0; ca < sa.size(); ++ca) {
+    const std::string& attr = sa.name(ca);
+    const int64_t cb = sb.Index(attr);
+    if (cb < 0) continue;
+    int64_t match_total = 0, match_agree = 0;
+    int64_t diff_total = 0, diff_differ = 0;
+    for (const auto& pair : examples) {
+      const Value& va = bench.table_a.at(pair.a, ca);
+      const Value& vb = bench.table_b.at(pair.b, cb);
+      if (va.is_null() || vb.is_null()) continue;
+      // "same [M]": high similarity counts as agreement (surface forms of
+      // equal values differ, e.g. "apple" vs "apple inc").
+      const bool agree =
+          Tokenizer::Normalize(va.text()) == Tokenizer::Normalize(vb.text()) ||
+          TokenJaccard(va.text(), vb.text()) >= 0.5;
+      if (pair.match) {
+        ++match_total;
+        match_agree += agree;
+      } else {
+        ++diff_total;
+        diff_differ += !agree;
+      }
+    }
+    AttributeImportance imp;
+    imp.attribute = attr;
+    const double p_agree =
+        match_total == 0 ? 0.0
+                         : static_cast<double>(match_agree) / match_total;
+    const double p_differ =
+        diff_total == 0 ? 0.0
+                        : static_cast<double>(diff_differ) / diff_total;
+    imp.weight = p_agree * p_differ;
+    out.push_back(imp);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AttributeImportance& a, const AttributeImportance& b) {
+              return a.weight > b.weight;
+            });
+  return out;
+}
+
+std::string InferQuestionAttribute(const std::string& label) {
+  const std::string norm = Tokenizer::Normalize(label);
+  const auto tokens = Tokenizer::Tokenize(norm);
+  // Unit-bearing patterns first.
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    if (t == "gb" || t == "tb" || EndsWith(t, "gb") || EndsWith(t, "tb")) {
+      // RAM amounts are small; storage is large. The number may be its own
+      // token ("256 gb") or embedded in the unit token ("256gb").
+      double amount = 0;
+      for (const auto& tok : tokens) {
+        if (IsNumber(tok)) amount = ParseDoubleOr(tok, 0);
+      }
+      if (amount == 0 && t.size() > 2) {
+        amount = ParseDoubleOr(t.substr(0, t.size() - 2), 0);
+      }
+      if (EndsWith(t, "tb") || t == "tb" || amount >= 100) return "storage";
+      return "memory";
+    }
+    if (t == "inch" || t == "inches" || t == "inchs" || t == "in") {
+      return "screen";
+    }
+  }
+  // Bare numbers: year vs price by magnitude/shape.
+  for (const auto& t : tokens) {
+    if (!IsNumber(t)) continue;
+    const double v = ParseDoubleOr(t, 0);
+    if (v >= 1900 && v <= 2100 && t.find('.') == std::string::npos) {
+      return "year";
+    }
+    if (t.find('.') != std::string::npos || v > 20) return "price";
+  }
+  return "value";
+}
+
+std::string BuildQuestion(const std::string& attribute) {
+  return "what is the " + attribute;
+}
+
+}  // namespace rpt

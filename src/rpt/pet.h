@@ -1,0 +1,45 @@
+// Pattern-Exploiting Training utilities (paper §3 O2 and §4): interpret a
+// task from a few examples.
+//
+// * Matcher templates (T1/T2): from a handful of labeled pairs, infer which
+//   attributes *matter* — "True: if a and b have the same [M]" is satisfied
+//   by attributes on which matching pairs agree and non-matching pairs
+//   differ.
+// * IE question instantiation: from one (tuple, label) example, infer which
+//   attribute the label instantiates, producing the question
+//   "what is the <attribute>".
+
+#ifndef RPT_RPT_PET_H_
+#define RPT_RPT_PET_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/benchmarks.h"
+#include "table/table.h"
+
+namespace rpt {
+
+/// Per-attribute importance learned from few-shot matcher examples.
+struct AttributeImportance {
+  std::string attribute;
+  double weight = 0.0;  // in [0, 1]: 1 = perfectly separates the examples
+};
+
+/// Fills templates T1/T2 over the shared attributes of the two schemas:
+/// weight(attr) = P(agree | match) * P(differ | non-match), estimated from
+/// the example pairs. Attributes absent from either schema are skipped.
+std::vector<AttributeImportance> InferImportantAttributes(
+    const ErBenchmark& bench, const std::vector<LabeledPair>& examples);
+
+/// One-shot IE task interpretation: given a label span ("4gb of ram" ->
+/// "4gb"), guess the attribute among IeTargetAttributes() by surface
+/// pattern (units, magnitudes). Returns "value" when nothing matches.
+std::string InferQuestionAttribute(const std::string& label);
+
+/// Renders the question template "what is the [M]" with the attribute.
+std::string BuildQuestion(const std::string& attribute);
+
+}  // namespace rpt
+
+#endif  // RPT_RPT_PET_H_

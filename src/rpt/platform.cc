@@ -1,0 +1,99 @@
+#include "rpt/platform.h"
+
+#include <cmath>
+
+namespace rpt {
+
+ParameterSnapshot ParameterSnapshot::Capture(const Module& module) {
+  ParameterSnapshot snapshot;
+  for (const auto& [name, tensor] : module.NamedParameters()) {
+    snapshot.values.push_back(tensor.ToVector());
+  }
+  return snapshot;
+}
+
+void ParameterSnapshot::Restore(Module* module) const {
+  RPT_CHECK(module != nullptr);
+  auto named = module->NamedParameters();
+  RPT_CHECK_EQ(named.size(), values.size())
+      << "snapshot does not match module structure";
+  for (size_t i = 0; i < named.size(); ++i) {
+    Tensor& tensor = named[i].second;
+    RPT_CHECK_EQ(static_cast<size_t>(tensor.numel()), values[i].size());
+    std::copy(values[i].begin(), values[i].end(), tensor.data());
+  }
+}
+
+ParameterSnapshot ParameterSnapshot::Delta(
+    const ParameterSnapshot& other) const {
+  RPT_CHECK_EQ(values.size(), other.values.size());
+  ParameterSnapshot delta;
+  delta.values.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    RPT_CHECK_EQ(values[i].size(), other.values[i].size());
+    delta.values[i].resize(values[i].size());
+    for (size_t j = 0; j < values[i].size(); ++j) {
+      delta.values[i][j] = values[i][j] - other.values[i][j];
+    }
+  }
+  return delta;
+}
+
+double ParameterSnapshot::Norm() const {
+  double total = 0;
+  for (const auto& buffer : values) {
+    for (float v : buffer) {
+      total += static_cast<double>(v) * v;
+    }
+  }
+  return std::sqrt(total);
+}
+
+void CollaborativePlatform::SubmitDelta(const ParameterSnapshot& delta,
+                                        double weight) {
+  RPT_CHECK_GT(weight, 0.0);
+  RPT_CHECK_EQ(delta.values.size(), global_.values.size())
+      << "delta does not match the global model";
+  pending_.emplace_back(delta, weight);
+}
+
+int64_t CollaborativePlatform::MergeRound() {
+  if (pending_.empty()) return 0;
+  double total_weight = 0;
+  for (const auto& [delta, weight] : pending_) total_weight += weight;
+  for (size_t i = 0; i < global_.values.size(); ++i) {
+    auto& buffer = global_.values[i];
+    for (size_t j = 0; j < buffer.size(); ++j) {
+      double merged = 0;
+      for (const auto& [delta, weight] : pending_) {
+        merged += weight * delta.values[i][j];
+      }
+      buffer[j] += static_cast<float>(merged / total_weight);
+    }
+  }
+  const int64_t merged_count = static_cast<int64_t>(pending_.size());
+  pending_.clear();
+  ++rounds_;
+  return merged_count;
+}
+
+void RunFederatedRounds(
+    Module* model, int64_t num_parties, int64_t num_rounds,
+    const std::function<double(int64_t party)>& local_train) {
+  RPT_CHECK(model != nullptr);
+  RPT_CHECK_GT(num_parties, 0);
+  CollaborativePlatform platform(ParameterSnapshot::Capture(*model));
+  for (int64_t round = 0; round < num_rounds; ++round) {
+    for (int64_t party = 0; party < num_parties; ++party) {
+      platform.global().Restore(model);
+      const double weight = local_train(party);
+      ParameterSnapshot local = ParameterSnapshot::Capture(*model);
+      platform.SubmitDelta(local.Delta(platform.global()),
+                           std::max(1e-9, weight));
+    }
+    platform.MergeRound();
+  }
+  platform.global().Restore(model);
+}
+
+}  // namespace rpt

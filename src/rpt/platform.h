@@ -1,0 +1,83 @@
+// Collaborative training platform (paper §3, opportunity O1).
+//
+// "We believe that we should build a platform collaboratively for ER,
+//  with a pretrained model M for each domain. Anyone who wants to benefit
+//  from M can download M, retrain using his/her data to get M_1, and send
+//  back an update of parameters Δ_1 = M_1 - M, and the platform will
+//  merge the model update with M, from multiple users."
+//
+// This module implements exactly that protocol (FedAvg-style) over any
+// Module: parties download the global parameters, train locally on their
+// own private benchmark, upload parameter deltas, and the platform merges
+// the weighted average. No raw data ever crosses parties — only deltas.
+
+#ifndef RPT_RPT_PLATFORM_H_
+#define RPT_RPT_PLATFORM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace rpt {
+
+/// A flat snapshot of a module's parameters.
+struct ParameterSnapshot {
+  std::vector<std::vector<float>> values;  // one buffer per parameter
+
+  static ParameterSnapshot Capture(const Module& module);
+
+  /// Writes the snapshot back into an identically structured module.
+  void Restore(Module* module) const;
+
+  /// this - other, elementwise (the Δ a party uploads).
+  ParameterSnapshot Delta(const ParameterSnapshot& other) const;
+
+  /// L2 norm over all buffers (monitoring / clipping hooks).
+  double Norm() const;
+};
+
+/// Federated-averaging coordinator.
+class CollaborativePlatform {
+ public:
+  /// Seeds the platform with the initial global parameters.
+  explicit CollaborativePlatform(ParameterSnapshot global)
+      : global_(std::move(global)) {}
+
+  /// Current global parameters (what a party downloads).
+  const ParameterSnapshot& global() const { return global_; }
+
+  /// Accumulates one party's update Δ with a weight (e.g. its local
+  /// example count).
+  void SubmitDelta(const ParameterSnapshot& delta, double weight);
+
+  /// Applies the weighted-average of all submitted deltas to the global
+  /// model and clears the round. No-op when nothing was submitted.
+  /// Returns the number of updates merged.
+  int64_t MergeRound();
+
+  int64_t rounds_completed() const { return rounds_; }
+
+ private:
+  ParameterSnapshot global_;
+  std::vector<std::pair<ParameterSnapshot, double>> pending_;
+  int64_t rounds_ = 0;
+};
+
+/// Runs `num_rounds` of federated training over `parties` local-training
+/// callbacks. Each round, every party gets the global weights restored
+/// into `model`, runs `local_train(party_index)` (which trains `model`
+/// in place and returns its local example weight), and its delta is
+/// submitted; the platform then merges. The final global weights are left
+/// in `model`.
+void RunFederatedRounds(
+    Module* model, int64_t num_parties, int64_t num_rounds,
+    const std::function<double(int64_t party)>& local_train);
+
+}  // namespace rpt
+
+#endif  // RPT_RPT_PLATFORM_H_

@@ -1,0 +1,124 @@
+#include "rpt/value_transform.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rpt {
+
+ValueTransformer::ValueTransformer(const ValueTransformerConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      schedule_(config.learning_rate, config.warmup_steps) {
+  TransformerConfig model;
+  model.vocab_size = vocab_.size();
+  model.d_model = config_.d_model;
+  model.num_heads = config_.num_heads;
+  model.num_encoder_layers = config_.num_layers;
+  model.num_decoder_layers = config_.num_layers;
+  model.ffn_dim = config_.ffn_dim;
+  model.max_seq_len = config_.max_seq_len;
+  model.dropout = 0.0f;
+  model.use_column_embeddings = false;
+  model.use_type_embeddings = false;
+  Rng init_rng = rng_.Fork();
+  model_ = std::make_unique<Seq2SeqTransformer>(model, &init_rng);
+  optimizer_ = std::make_unique<Adam>(model_->Parameters(),
+                                      config_.learning_rate);
+}
+
+std::vector<int32_t> ValueTransformer::EncodeChars(
+    const std::string& text) const {
+  // Character-by-character; spaces become word boundaries that the char
+  // fallback cannot encode, so map each space to the word-initial form of
+  // the next character (EncodeWord per whitespace-split token keeps
+  // boundaries: the first char of each word has no "@@" prefix).
+  std::vector<int32_t> out;
+  std::string word;
+  auto flush = [&]() {
+    if (word.empty()) return;
+    auto ids = vocab_.EncodeWord(word);
+    out.insert(out.end(), ids.begin(), ids.end());
+    word.clear();
+  };
+  for (char c : text) {
+    if (c == ' ') {
+      flush();
+    } else {
+      word += c;
+    }
+  }
+  flush();
+  const size_t limit = static_cast<size_t>(config_.max_seq_len - 2);
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+double ValueTransformer::Train(
+    const std::vector<std::pair<std::string, std::string>>& examples,
+    int64_t steps) {
+  RPT_CHECK(!examples.empty());
+  model_->SetTraining(true);
+  std::vector<double> tail_losses;
+  for (int64_t step = 0; step < steps; ++step) {
+    std::vector<std::vector<int32_t>> srcs, tgt_in;
+    std::vector<std::vector<int32_t>> tgt_out;
+    const int64_t batch_size = std::min<int64_t>(
+        config_.batch_size, static_cast<int64_t>(examples.size()));
+    for (int64_t b = 0; b < batch_size; ++b) {
+      const auto& [input, output] =
+          examples[rng_.UniformInt(examples.size())];
+      std::vector<int32_t> src = EncodeChars(input);
+      std::vector<int32_t> tgt = EncodeChars(output);
+      if (src.empty() || tgt.empty()) continue;
+      std::vector<int32_t> in = {SpecialTokens::kBos};
+      in.insert(in.end(), tgt.begin(), tgt.end());
+      std::vector<int32_t> out = tgt;
+      out.push_back(SpecialTokens::kEos);
+      srcs.push_back(std::move(src));
+      tgt_in.push_back(std::move(in));
+      tgt_out.push_back(std::move(out));
+    }
+    if (srcs.empty()) continue;
+    TokenBatch src_batch = TokenBatch::Pack(srcs, SpecialTokens::kPad);
+    TokenBatch tin = TokenBatch::Pack(tgt_in, SpecialTokens::kPad);
+    std::vector<int32_t> targets(
+        static_cast<size_t>(tin.batch * tin.len), -100);
+    for (size_t b = 0; b < tgt_out.size(); ++b) {
+      for (size_t t = 0; t < tgt_out[b].size(); ++t) {
+        targets[b * static_cast<size_t>(tin.len) + t] = tgt_out[b][t];
+      }
+    }
+    ++global_step_;
+    optimizer_->set_learning_rate(schedule_.LearningRate(global_step_));
+    optimizer_->ZeroGrad();
+    Tensor logits = model_->Forward(src_batch, tin, &rng_);
+    Tensor flat = Reshape(logits, {tin.batch * tin.len, vocab_.size()});
+    Tensor loss = CrossEntropyLoss(flat, targets);
+    const double loss_value = loss.item();
+    loss.Backward();
+    ClipGradNorm(model_->Parameters(), config_.clip_norm);
+    optimizer_->Step();
+    if (step >= steps - std::max<int64_t>(1, steps / 5)) {
+      tail_losses.push_back(loss_value);
+    }
+  }
+  double sum = 0;
+  for (double l : tail_losses) sum += l;
+  return tail_losses.empty() ? 0.0 : sum / tail_losses.size();
+}
+
+std::string ValueTransformer::Apply(const std::string& input) const {
+  auto* self = const_cast<ValueTransformer*>(this);
+  self->model_->SetTraining(false);
+  std::vector<int32_t> src = EncodeChars(input);
+  if (src.empty()) return "";
+  TokenBatch batch = TokenBatch::Pack({src}, SpecialTokens::kPad);
+  Rng decode_rng(config_.seed ^ 0xBEEF);
+  auto out = model_->GenerateGreedy(batch, SpecialTokens::kBos,
+                                    SpecialTokens::kEos,
+                                    config_.max_output_len, &decode_rng);
+  return vocab_.Decode(out[0]);
+}
+
+}  // namespace rpt

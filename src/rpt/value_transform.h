@@ -1,0 +1,71 @@
+// Data transformation by example (paper §5: "if Sam -> Samuel then
+// Mike -> Michael").
+//
+// A character-level sequence-to-sequence Transformer learns a string
+// transformation from (input, output) example pairs and applies it to new
+// inputs. Because encoding is character level (the vocab's char
+// fallback), the model can generalize format rules — date reshaping,
+// "first last" -> "last, first", unit spacing — to unseen values instead
+// of memorizing them.
+
+#ifndef RPT_RPT_VALUE_TRANSFORM_H_
+#define RPT_RPT_VALUE_TRANSFORM_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+#include "text/vocab.h"
+#include "util/rng.h"
+
+namespace rpt {
+
+struct ValueTransformerConfig {
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t num_layers = 2;
+  int64_t ffn_dim = 128;
+  int64_t max_seq_len = 48;
+
+  int64_t batch_size = 16;
+  float learning_rate = 2e-3f;
+  int64_t warmup_steps = 40;
+  float clip_norm = 1.0f;
+  int64_t max_output_len = 40;
+
+  uint64_t seed = 21;
+};
+
+class ValueTransformer {
+ public:
+  explicit ValueTransformer(const ValueTransformerConfig& config = {});
+
+  /// Learns the transformation from example pairs for `steps` optimizer
+  /// steps; returns the mean loss over the final 20% of steps.
+  double Train(
+      const std::vector<std::pair<std::string, std::string>>& examples,
+      int64_t steps);
+
+  /// Applies the learned transformation (greedy decode).
+  std::string Apply(const std::string& input) const;
+
+  const ValueTransformerConfig& config() const { return config_; }
+
+ private:
+  std::vector<int32_t> EncodeChars(const std::string& text) const;
+
+  ValueTransformerConfig config_;
+  Vocab vocab_;  // empty build: specials + char fallback only
+  Rng rng_;
+  std::unique_ptr<Seq2SeqTransformer> model_;
+  std::unique_ptr<Adam> optimizer_;
+  WarmupSchedule schedule_;
+  int64_t global_step_ = 0;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_RPT_VALUE_TRANSFORM_H_

@@ -1,0 +1,60 @@
+#include "rpt/vocab_builder.h"
+
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace rpt {
+
+namespace {
+
+void CountTable(const Table& table,
+                std::unordered_map<std::string, int64_t>* counts) {
+  for (const auto& name : table.schema().names()) {
+    Tokenizer::CountTokens(name, counts);
+  }
+  for (int64_t r = 0; r < table.NumRows(); ++r) {
+    for (int64_t c = 0; c < table.NumColumns(); ++c) {
+      if (!table.at(r, c).is_null()) {
+        Tokenizer::CountTokens(table.at(r, c).text(), counts);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Vocab BuildVocabFromTables(const std::vector<const Table*>& tables,
+                           int64_t min_freq) {
+  std::unordered_map<std::string, int64_t> counts;
+  for (const Table* t : tables) CountTable(*t, &counts);
+  return Vocab::Build(counts, min_freq);
+}
+
+Vocab BuildVocabFromBenchmarks(
+    const std::vector<const ErBenchmark*>& benchmarks, int64_t min_freq) {
+  std::unordered_map<std::string, int64_t> counts;
+  for (const ErBenchmark* b : benchmarks) {
+    CountTable(b->table_a, &counts);
+    CountTable(b->table_b, &counts);
+  }
+  return Vocab::Build(counts, min_freq);
+}
+
+Vocab BuildVocabFromTexts(const std::vector<std::string>& texts,
+                          int64_t min_freq) {
+  std::unordered_map<std::string, int64_t> counts;
+  for (const auto& t : texts) Tokenizer::CountTokens(t, &counts);
+  return Vocab::Build(counts, min_freq);
+}
+
+Vocab BuildVocabFromTablesAndTexts(const std::vector<const Table*>& tables,
+                                   const std::vector<std::string>& texts,
+                                   int64_t min_freq) {
+  std::unordered_map<std::string, int64_t> counts;
+  for (const Table* t : tables) CountTable(*t, &counts);
+  for (const auto& t : texts) Tokenizer::CountTokens(t, &counts);
+  return Vocab::Build(counts, min_freq);
+}
+
+}  // namespace rpt

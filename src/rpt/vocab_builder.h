@@ -1,0 +1,36 @@
+// Convenience builders for vocabularies over tables, benchmarks, and text.
+
+#ifndef RPT_RPT_VOCAB_BUILDER_H_
+#define RPT_RPT_VOCAB_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/benchmarks.h"
+#include "table/table.h"
+#include "text/vocab.h"
+
+namespace rpt {
+
+/// Vocabulary over attribute names and all cell tokens of the tables.
+Vocab BuildVocabFromTables(const std::vector<const Table*>& tables,
+                           int64_t min_freq = 1);
+
+/// Vocabulary over both tables of every benchmark.
+Vocab BuildVocabFromBenchmarks(
+    const std::vector<const ErBenchmark*>& benchmarks,
+    int64_t min_freq = 1);
+
+/// Vocabulary over sentences.
+Vocab BuildVocabFromTexts(const std::vector<std::string>& texts,
+                          int64_t min_freq = 1);
+
+/// Merge helper: one vocabulary over tables and texts together (used when
+/// one model pre-trains on text and predicts on tables).
+Vocab BuildVocabFromTablesAndTexts(const std::vector<const Table*>& tables,
+                                   const std::vector<std::string>& texts,
+                                   int64_t min_freq = 1);
+
+}  // namespace rpt
+
+#endif  // RPT_RPT_VOCAB_BUILDER_H_

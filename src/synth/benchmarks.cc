@@ -1,0 +1,291 @@
+#include "synth/benchmarks.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rpt {
+
+Value RenderAttribute(const ProductUniverse& universe, const Product& p,
+                      const std::string& column,
+                      const RenderProfile& profile, Rng* rng) {
+  if (rng->Bernoulli(profile.missing_prob)) return Value::Null();
+  if (column == "title" || column == "name" || column == "product_name") {
+    return Value::String(universe.RenderTitle(p, profile, rng));
+  }
+  if (column == "description") {
+    return Value::String(universe.RenderDescription(p, profile, rng));
+  }
+  if (column == "manufacturer" || column == "brand" || column == "company") {
+    return Value::String(universe.RenderManufacturer(p, profile, rng));
+  }
+  if (column == "category") {
+    return Value::String(p.category);
+  }
+  if (column == "price") {
+    return Value::Number(universe.RenderPrice(p, profile, rng));
+  }
+  if (column == "year" || column == "release_year") {
+    return Value::Number(p.year);
+  }
+  if (column == "memory") {
+    const std::string mem = universe.RenderMemory(p, profile, rng);
+    return mem.empty() ? Value::Null() : Value::String(mem);
+  }
+  if (column == "screen") {
+    const std::string screen = universe.RenderScreen(p, profile, rng);
+    return screen.empty() ? Value::Null() : Value::String(screen);
+  }
+  if (column == "modelno") {
+    const auto aliases = ProductUniverse::ModelAliases(p.model);
+    if (aliases.size() > 1 && rng->Bernoulli(profile.model_alias_prob)) {
+      return Value::String(aliases[1 + rng->UniformInt(aliases.size() - 1)]);
+    }
+    return Value::String(aliases[0]);
+  }
+  if (column == "color") {
+    return Value::String(p.color);
+  }
+  RPT_CHECK(false) << "unknown synthetic column: " << column;
+  return Value::Null();
+}
+
+namespace {
+
+Tuple RenderTuple(const ProductUniverse& universe, const Product& p,
+                  const std::vector<std::string>& columns,
+                  const RenderProfile& profile, Rng* rng) {
+  Tuple tuple;
+  tuple.reserve(columns.size());
+  for (const auto& col : columns) {
+    tuple.push_back(RenderAttribute(universe, p, col, profile, rng));
+  }
+  return tuple;
+}
+
+// Finds a "sibling" product: same line, different model or variant. Returns
+// -1 when the universe holds none.
+int64_t FindSibling(const ProductUniverse& universe, const Product& p,
+                    Rng* rng) {
+  const auto& all = universe.products();
+  std::vector<int64_t> candidates;
+  for (const auto& other : all) {
+    if (other.id == p.id) continue;
+    if (other.brand == p.brand && other.line == p.line) {
+      candidates.push_back(other.id);
+    }
+  }
+  if (candidates.empty()) return -1;
+  return candidates[rng->UniformInt(candidates.size())];
+}
+
+}  // namespace
+
+ErBenchmark GenerateErBenchmark(const ProductUniverse& universe,
+                                const BenchmarkSpec& spec) {
+  Rng rng(spec.seed);
+  ErBenchmark bench;
+  bench.name = spec.name;
+  bench.table_a = Table{Schema(spec.schema_a)};
+  bench.table_b = Table{Schema(spec.schema_b)};
+
+  const int64_t universe_size =
+      static_cast<int64_t>(universe.products().size());
+  RPT_CHECK_GT(universe_size, 1);
+
+  auto add_row_a = [&](const Product& p) {
+    bench.table_a.AddRow(
+        RenderTuple(universe, p, spec.schema_a, spec.profile_a, &rng));
+    bench.entity_a.push_back(p.id);
+    return bench.table_a.NumRows() - 1;
+  };
+  auto add_row_b = [&](const Product& p) {
+    bench.table_b.AddRow(
+        RenderTuple(universe, p, spec.schema_b, spec.profile_b, &rng));
+    bench.entity_b.push_back(p.id);
+    return bench.table_b.NumRows() - 1;
+  };
+
+  // Matching pairs: one product rendered once per side.
+  for (int64_t i = 0; i < spec.num_matches; ++i) {
+    const Product& p =
+        universe.product(static_cast<int64_t>(rng.UniformInt(
+            static_cast<uint64_t>(universe_size))));
+    const int64_t ra = add_row_a(p);
+    const int64_t rb = add_row_b(p);
+    bench.pairs.push_back({ra, rb, true});
+  }
+  // Hard non-matches: sibling products (same brand+line, e.g. iPhone 10 vs
+  // iPhone 11) — exactly the cases Fig. 1(b) motivates.
+  for (int64_t i = 0; i < spec.num_hard_nonmatches; ++i) {
+    const Product& p =
+        universe.product(static_cast<int64_t>(rng.UniformInt(
+            static_cast<uint64_t>(universe_size))));
+    const int64_t sibling = FindSibling(universe, p, &rng);
+    if (sibling < 0) continue;
+    const int64_t ra = add_row_a(p);
+    const int64_t rb = add_row_b(universe.product(sibling));
+    bench.pairs.push_back({ra, rb, false});
+  }
+  // Random non-matches.
+  for (int64_t i = 0; i < spec.num_random_nonmatches; ++i) {
+    const int64_t ia = static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(universe_size)));
+    int64_t ib = ia;
+    while (ib == ia) {
+      ib = static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(universe_size)));
+    }
+    const int64_t ra = add_row_a(universe.product(ia));
+    const int64_t rb = add_row_b(universe.product(ib));
+    bench.pairs.push_back({ra, rb, false});
+  }
+  rng.Shuffle(&bench.pairs);
+  return bench;
+}
+
+std::vector<BenchmarkSpec> DefaultBenchmarkSuite(double scale) {
+  auto scaled = [scale](int64_t n) {
+    return std::max<int64_t>(4, static_cast<int64_t>(n * scale));
+  };
+  std::vector<BenchmarkSpec> suite;
+
+  {  // D1: Abt-Buy — text-heavy, *alias-dominated*: the two sides name
+     // the same product differently ("apple iphone 10" vs "aapl iphone
+     // x"), so surface-similarity features are weak and matching needs
+     // learned alias knowledge — the paper's motivating difficulty.
+    BenchmarkSpec spec;
+    spec.name = "abt_buy";
+    spec.schema_a = {"name", "description", "price"};
+    spec.schema_b = {"name", "description", "price"};
+    spec.profile_a.brand_alias_prob = 0.6;
+    spec.profile_a.model_alias_prob = 0.2;
+    spec.profile_a.typo_prob = 0.08;
+    spec.profile_a.verbose_title = true;
+    spec.profile_a.description_keep_prob = 0.55;
+    spec.profile_b.brand_alias_prob = 0.1;
+    spec.profile_b.model_alias_prob = 0.6;
+    spec.profile_b.drop_variant_prob = 0.45;
+    spec.profile_b.description_keep_prob = 0.55;
+    spec.num_matches = scaled(150);
+    spec.num_hard_nonmatches = scaled(250);
+    spec.num_random_nonmatches = scaled(350);
+    spec.seed = 101;
+    suite.push_back(spec);
+  }
+  {  // D2: Amazon-Google — the paper's Table 1 schema, alias-heavy with
+     // missing values.
+    BenchmarkSpec spec;
+    spec.name = "amazon_google";
+    spec.schema_a = {"title", "manufacturer", "price"};
+    spec.schema_b = {"name", "manufacturer", "price"};
+    spec.profile_a.model_alias_prob = 0.6;
+    spec.profile_a.brand_alias_prob = 0.15;
+    spec.profile_a.missing_prob = 0.12;
+    spec.profile_b.brand_alias_prob = 0.6;
+    spec.profile_b.model_alias_prob = 0.1;
+    spec.profile_b.reorder_prob = 0.25;
+    spec.num_matches = scaled(150);
+    spec.num_hard_nonmatches = scaled(250);
+    spec.num_random_nonmatches = scaled(350);
+    spec.seed = 102;
+    suite.push_back(spec);
+  }
+  {  // D3: Walmart-Amazon — structured, has model numbers and categories.
+    BenchmarkSpec spec;
+    spec.name = "walmart_amazon";
+    spec.schema_a = {"title", "category", "brand", "modelno", "price"};
+    spec.schema_b = {"title", "category", "brand", "modelno", "price"};
+    spec.profile_a.model_alias_prob = 0.5;
+    spec.profile_a.brand_alias_prob = 0.55;
+    spec.profile_a.unit_variant_prob = 0.7;
+    spec.profile_b.missing_prob = 0.15;
+    spec.profile_b.model_alias_prob = 0.45;
+    spec.num_matches = scaled(170);
+    spec.num_hard_nonmatches = scaled(280);
+    spec.num_random_nonmatches = scaled(380);
+    spec.seed = 103;
+    suite.push_back(spec);
+  }
+  {  // D4: iTunes-Amazon — small, year-centric schema.
+    BenchmarkSpec spec;
+    spec.name = "itunes_amazon";
+    spec.schema_a = {"product_name", "description", "company",
+                     "release_year", "price"};
+    spec.schema_b = {"name", "description", "brand", "year", "price"};
+    spec.profile_a.description_keep_prob = 0.6;
+    spec.profile_b.description_keep_prob = 0.6;
+    spec.profile_a.drop_variant_prob = 0.4;
+    spec.profile_a.model_alias_prob = 0.5;
+    spec.profile_b.brand_alias_prob = 0.6;
+    spec.profile_b.model_alias_prob = 0.4;
+    spec.num_matches = scaled(100);
+    spec.num_hard_nonmatches = scaled(160);
+    spec.num_random_nonmatches = scaled(240);
+    spec.seed = 104;
+    suite.push_back(spec);
+  }
+  {  // D5: SIGMOD'20 contest — largest, dirtiest (1000/8000 in the paper).
+    BenchmarkSpec spec;
+    spec.name = "sigmod_contest";
+    spec.schema_a = {"title", "brand", "screen", "price"};
+    spec.schema_b = {"title", "brand", "screen", "price"};
+    spec.profile_a.typo_prob = 0.12;
+    spec.profile_a.verbose_title = true;
+    spec.profile_a.reorder_prob = 0.25;
+    spec.profile_a.brand_alias_prob = 0.6;
+    spec.profile_b.typo_prob = 0.1;
+    spec.profile_b.missing_prob = 0.18;
+    spec.profile_b.model_alias_prob = 0.55;
+    spec.num_matches = scaled(220);
+    spec.num_hard_nonmatches = scaled(500);
+    spec.num_random_nonmatches = scaled(1000);
+    spec.seed = 105;
+    suite.push_back(spec);
+  }
+  return suite;
+}
+
+Table GenerateCleaningTable(const ProductUniverse& universe,
+                            const std::vector<int64_t>& product_ids,
+                            const std::vector<std::string>& columns,
+                            const RenderProfile& profile, uint64_t seed) {
+  Rng rng(seed);
+  Table table{Schema(columns)};
+  for (int64_t id : product_ids) {
+    table.AddRow(RenderTuple(universe, universe.product(id), columns,
+                             profile, &rng));
+  }
+  return table;
+}
+
+void SplitProducts(int64_t universe_size, double test_fraction,
+                   double overlap_fraction, uint64_t seed,
+                   std::vector<int64_t>* train_ids,
+                   std::vector<int64_t>* test_ids) {
+  RPT_CHECK(train_ids != nullptr && test_ids != nullptr);
+  train_ids->clear();
+  test_ids->clear();
+  Rng rng(seed);
+  std::vector<int64_t> ids(static_cast<size_t>(universe_size));
+  for (int64_t i = 0; i < universe_size; ++i) {
+    ids[static_cast<size_t>(i)] = i;
+  }
+  rng.Shuffle(&ids);
+  const int64_t num_test = std::max<int64_t>(
+      1, static_cast<int64_t>(test_fraction * universe_size));
+  for (int64_t i = 0; i < universe_size; ++i) {
+    const int64_t id = ids[static_cast<size_t>(i)];
+    if (i < num_test) {
+      test_ids->push_back(id);
+      // Some test products also occur in training catalogs.
+      if (rng.Bernoulli(overlap_fraction)) train_ids->push_back(id);
+    } else {
+      train_ids->push_back(id);
+    }
+  }
+}
+
+}  // namespace rpt

@@ -1,0 +1,51 @@
+#include "synth/column_examples.h"
+
+#include "synth/benchmarks.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+std::vector<std::string> ColumnTypeNames() {
+  // modelno and color are the ambiguous ones: model numbers collide with
+  // years/prices (and have roman/word aliases), colors look like any
+  // short string column.
+  return {"title",  "manufacturer", "category", "price", "year",
+          "memory", "screen",       "modelno",  "color"};
+}
+
+std::vector<LabeledColumn> GenerateLabeledColumns(
+    const ProductUniverse& universe, int64_t columns_per_type,
+    int64_t values_per_column, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LabeledColumn> out;
+  const auto types = ColumnTypeNames();
+  for (const auto& type : types) {
+    for (int64_t c = 0; c < columns_per_type; ++c) {
+      // Each column gets its own noise profile so the annotator cannot
+      // rely on one rendering style.
+      RenderProfile profile;
+      profile.brand_alias_prob = rng.UniformDouble() * 0.6;
+      profile.model_alias_prob = rng.UniformDouble() * 0.6;
+      profile.unit_variant_prob = rng.UniformDouble();
+      profile.missing_prob = 0.0;
+      profile.typo_prob = rng.UniformDouble() * 0.05;
+      LabeledColumn column;
+      column.type = type;
+      int64_t guard = 0;
+      while (static_cast<int64_t>(column.values.size()) <
+                 values_per_column &&
+             guard++ < values_per_column * 30) {
+        const Product& p = universe.products()[rng.UniformInt(
+            universe.products().size())];
+        Value value = RenderAttribute(universe, p, type, profile, &rng);
+        if (value.is_null() || value.text().empty()) continue;
+        column.values.push_back(value.text());
+      }
+      if (!column.values.empty()) out.push_back(std::move(column));
+    }
+  }
+  rng.Shuffle(&out);
+  return out;
+}
+
+}  // namespace rpt

@@ -1,0 +1,32 @@
+// Labeled column samples for the data-annotation task (§5): bags of
+// rendered cell values with their semantic type.
+
+#ifndef RPT_SYNTH_COLUMN_EXAMPLES_H_
+#define RPT_SYNTH_COLUMN_EXAMPLES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/universe.h"
+
+namespace rpt {
+
+/// A column's values and its gold semantic type name.
+struct LabeledColumn {
+  std::vector<std::string> values;
+  std::string type;
+};
+
+/// Semantic types the generator can produce.
+std::vector<std::string> ColumnTypeNames();
+
+/// Generates `columns_per_type` labeled columns per type, each with
+/// `values_per_column` rendered cells.
+std::vector<LabeledColumn> GenerateLabeledColumns(
+    const ProductUniverse& universe, int64_t columns_per_type,
+    int64_t values_per_column, uint64_t seed);
+
+}  // namespace rpt
+
+#endif  // RPT_SYNTH_COLUMN_EXAMPLES_H_

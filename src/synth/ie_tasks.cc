@@ -1,0 +1,119 @@
+#include "synth/ie_tasks.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rpt {
+
+std::vector<std::string> IeTargetAttributes() {
+  return {"memory", "screen", "price", "year", "storage"};
+}
+
+namespace {
+
+// A description part carrying the exact phrase of one attribute.
+struct Part {
+  std::string attribute;  // "" for filler
+  std::string text;       // full part text
+  std::string span;       // the label span inside `text`
+};
+
+std::vector<Part> BuildParts(const ProductUniverse& universe,
+                             const Product& p, Rng* rng) {
+  RenderProfile profile;
+  profile.typo_prob = 0.0;
+  std::vector<Part> parts;
+  if (p.screen_in > 0) {
+    const std::string span = universe.RenderScreen(p, profile, rng);
+    parts.push_back({"screen",
+                     span + (rng->Bernoulli(0.5) ? " display"
+                                                 : " touchscreen"),
+                     span});
+  }
+  if (p.memory_gb > 0) {
+    const std::string span = universe.RenderMemory(p, profile, rng);
+    parts.push_back({"memory",
+                     rng->Bernoulli(0.5) ? "comes with " + span : span,
+                     span});
+  }
+  if (p.storage_gb > 0) {
+    const std::string span =
+        p.storage_gb >= 1024 ? "1tb" : std::to_string(p.storage_gb) + "gb";
+    parts.push_back({"storage", span + " of storage", span});
+  }
+  {
+    const std::string span = FormatNumber(p.price);
+    parts.push_back({"price",
+                     rng->Bernoulli(0.5) ? "priced at " + span + " dollars"
+                                         : "costs " + span,
+                     span});
+  }
+  {
+    const std::string span = std::to_string(p.year);
+    parts.push_back({"year", "released in " + span, span});
+  }
+  parts.push_back({"", "comes in " + p.color, ""});
+  if (p.megapixels > 0) {
+    parts.push_back(
+        {"", std::to_string(p.megapixels) + " megapixel sensor", ""});
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::vector<IeParagraph> GenerateIeParagraphs(
+    const ProductUniverse& universe, int64_t num_paragraphs,
+    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IeParagraph> out;
+  const auto& products = universe.products();
+  out.reserve(static_cast<size_t>(num_paragraphs));
+  for (int64_t i = 0; i < num_paragraphs; ++i) {
+    const Product& p = products[rng.UniformInt(products.size())];
+    std::vector<Part> parts = BuildParts(universe, p, &rng);
+    rng.Shuffle(&parts);
+    IeParagraph paragraph;
+    paragraph.category = p.category;
+    std::vector<std::string> texts;
+    texts.reserve(parts.size());
+    for (const auto& part : parts) {
+      texts.push_back(part.text);
+      if (!part.attribute.empty()) {
+        paragraph.spans.emplace_back(part.attribute, part.span);
+      }
+    }
+    paragraph.description = Join(texts, ", ");
+    out.push_back(std::move(paragraph));
+  }
+  return out;
+}
+
+std::vector<IeExample> GenerateIeExamples(const ProductUniverse& universe,
+                                          const std::string& attribute,
+                                          int64_t num_examples,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IeExample> out;
+  int64_t attempts = 0;
+  // Draw paragraphs until enough of them carry the target attribute.
+  while (static_cast<int64_t>(out.size()) < num_examples &&
+         attempts < num_examples * 50) {
+    ++attempts;
+    auto paragraphs = GenerateIeParagraphs(universe, 1, rng.Next());
+    const IeParagraph& paragraph = paragraphs.front();
+    for (const auto& [attr, span] : paragraph.spans) {
+      if (attr != attribute) continue;
+      IeExample ex;
+      ex.category = paragraph.category;
+      ex.description = paragraph.description;
+      ex.target_attribute = attribute;
+      ex.label = span;
+      out.push_back(std::move(ex));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rpt

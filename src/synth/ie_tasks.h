@@ -1,0 +1,55 @@
+// Synthetic information-extraction tasks (paper §4, Fig. 1(c) / Fig. 6).
+//
+// Each example is a text-rich tuple (type, description) where the value of
+// one target attribute (memory, screen, price, year, storage) appears
+// verbatim inside the description; the label is that exact span. Examples
+// come with the gold span so the RPT-I span head can be trained and the
+// extraction scored by exact match / token F1.
+
+#ifndef RPT_SYNTH_IE_TASKS_H_
+#define RPT_SYNTH_IE_TASKS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/universe.h"
+
+namespace rpt {
+
+/// One IE example: extract `label` (a substring of `description`) that
+/// answers "what is the <target_attribute>".
+struct IeExample {
+  std::string category;          // tuple "type" column
+  std::string description;       // text-rich field containing the answer
+  std::string target_attribute;  // "memory", "screen", "price", ...
+  std::string label;             // the gold span text
+};
+
+/// Attributes available as IE targets.
+std::vector<std::string> IeTargetAttributes();
+
+/// A description with the gold span of *every* attribute it mentions.
+/// One paragraph supports several questions (SQuAD-style), which is what
+/// forces a span model to actually condition on the question.
+struct IeParagraph {
+  std::string category;
+  std::string description;
+  /// (attribute, span) pairs; spans occur verbatim in `description`.
+  std::vector<std::pair<std::string, std::string>> spans;
+};
+
+/// Generates paragraphs with all their attribute spans.
+std::vector<IeParagraph> GenerateIeParagraphs(const ProductUniverse& universe,
+                                              int64_t num_paragraphs,
+                                              uint64_t seed);
+
+/// Generates examples for one target attribute (skips products lacking it).
+std::vector<IeExample> GenerateIeExamples(const ProductUniverse& universe,
+                                          const std::string& attribute,
+                                          int64_t num_examples,
+                                          uint64_t seed);
+
+}  // namespace rpt
+
+#endif  // RPT_SYNTH_IE_TASKS_H_

@@ -1,0 +1,57 @@
+#include "synth/text_corpus.h"
+
+#include "util/string_util.h"
+
+namespace rpt {
+
+std::vector<std::string> GenerateTextCorpus(const ProductUniverse& universe,
+                                            int64_t num_sentences,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  RenderProfile profile;  // mild default noise
+  profile.typo_prob = 0.0;
+  std::vector<std::string> corpus;
+  corpus.reserve(static_cast<size_t>(num_sentences));
+  const auto& products = universe.products();
+  for (int64_t i = 0; i < num_sentences; ++i) {
+    const Product& p = products[rng.UniformInt(products.size())];
+    const std::string title = universe.RenderTitle(p, profile, &rng);
+    const std::string brand =
+        universe.RenderManufacturer(p, profile, &rng);
+    const std::string screen = universe.RenderScreen(p, profile, &rng);
+    const std::string memory = universe.RenderMemory(p, profile, &rng);
+    const std::string price = FormatNumber(p.price);
+    std::string sentence;
+    switch (rng.UniformInt(6)) {
+      case 0:
+        sentence = "the new " + title + " from " + brand + " costs " +
+                   price + " dollars";
+        break;
+      case 1:
+        sentence = brand + " released the " + title + " in " +
+                   std::to_string(p.year);
+        break;
+      case 2:
+        sentence = "i bought a " + title +
+                   (screen.empty() ? " and it is great"
+                                   : " with a " + screen + " screen");
+        break;
+      case 3:
+        sentence = "review : the " + title +
+                   (memory.empty() ? " is fast"
+                                   : " ships with " + memory);
+        break;
+      case 4:
+        sentence = "the " + p.line + " " + std::to_string(p.model) +
+                   " is a " + p.category + " made by " + brand;
+        break;
+      default:
+        sentence = title + " in " + p.color + " is on sale for " + price;
+        break;
+    }
+    corpus.push_back(std::move(sentence));
+  }
+  return corpus;
+}
+
+}  // namespace rpt

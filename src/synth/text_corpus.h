@@ -1,0 +1,27 @@
+// Synthetic product-domain *text* corpus.
+//
+// Used to pre-train the BART baseline (text knowledge only, no table
+// structure) — the contrast Table 1 of the paper measures. Sentences
+// mention the same brands, aliases, and specs the tables contain, phrased
+// as prose.
+
+#ifndef RPT_SYNTH_TEXT_CORPUS_H_
+#define RPT_SYNTH_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/universe.h"
+
+namespace rpt {
+
+/// Generates `num_sentences` prose sentences about products in the
+/// universe (reviews, news blurbs, spec mentions).
+std::vector<std::string> GenerateTextCorpus(const ProductUniverse& universe,
+                                            int64_t num_sentences,
+                                            uint64_t seed);
+
+}  // namespace rpt
+
+#endif  // RPT_SYNTH_TEXT_CORPUS_H_

@@ -1,0 +1,114 @@
+#include "synth/transform_tasks.h"
+
+#include <array>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace rpt {
+
+namespace {
+
+const std::array<const char*, 12> kMonthNames = {
+    "jan", "feb", "mar", "apr", "may", "jun",
+    "jul", "aug", "sep", "oct", "nov", "dec"};
+
+const std::vector<std::string>& FirstNames() {
+  static const auto* names = new std::vector<std::string>{
+      "john", "mary", "wei", "fatima", "carlos", "anna", "liam",
+      "sofia", "david", "nina", "omar", "lucy", "ivan", "maya"};
+  return *names;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const auto* names = new std::vector<std::string>{
+      "smith", "chen", "garcia", "khan", "mueller", "rossi", "tanaka",
+      "brown", "silva", "novak", "ali", "dubois", "larsen", "costa"};
+  return *names;
+}
+
+}  // namespace
+
+std::vector<TransformPair> GenerateDateReformatPairs(int64_t count,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TransformPair> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const int year = static_cast<int>(rng.UniformRange(1990, 2025));
+    const int month = static_cast<int>(rng.UniformRange(1, 12));
+    const int day = static_cast<int>(rng.UniformRange(1, 28));
+    char input[16];
+    std::snprintf(input, sizeof(input), "%04d-%02d-%02d", year, month, day);
+    const std::string output = std::string(kMonthNames[month - 1]) + " " +
+                               std::to_string(day) + " " +
+                               std::to_string(year);
+    out.emplace_back(input, output);
+  }
+  return out;
+}
+
+std::vector<TransformPair> GenerateNameSwapPairs(int64_t count,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TransformPair> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const std::string& first = rng.Choice(FirstNames());
+    const std::string& last = rng.Choice(LastNames());
+    out.emplace_back(first + " " + last, last + " , " + first);
+  }
+  return out;
+}
+
+std::vector<TransformPair> GenerateUnitSpacingPairs(int64_t count,
+                                                    uint64_t seed) {
+  Rng rng(seed);
+  static const std::vector<std::string> kUnits = {"gb", "tb", "mb", "kg",
+                                                  "cm", "mm"};
+  std::vector<TransformPair> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t amount = rng.UniformRange(1, 999);
+    const std::string& unit = rng.Choice(kUnits);
+    out.emplace_back(std::to_string(amount) + unit,
+                     std::to_string(amount) + " " + unit);
+  }
+  return out;
+}
+
+std::vector<TransformPair> GeneratePhonePairs(int64_t count,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TransformPair> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const int area = static_cast<int>(rng.UniformRange(200, 989));
+    const int mid = static_cast<int>(rng.UniformRange(200, 999));
+    const int tail = static_cast<int>(rng.UniformRange(0, 9999));
+    char input[24], output[24];
+    std::snprintf(input, sizeof(input), "(%03d) %03d-%04d", area, mid,
+                  tail);
+    std::snprintf(output, sizeof(output), "%03d-%03d-%04d", area, mid,
+                  tail);
+    out.emplace_back(input, output);
+  }
+  return out;
+}
+
+std::vector<std::string> TransformTaskNames() {
+  return {"date_reformat", "name_swap", "unit_spacing", "phone"};
+}
+
+std::vector<TransformPair> GenerateTransformTask(const std::string& name,
+                                                 int64_t count,
+                                                 uint64_t seed) {
+  if (name == "date_reformat") return GenerateDateReformatPairs(count, seed);
+  if (name == "name_swap") return GenerateNameSwapPairs(count, seed);
+  if (name == "unit_spacing") return GenerateUnitSpacingPairs(count, seed);
+  if (name == "phone") return GeneratePhonePairs(count, seed);
+  RPT_CHECK(false) << "unknown transform task: " << name;
+  return {};
+}
+
+}  // namespace rpt

@@ -1,0 +1,44 @@
+// Synthetic transformation-by-example tasks (paper §5): deterministic
+// generators of (input, output) string pairs for format-rewriting rules a
+// learned transformer should generalize to unseen values.
+
+#ifndef RPT_SYNTH_TRANSFORM_TASKS_H_
+#define RPT_SYNTH_TRANSFORM_TASKS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rpt {
+
+using TransformPair = std::pair<std::string, std::string>;
+
+/// "2017-03-05" -> "mar 5 2017" (ISO date to a prose rendering).
+std::vector<TransformPair> GenerateDateReformatPairs(int64_t count,
+                                                     uint64_t seed);
+
+/// "john smith" -> "smith, john" (name order swap).
+std::vector<TransformPair> GenerateNameSwapPairs(int64_t count,
+                                                 uint64_t seed);
+
+/// "64gb" -> "64 gb" (unit spacing normalization).
+std::vector<TransformPair> GenerateUnitSpacingPairs(int64_t count,
+                                                    uint64_t seed);
+
+/// "(212) 555-0147" -> "212-555-0147" (phone normalization).
+std::vector<TransformPair> GeneratePhonePairs(int64_t count, uint64_t seed);
+
+/// All task names handled by GenerateTransformTask.
+std::vector<std::string> TransformTaskNames();
+
+/// Dispatches by task name.
+std::vector<TransformPair> GenerateTransformTask(const std::string& name,
+                                                 int64_t count,
+                                                 uint64_t seed);
+
+}  // namespace rpt
+
+#endif  // RPT_SYNTH_TRANSFORM_TASKS_H_

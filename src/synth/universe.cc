@@ -1,0 +1,313 @@
+#include "synth/universe.h"
+
+#include <array>
+#include <cmath>
+
+#include "corrupt/dirt.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rpt {
+
+namespace {
+
+struct BrandSpec {
+  const char* canonical;
+  std::vector<std::string> aliases;  // includes canonical as first entry
+  double price_factor;
+};
+
+// Brand alias data. The first alias is the canonical rendering.
+const std::vector<BrandSpec>& Brands() {
+  static const auto* brands = new std::vector<BrandSpec>{
+      {"apple", {"apple", "apple inc", "aapl", "apple computer"}, 1.6},
+      {"samsung", {"samsung", "samsung electronics", "ssnlf"}, 1.2},
+      {"sony", {"sony", "sony corp", "sony corporation"}, 1.3},
+      {"microsoft", {"microsoft", "microsoft corp", "msft"}, 1.4},
+      {"dell", {"dell", "dell inc", "dell technologies"}, 1.0},
+      {"hp", {"hp", "hewlett packard", "hewlett-packard"}, 0.9},
+      {"lenovo", {"lenovo", "lenovo group"}, 0.8},
+      {"google", {"google", "google llc", "googl", "alphabet"}, 1.3},
+      {"canon", {"canon", "canon inc", "canon usa"}, 1.1},
+      {"asus", {"asus", "asustek", "asustek computer"}, 0.85},
+  };
+  return *brands;
+}
+
+struct LineSpec {
+  const char* brand;
+  const char* category;
+  const char* line;
+  double base_price;
+  int first_model;
+  int last_model;
+};
+
+const std::vector<LineSpec>& Lines() {
+  static const auto* lines = new std::vector<LineSpec>{
+      {"apple", "phone", "iphone", 650, 7, 14},
+      {"apple", "laptop", "macbook pro", 1300, 1, 5},
+      {"apple", "tablet", "ipad", 450, 5, 10},
+      {"samsung", "phone", "galaxy s", 600, 8, 14},
+      {"samsung", "tablet", "galaxy tab", 380, 4, 9},
+      {"sony", "camera", "alpha", 900, 5, 9},
+      {"sony", "headphones", "wh", 220, 2, 5},
+      {"microsoft", "laptop", "surface", 900, 3, 9},
+      {"microsoft", "software", "office", 120, 2016, 2021},
+      {"dell", "laptop", "xps", 850, 11, 17},
+      {"dell", "monitor", "ultrasharp", 320, 24, 32},
+      {"hp", "laptop", "spectre", 800, 11, 15},
+      {"hp", "printer", "laserjet", 180, 2, 8},
+      {"lenovo", "laptop", "thinkpad", 750, 1, 7},
+      {"google", "phone", "pixel", 550, 2, 8},
+      {"canon", "camera", "eos", 700, 5, 9},
+      {"asus", "laptop", "zenbook", 650, 12, 16},
+  };
+  return *lines;
+}
+
+const std::vector<std::string>& Variants() {
+  static const auto* variants = new std::vector<std::string>{
+      "", "", "", "pro", "max", "mini", "plus"};  // "" weighted higher
+  return *variants;
+}
+
+const std::vector<std::string>& Colors() {
+  static const auto* colors = new std::vector<std::string>{
+      "black", "white", "silver", "gold", "blue", "red"};
+  return *colors;
+}
+
+// Number words for model aliases.
+const char* NumberWord(int n) {
+  static const std::array<const char*, 21> kWords = {
+      "zero", "one",  "two",  "three",    "four",     "five",    "six",
+      "seven", "eight", "nine", "ten",     "eleven",   "twelve",  "thirteen",
+      "fourteen", "fifteen", "sixteen", "seventeen", "eighteen", "nineteen",
+      "twenty"};
+  if (n >= 0 && n <= 20) return kWords[static_cast<size_t>(n)];
+  return nullptr;
+}
+
+const char* RomanNumeral(int n) {
+  static const std::array<const char*, 15> kRoman = {
+      "i",  "ii",  "iii", "iv",  "v",  "vi",  "vii", "viii",
+      "ix", "x",   "xi",  "xii", "xiii", "xiv"};
+  if (n >= 1 && n <= 14) return kRoman[static_cast<size_t>(n - 1)];
+  return nullptr;
+}
+
+const BrandSpec& FindBrand(const std::string& name) {
+  for (const auto& b : Brands()) {
+    if (b.canonical == name) return b;
+  }
+  RPT_CHECK(false) << "unknown brand " << name;
+  return Brands()[0];
+}
+
+}  // namespace
+
+std::string Product::CanonicalName() const {
+  std::string out = brand + " " + line + " " + std::to_string(model);
+  if (!variant.empty()) out += " " + variant;
+  return out;
+}
+
+ProductUniverse::ProductUniverse(int64_t num_products, uint64_t seed) {
+  Rng rng(seed);
+  const auto& lines = Lines();
+  products_.reserve(static_cast<size_t>(num_products));
+  for (int64_t i = 0; i < num_products; ++i) {
+    const LineSpec& line = lines[rng.UniformInt(lines.size())];
+    Product p;
+    p.id = i;
+    p.brand = line.brand;
+    p.category = line.category;
+    p.line = line.line;
+    p.model = static_cast<int>(
+        rng.UniformRange(line.first_model, line.last_model));
+    p.variant = rng.Choice(Variants());
+    // Year: newer models are newer products (tie to model tier).
+    const int span = line.last_model - line.first_model + 1;
+    const int tier = p.model - line.first_model;  // 0..span-1
+    p.year = p.model > 100
+                 ? p.model  // software named by year
+                 : 2015 + (tier * 6) / std::max(1, span);
+    // Specs scale with tier.
+    static const int kMemoryLadder[] = {4, 8, 16, 32, 64};
+    static const int kStorageLadder[] = {64, 128, 256, 512, 1024};
+    const int spec_idx =
+        std::min<int>(4, (tier * 5) / std::max(1, span) +
+                             static_cast<int>(rng.UniformInt(2)));
+    p.memory_gb = kMemoryLadder[spec_idx];
+    p.storage_gb = kStorageLadder[spec_idx];
+    if (p.category == "phone") {
+      p.screen_in = 5.0 + 0.3 * (tier % 6);
+    } else if (p.category == "tablet") {
+      p.screen_in = 8.0 + 0.5 * (tier % 5);
+    } else if (p.category == "laptop") {
+      p.screen_in = 13.0 + (tier % 3);
+    } else if (p.category == "monitor") {
+      p.screen_in = p.model;  // ultrasharp 27 is 27"
+    } else {
+      p.screen_in = 0;
+    }
+    // Round screens to one decimal to keep renderings exact.
+    p.screen_in = std::round(p.screen_in * 10.0) / 10.0;
+    p.megapixels = p.category == "camera" ? 18 + 4 * (tier % 4) : 0;
+    p.color = rng.Choice(Colors());
+    // Price: base * brand factor * tier multiplier, rounded to x.99.
+    const double brand_factor = FindBrand(p.brand).price_factor;
+    const double tier_factor = 1.0 + 0.25 * tier;
+    const double variant_factor =
+        p.variant == "pro" || p.variant == "max" ? 1.3
+        : p.variant == "mini"                    ? 0.8
+                                                 : 1.0;
+    double price = line.base_price * brand_factor * tier_factor *
+                   variant_factor;
+    p.price = std::floor(price) + 0.99;
+    products_.push_back(std::move(p));
+  }
+}
+
+const Product& ProductUniverse::product(int64_t id) const {
+  RPT_CHECK(id >= 0 && id < static_cast<int64_t>(products_.size()));
+  return products_[static_cast<size_t>(id)];
+}
+
+const std::vector<std::string>& ProductUniverse::BrandAliases(
+    const std::string& brand) {
+  return FindBrand(brand).aliases;
+}
+
+std::vector<std::string> ProductUniverse::ModelAliases(int model) {
+  std::vector<std::string> out = {std::to_string(model)};
+  if (const char* roman = RomanNumeral(model)) out.emplace_back(roman);
+  if (const char* word = NumberWord(model)) out.emplace_back(word);
+  return out;
+}
+
+std::string ProductUniverse::RenderManufacturer(const Product& p,
+                                                const RenderProfile& profile,
+                                                Rng* rng) const {
+  const auto& aliases = BrandAliases(p.brand);
+  if (aliases.size() > 1 && rng->Bernoulli(profile.brand_alias_prob)) {
+    return aliases[1 + rng->UniformInt(aliases.size() - 1)];
+  }
+  return aliases[0];
+}
+
+std::string ProductUniverse::RenderScreen(const Product& p,
+                                          const RenderProfile& profile,
+                                          Rng* rng) const {
+  if (p.screen_in <= 0) return "";
+  const std::string size = FormatNumber(p.screen_in);
+  if (!rng->Bernoulli(profile.unit_variant_prob)) return size + " inches";
+  switch (rng->UniformInt(3)) {
+    case 0:
+      return size + "-inch";
+    case 1:
+      return size + " in";
+    default:
+      return size + " inchs";  // the paper's own example typo form
+  }
+}
+
+std::string ProductUniverse::RenderMemory(const Product& p,
+                                          const RenderProfile& profile,
+                                          Rng* rng) const {
+  if (p.memory_gb <= 0) return "";
+  const std::string amount = std::to_string(p.memory_gb);
+  if (!rng->Bernoulli(profile.unit_variant_prob)) return amount + "gb";
+  switch (rng->UniformInt(3)) {
+    case 0:
+      return amount + " gb";
+    case 1:
+      return amount + "gb ram";
+    default:
+      return amount + " gb of ram";
+  }
+}
+
+std::string ProductUniverse::RenderTitle(const Product& p,
+                                         const RenderProfile& profile,
+                                         Rng* rng) const {
+  std::string brand = RenderManufacturer(p, profile, rng);
+  std::string model = std::to_string(p.model);
+  const auto aliases = ModelAliases(p.model);
+  if (aliases.size() > 1 && rng->Bernoulli(profile.model_alias_prob)) {
+    model = aliases[1 + rng->UniformInt(aliases.size() - 1)];
+  }
+  std::vector<std::string> blocks = {brand, p.line, model};
+  if (!p.variant.empty() && !rng->Bernoulli(profile.drop_variant_prob)) {
+    blocks.push_back(p.variant);
+  }
+  if (profile.verbose_title) {
+    const std::string mem = RenderMemory(p, profile, rng);
+    if (!mem.empty()) blocks.push_back(mem);
+    if (rng->Bernoulli(0.5)) blocks.push_back(p.color);
+  }
+  if (blocks.size() >= 2 && rng->Bernoulli(profile.reorder_prob)) {
+    // Move the brand to the end ("iphone 10 pro by apple" style noise).
+    std::string first = blocks.front();
+    blocks.erase(blocks.begin());
+    blocks.push_back(first);
+  }
+  std::string title = Join(blocks, " ");
+  if (rng->Bernoulli(profile.typo_prob)) {
+    title = InjectTypo(title, rng);
+  }
+  return title;
+}
+
+std::string ProductUniverse::RenderDescription(const Product& p,
+                                               const RenderProfile& profile,
+                                               Rng* rng) const {
+  std::vector<std::string> parts;
+  const std::string screen = RenderScreen(p, profile, rng);
+  if (!screen.empty()) {
+    parts.push_back(screen + (rng->Bernoulli(0.5) ? " display"
+                                                  : " touchscreen"));
+  }
+  const std::string mem = RenderMemory(p, profile, rng);
+  if (!mem.empty()) {
+    parts.push_back(rng->Bernoulli(0.5) ? "comes with " + mem : mem);
+  }
+  if (p.storage_gb > 0) {
+    const std::string storage =
+        p.storage_gb >= 1024 ? "1tb" : std::to_string(p.storage_gb) + "gb";
+    parts.push_back(storage + " storage");
+  }
+  if (p.megapixels > 0) {
+    parts.push_back(std::to_string(p.megapixels) + " megapixel sensor");
+  }
+  parts.push_back("released " + std::to_string(p.year));
+  parts.push_back(p.color + " finish");
+  // Marketing blurbs mention only some specs; two renderings of one
+  // product then overlap partially (controls how much descriptions give
+  // away to surface-similarity methods).
+  if (profile.description_keep_prob < 1.0) {
+    std::vector<std::string> kept;
+    for (auto& part : parts) {
+      if (rng->Bernoulli(profile.description_keep_prob)) {
+        kept.push_back(std::move(part));
+      }
+    }
+    if (!kept.empty()) parts = std::move(kept);
+  }
+  rng->Shuffle(&parts);
+  return Join(parts, ", ");
+}
+
+double ProductUniverse::RenderPrice(const Product& p,
+                                    const RenderProfile& profile,
+                                    Rng* rng) const {
+  if (rng->Bernoulli(profile.price_jitter_prob)) {
+    // Street price: small discount, rounded to .95.
+    const double discount = 1.0 - 0.05 * rng->UniformDouble();
+    return std::floor(p.price * discount) + 0.95;
+  }
+  return p.price;
+}
+
+}  // namespace rpt

@@ -1,0 +1,114 @@
+// Synthetic product-domain universe.
+//
+// The paper evaluates on real product-matching benchmarks (Abt-Buy,
+// Amazon-Google, Walmart-Amazon, iTunes-Amazon, SIGMOD'20 contest). Those
+// datasets are unavailable offline, so this module generates a deterministic
+// catalog of ground-truth products plus *renderers* that produce the same
+// kinds of surface variation those benchmarks are hard because of:
+// brand aliases ("Apple" / "Apple Inc" / "AAPL"), model aliases
+// ("iPhone 10" = "iPhone X" = "iPhone ten"), unit variants ("5.8 inches" /
+// "5.8-inch" / "5.8 in"), abbreviations, typos, word-order noise, and
+// missing values.
+//
+// Prices follow brand/category/model-tier structure, giving the soft
+// functional dependencies RPT-C is supposed to learn.
+
+#ifndef RPT_SYNTH_UNIVERSE_H_
+#define RPT_SYNTH_UNIVERSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace rpt {
+
+/// A ground-truth entity. All fields canonical; renderers add variation.
+struct Product {
+  int64_t id = 0;
+  std::string brand;      // canonical brand name ("apple")
+  std::string category;   // "phone", "laptop", "camera", "software", ...
+  std::string line;       // product line ("iphone", "galaxy", ...)
+  int model = 0;          // model number within the line
+  std::string variant;    // "", "pro", "max", "mini", "plus"
+  int year = 0;
+  int memory_gb = 0;      // RAM
+  int storage_gb = 0;
+  double screen_in = 0;   // display diagonal
+  int megapixels = 0;     // cameras only
+  std::string color;
+  double price = 0;       // structured: category base * brand factor * tier
+
+  /// Canonical single-string name ("apple iphone 10 pro").
+  std::string CanonicalName() const;
+};
+
+/// Knobs for how noisily a product is rendered into strings. Each ER
+/// "benchmark" uses a different profile, which is what makes transfer
+/// between them non-trivial.
+struct RenderProfile {
+  double brand_alias_prob = 0.4;   // use an alias instead of canonical
+  double model_alias_prob = 0.3;   // "x"/"ten" instead of "10"
+  double unit_variant_prob = 0.5;  // "5.8-inch" vs "5.8 inches" vs "5.8 in"
+  double typo_prob = 0.05;         // character typo in the title
+  double drop_variant_prob = 0.2;  // omit "pro"/"max" from the title
+  double missing_prob = 0.05;      // null out optional attributes
+  double reorder_prob = 0.1;       // swap title word blocks
+  double price_jitter_prob = 0.3;  // render a discounted street price
+  double description_keep_prob = 1.0;  // keep each description clause
+  bool verbose_title = false;      // append spec words to the title
+};
+
+class ProductUniverse {
+ public:
+  /// Builds a deterministic universe of `num_products` ground-truth
+  /// products spanning several brands/categories.
+  ProductUniverse(int64_t num_products, uint64_t seed);
+
+  const std::vector<Product>& products() const { return products_; }
+  const Product& product(int64_t id) const;
+
+  /// All brand alias strings (canonical first) for a canonical brand.
+  static const std::vector<std::string>& BrandAliases(
+      const std::string& brand);
+
+  /// All surface forms of a model number ("10" -> {"10", "x", "ten"}).
+  static std::vector<std::string> ModelAliases(int model);
+
+  // ---- Renderers (deterministic given rng state) -------------------------
+
+  /// Product title, e.g. "apple iphone x pro 64gb".
+  std::string RenderTitle(const Product& p, const RenderProfile& profile,
+                          Rng* rng) const;
+
+  /// Manufacturer string (canonical or alias).
+  std::string RenderManufacturer(const Product& p,
+                                 const RenderProfile& profile,
+                                 Rng* rng) const;
+
+  /// Text-rich description ("6.1-inch display, 128gb storage, ...").
+  std::string RenderDescription(const Product& p,
+                                const RenderProfile& profile,
+                                Rng* rng) const;
+
+  /// Price with optional small jitter (list price vs street price).
+  double RenderPrice(const Product& p, const RenderProfile& profile,
+                     Rng* rng) const;
+
+  /// Screen-size phrase with unit variation.
+  std::string RenderScreen(const Product& p, const RenderProfile& profile,
+                           Rng* rng) const;
+
+  /// Memory phrase ("64gb", "64 gb", "64gb ram").
+  std::string RenderMemory(const Product& p, const RenderProfile& profile,
+                           Rng* rng) const;
+
+ private:
+  std::vector<Product> products_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_SYNTH_UNIVERSE_H_

@@ -1,0 +1,115 @@
+#include "table/serializer.h"
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+namespace {
+
+void Push(TupleEncoding* out, int32_t id, int64_t col, int32_t type) {
+  out->ids.push_back(id);
+  out->col_ids.push_back(static_cast<int32_t>(col));
+  out->type_ids.push_back(type);
+}
+
+}  // namespace
+
+void TupleSerializer::AppendAttribute(const std::string& name,
+                                      const Value& value, int64_t column,
+                                      bool mask_value,
+                                      TupleEncoding* out) const {
+  if (options_.include_attr_names) {
+    if (options_.use_structure_tokens) {
+      Push(out, SpecialTokens::kAttr, column, TokenKinds::kStructure);
+    }
+    for (int32_t id : Tokenizer::Encode(name, *vocab_)) {
+      Push(out, id, column, TokenKinds::kAttrName);
+    }
+  }
+  if (options_.use_structure_tokens) {
+    Push(out, SpecialTokens::kValue, column, TokenKinds::kStructure);
+  }
+  TupleEncoding::ValueSpan span;
+  span.column = column;
+  span.begin = out->size();
+  if (mask_value) {
+    Push(out, SpecialTokens::kMask, column, TokenKinds::kStructure);
+  } else if (!value.is_null()) {
+    for (int32_t id : Tokenizer::Encode(value.text(), *vocab_)) {
+      Push(out, id, column, TokenKinds::kValueToken);
+    }
+  }
+  span.end = out->size();
+  out->value_spans.push_back(span);
+}
+
+TupleEncoding TupleSerializer::Serialize(const Schema& schema,
+                                         const Tuple& tuple) const {
+  RPT_CHECK_EQ(static_cast<int64_t>(tuple.size()), schema.size());
+  TupleEncoding out;
+  for (int64_t c = 0; c < schema.size(); ++c) {
+    AppendAttribute(schema.name(c), tuple[static_cast<size_t>(c)], c,
+                    /*mask_value=*/false, &out);
+  }
+  return out;
+}
+
+TupleEncoding TupleSerializer::SerializeShuffled(const Schema& schema,
+                                                 const Tuple& tuple,
+                                                 Rng* rng) const {
+  RPT_CHECK_EQ(static_cast<int64_t>(tuple.size()), schema.size());
+  std::vector<int64_t> order(tuple.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int64_t>(i);
+  }
+  rng->Shuffle(&order);
+  TupleEncoding out;
+  for (int64_t c : order) {
+    AppendAttribute(schema.name(c), tuple[static_cast<size_t>(c)], c,
+                    /*mask_value=*/false, &out);
+  }
+  return out;
+}
+
+TupleEncoding TupleSerializer::SerializeWithMask(const Schema& schema,
+                                                 const Tuple& tuple,
+                                                 int64_t masked_column) const {
+  RPT_CHECK_EQ(static_cast<int64_t>(tuple.size()), schema.size());
+  RPT_CHECK(masked_column >= 0 && masked_column < schema.size());
+  TupleEncoding out;
+  for (int64_t c = 0; c < schema.size(); ++c) {
+    AppendAttribute(schema.name(c), tuple[static_cast<size_t>(c)], c,
+                    /*mask_value=*/c == masked_column, &out);
+  }
+  return out;
+}
+
+TupleEncoding TupleSerializer::SerializePair(const Schema& schema_a,
+                                             const Tuple& a,
+                                             const Schema& schema_b,
+                                             const Tuple& b) const {
+  TupleEncoding out;
+  Push(&out, SpecialTokens::kCls, 0, TokenKinds::kStructure);
+  TupleEncoding ea = Serialize(schema_a, a);
+  for (int64_t i = 0; i < ea.size(); ++i) {
+    Push(&out, ea.ids[static_cast<size_t>(i)],
+         ea.col_ids[static_cast<size_t>(i)],
+         ea.type_ids[static_cast<size_t>(i)]);
+  }
+  Push(&out, SpecialTokens::kSep, 0, TokenKinds::kStructure);
+  TupleEncoding eb = Serialize(schema_b, b);
+  for (int64_t i = 0; i < eb.size(); ++i) {
+    Push(&out, eb.ids[static_cast<size_t>(i)],
+         eb.col_ids[static_cast<size_t>(i)],
+         eb.type_ids[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+std::vector<int32_t> TupleSerializer::EncodeValue(const Value& value) const {
+  if (value.is_null()) return {};
+  return Tokenizer::Encode(value.text(), *vocab_);
+}
+
+}  // namespace rpt

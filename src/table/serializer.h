@@ -1,0 +1,89 @@
+// Tuple tokenization (paper §2.2, Fig. 4).
+//
+// A tuple is linearized as  [A] name-tokens [V] value-tokens  per attribute.
+// Every token carries a column id (column embedding COL_c) and a token-kind
+// id ([A]-name vs value vs structure), which the encoder sums into its input
+// embedding. The serializer also records the token span of each attribute
+// value so corruption (masking) can operate per cell.
+
+#ifndef RPT_TABLE_SERIALIZER_H_
+#define RPT_TABLE_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "text/vocab.h"
+#include "util/rng.h"
+
+namespace rpt {
+
+/// Token-level encoding of one tuple, aligned vectors of equal length.
+struct TupleEncoding {
+  std::vector<int32_t> ids;
+  std::vector<int32_t> col_ids;
+  std::vector<int32_t> type_ids;
+
+  /// Token range [value_begin, value_end) of each column's value tokens
+  /// (empty spans for null cells are recorded with begin==end).
+  struct ValueSpan {
+    int64_t column = 0;
+    int64_t begin = 0;
+    int64_t end = 0;
+  };
+  std::vector<ValueSpan> value_spans;
+
+  int64_t size() const { return static_cast<int64_t>(ids.size()); }
+};
+
+/// Serialization knobs (ablated in bench/fig4_ablation).
+struct SerializerOptions {
+  bool use_structure_tokens = true;  // emit [A]/[V] markers
+  bool include_attr_names = true;    // emit attribute-name tokens
+};
+
+class TupleSerializer {
+ public:
+  explicit TupleSerializer(const Vocab* vocab,
+                           SerializerOptions options = {})
+      : vocab_(vocab), options_(options) {}
+
+  /// Linearizes one tuple. Null cells contribute an empty value span.
+  TupleEncoding Serialize(const Schema& schema, const Tuple& tuple) const;
+
+  /// Like Serialize but emits attributes in random order — the paper's
+  /// "tuples are sets, not sequences" desideratum, used as a training
+  /// augmentation so learned circuits do not depend on attribute position.
+  TupleEncoding SerializeShuffled(const Schema& schema, const Tuple& tuple,
+                                  Rng* rng) const;
+
+  /// Like Serialize, but the value of `masked_column` is replaced by a
+  /// single [M] token (attribute-value masking / text infilling).
+  TupleEncoding SerializeWithMask(const Schema& schema, const Tuple& tuple,
+                                  int64_t masked_column) const;
+
+  /// Pair serialization for the RPT-E matcher:
+  ///   [CLS] tuple_a [SEP] tuple_b
+  /// Column ids restart per side; schemas may differ (schema-agnostic).
+  TupleEncoding SerializePair(const Schema& schema_a, const Tuple& a,
+                              const Schema& schema_b, const Tuple& b) const;
+
+  /// Encodes a cell value as decoder target tokens (no BOS/EOS added).
+  std::vector<int32_t> EncodeValue(const Value& value) const;
+
+  const Vocab& vocab() const { return *vocab_; }
+  const SerializerOptions& options() const { return options_; }
+
+ private:
+  void AppendAttribute(const std::string& name, const Value& value,
+                       int64_t column, bool mask_value,
+                       TupleEncoding* out) const;
+
+  const Vocab* vocab_;
+  SerializerOptions options_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_TABLE_SERIALIZER_H_

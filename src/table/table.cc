@@ -1,0 +1,102 @@
+#include "table/table.h"
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+Schema::Schema(std::vector<std::string> names) : names_(std::move(names)) {}
+
+const std::string& Schema::name(int64_t i) const {
+  RPT_CHECK(i >= 0 && i < size());
+  return names_[static_cast<size_t>(i)];
+}
+
+int64_t Schema::Index(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+void Table::AddRow(Tuple row) {
+  RPT_CHECK_EQ(static_cast<int64_t>(row.size()), schema_.size())
+      << "row width does not match schema";
+  rows_.push_back(std::move(row));
+}
+
+const Tuple& Table::row(int64_t i) const {
+  RPT_CHECK(i >= 0 && i < NumRows());
+  return rows_[static_cast<size_t>(i)];
+}
+
+Tuple& Table::mutable_row(int64_t i) {
+  RPT_CHECK(i >= 0 && i < NumRows());
+  return rows_[static_cast<size_t>(i)];
+}
+
+const Value& Table::at(int64_t row_idx, int64_t col) const {
+  RPT_CHECK(col >= 0 && col < NumColumns());
+  return row(row_idx)[static_cast<size_t>(col)];
+}
+
+void Table::Set(int64_t row_idx, int64_t col, Value value) {
+  RPT_CHECK(col >= 0 && col < NumColumns());
+  mutable_row(row_idx)[static_cast<size_t>(col)] = std::move(value);
+}
+
+std::vector<Value> Table::Column(int64_t col) const {
+  RPT_CHECK(col >= 0 && col < NumColumns());
+  std::vector<Value> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r[static_cast<size_t>(col)]);
+  return out;
+}
+
+Result<Table> Table::FromCsv(const std::string& csv_text) {
+  auto rows = ParseCsv(csv_text);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) {
+    return Status::InvalidArgument("CSV has no header row");
+  }
+  Table table{Schema((*rows)[0])};
+  for (size_t i = 1; i < rows->size(); ++i) {
+    const auto& raw = (*rows)[i];
+    if (static_cast<int64_t>(raw.size()) != table.schema().size()) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(i) + " has " +
+          std::to_string(raw.size()) + " fields, expected " +
+          std::to_string(table.schema().size()));
+    }
+    Tuple tuple;
+    tuple.reserve(raw.size());
+    for (const auto& field : raw) tuple.push_back(Value::Parse(field));
+    table.AddRow(std::move(tuple));
+  }
+  return table;
+}
+
+std::string Table::ToCsv() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back(schema_.names());
+  for (const auto& r : rows_) {
+    std::vector<std::string> fields;
+    fields.reserve(r.size());
+    for (const auto& v : r) fields.push_back(v.text());
+    rows.push_back(std::move(fields));
+  }
+  return WriteCsv(rows);
+}
+
+std::string FormatTuple(const Schema& schema, const Tuple& tuple) {
+  std::string out;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += schema.name(static_cast<int64_t>(i));
+    out += "=";
+    out += tuple[i].is_null() ? "<null>" : tuple[i].text();
+  }
+  return out;
+}
+
+}  // namespace rpt

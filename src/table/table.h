@@ -1,0 +1,77 @@
+// Schema, Tuple, Table: the minimal relational substrate RPT runs on.
+
+#ifndef RPT_TABLE_TABLE_H_
+#define RPT_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/value.h"
+#include "util/status.h"
+
+namespace rpt {
+
+/// Ordered attribute names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> names);
+
+  int64_t size() const { return static_cast<int64_t>(names_.size()); }
+  const std::string& name(int64_t i) const;
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Column index by name; -1 when absent.
+  int64_t Index(const std::string& name) const;
+
+  bool operator==(const Schema& other) const {
+    return names_ == other.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// One row: values aligned with a Schema.
+using Tuple = std::vector<Value>;
+
+/// An in-memory table with a schema.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  int64_t NumRows() const { return static_cast<int64_t>(rows_.size()); }
+  int64_t NumColumns() const { return schema_.size(); }
+
+  /// Appends a row (must match the schema width).
+  void AddRow(Tuple row);
+
+  const Tuple& row(int64_t i) const;
+  Tuple& mutable_row(int64_t i);
+
+  const Value& at(int64_t row, int64_t col) const;
+  void Set(int64_t row, int64_t col, Value value);
+
+  /// Values of one column, in row order.
+  std::vector<Value> Column(int64_t col) const;
+
+  /// Loads a table from CSV text; the first row is the header.
+  static Result<Table> FromCsv(const std::string& csv_text);
+
+  /// Serializes to CSV (header + rows).
+  std::string ToCsv() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+/// Renders a tuple for humans: "name=Michael Jordan | city=Berkeley".
+std::string FormatTuple(const Schema& schema, const Tuple& tuple);
+
+}  // namespace rpt
+
+#endif  // RPT_TABLE_TABLE_H_

@@ -1,0 +1,54 @@
+#include "table/value.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rpt {
+
+Value Value::String(std::string text) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.text_ = std::move(text);
+  return v;
+}
+
+Value Value::Number(double number) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = number;
+  v.text_ = FormatNumber(number);
+  return v;
+}
+
+Value Value::Parse(std::string_view text) {
+  std::string trimmed = Trim(text);
+  if (trimmed.empty()) return Null();
+  if (IsNumber(trimmed)) {
+    Value v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = ParseDoubleOr(trimmed, 0.0);
+    v.text_ = trimmed;  // keep the original rendering
+    return v;
+  }
+  return String(std::move(trimmed));
+}
+
+double Value::number() const {
+  RPT_CHECK(kind_ == Kind::kNumber) << "number() on non-numeric value";
+  return number_;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kNumber:
+      return number_ == other.number_;
+    case Kind::kString:
+      return text_ == other.text_;
+  }
+  return false;
+}
+
+}  // namespace rpt

@@ -1,0 +1,49 @@
+// Cell values: null, string, or number. Numbers keep their original text
+// rendering so round-trips through CSV are lossless.
+
+#ifndef RPT_TABLE_VALUE_H_
+#define RPT_TABLE_VALUE_H_
+
+#include <string>
+#include <string_view>
+
+namespace rpt {
+
+class Value {
+ public:
+  enum class Kind { kNull, kString, kNumber };
+
+  /// Null value.
+  Value() : kind_(Kind::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value String(std::string text);
+  static Value Number(double number);
+
+  /// Parses: empty -> null, numeric text -> number, otherwise string.
+  static Value Parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+
+  /// Text rendering ("" for null).
+  const std::string& text() const { return text_; }
+
+  /// Numeric value (CHECKs kind()==kNumber).
+  double number() const;
+
+  /// Equality: same kind and same content (numbers compare numerically).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  Kind kind_;
+  std::string text_;
+  double number_ = 0.0;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_TABLE_VALUE_H_

@@ -1,0 +1,53 @@
+#include "tensor/gemm.h"
+
+namespace rpt {
+
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += arow[p] * brow[p];
+      }
+      crow[j] += acc;
+    }
+  }
+}
+
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace rpt

@@ -1,0 +1,28 @@
+// Small single-threaded SGEMM micro-kernels.
+//
+// All three kernels *accumulate* into C (C += op(A) * op(B)); callers zero C
+// first when they want a plain product. Loop orders are chosen so the inner
+// loop is a contiguous AXPY/dot that GCC auto-vectorizes at -O2.
+
+#ifndef RPT_TENSOR_GEMM_H_
+#define RPT_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace rpt {
+
+/// C[M,N] += A[M,K] * B[K,N].
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n);
+
+/// C[M,N] += A[M,K] * B[N,K]^T.
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n);
+
+/// C[K,N] += A[M,K]^T * B[M,N].
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n);
+
+}  // namespace rpt
+
+#endif  // RPT_TENSOR_GEMM_H_

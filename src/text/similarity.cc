@@ -1,0 +1,137 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace rpt {
+
+int64_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int64_t>(m);
+  if (m == 0) return static_cast<int64_t>(n);
+  std::vector<int64_t> prev(m + 1), curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int64_t>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<int64_t>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int64_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t mx = std::max(a.size(), b.size());
+  if (mx == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(mx);
+}
+
+namespace {
+
+std::unordered_set<std::string> TokenSet(std::string_view text) {
+  std::unordered_set<std::string> out;
+  for (auto& t : Tokenizer::Tokenize(text)) out.insert(std::move(t));
+  return out;
+}
+
+double JaccardOfSets(const std::unordered_set<std::string>& sa,
+                     const std::unordered_set<std::string>& sb) {
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  const auto& small = sa.size() <= sb.size() ? sa : sb;
+  const auto& large = sa.size() <= sb.size() ? sb : sa;
+  for (const auto& t : small) {
+    if (large.count(t)) ++inter;
+  }
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+}  // namespace
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  return JaccardOfSets(TokenSet(a), TokenSet(b));
+}
+
+std::vector<std::string> QGrams(std::string_view text, int q) {
+  std::vector<std::string> out;
+  if (q < 1) return out;
+  std::string padded(static_cast<size_t>(q) - 1, '#');
+  padded += Tokenizer::Normalize(text);
+  padded.append(static_cast<size_t>(q) - 1, '#');
+  if (padded.size() < static_cast<size_t>(q)) return out;
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    out.push_back(padded.substr(i, static_cast<size_t>(q)));
+  }
+  return out;
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, int q) {
+  std::unordered_set<std::string> sa, sb;
+  for (auto& g : QGrams(a, q)) sa.insert(std::move(g));
+  for (auto& g : QGrams(b, q)) sb.insert(std::move(g));
+  return JaccardOfSets(sa, sb);
+}
+
+double TokenContainment(std::string_view a, std::string_view b) {
+  auto sa = TokenSet(a);
+  auto sb = TokenSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  const auto& small = sa.size() <= sb.size() ? sa : sb;
+  const auto& large = sa.size() <= sb.size() ? sb : sa;
+  if (small.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& t : small) {
+    if (large.count(t)) ++inter;
+  }
+  return static_cast<double>(inter) / small.size();
+}
+
+double TokenCosine(std::string_view a, std::string_view b) {
+  std::unordered_map<std::string, int64_t> ca, cb;
+  Tokenizer::CountTokens(a, &ca);
+  Tokenizer::CountTokens(b, &cb);
+  if (ca.empty() && cb.empty()) return 1.0;
+  if (ca.empty() || cb.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [t, c] : ca) {
+    na += static_cast<double>(c) * c;
+    auto it = cb.find(t);
+    if (it != cb.end()) dot += static_cast<double>(c) * it->second;
+  }
+  for (const auto& [t, c] : cb) nb += static_cast<double>(c) * c;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double MongeElkan(std::string_view a, std::string_view b) {
+  auto ta = Tokenizer::Tokenize(a);
+  auto tb = Tokenizer::Tokenize(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& wa : ta) {
+    double best = 0.0;
+    for (const auto& wb : tb) {
+      best = std::max(best, LevenshteinSimilarity(wa, wb));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(ta.size());
+}
+
+double NumericSimilarity(double a, double b) {
+  const double mx = std::max(std::fabs(a), std::fabs(b));
+  if (mx == 0.0) return 1.0;
+  const double sim = 1.0 - std::fabs(a - b) / mx;
+  return std::max(0.0, std::min(1.0, sim));
+}
+
+}  // namespace rpt

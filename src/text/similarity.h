@@ -1,0 +1,45 @@
+// String similarity measures used by the blocker, the feature-based
+// baselines (ZeroER, DeepMatcher, Magellan), and evaluation.
+
+#ifndef RPT_TEXT_SIMILARITY_H_
+#define RPT_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpt {
+
+/// Classic edit distance (insert/delete/substitute, unit costs).
+int64_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - distance / max(len); 1.0 for two empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of the *token sets* of the two strings (tokenized
+/// with Tokenizer); 1.0 for two empty strings.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Character q-grams of a string (padded with '#'), q >= 1.
+std::vector<std::string> QGrams(std::string_view text, int q);
+
+/// Jaccard similarity of q-gram sets.
+double QGramJaccard(std::string_view a, std::string_view b, int q = 3);
+
+/// |tokens(a) ∩ tokens(b)| / |tokens(shorter)|; 1.0 for two empty strings.
+double TokenContainment(std::string_view a, std::string_view b);
+
+/// Cosine similarity of token count vectors.
+double TokenCosine(std::string_view a, std::string_view b);
+
+/// Monge-Elkan: mean over tokens of a of the best Levenshtein similarity
+/// against tokens of b (asymmetric; callers usually average both ways).
+double MongeElkan(std::string_view a, std::string_view b);
+
+/// Similarity of two numeric values: 1 - |a-b| / max(|a|, |b|), clamped to
+/// [0, 1]; 1.0 when both are 0.
+double NumericSimilarity(double a, double b);
+
+}  // namespace rpt
+
+#endif  // RPT_TEXT_SIMILARITY_H_

@@ -1,0 +1,80 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace rpt {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c));
+}
+
+// True when text[i] is a '.' between two digits ("5.8", "9.99").
+bool IsDecimalPoint(std::string_view text, size_t i) {
+  return text[i] == '.' && i > 0 && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i - 1])) &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1]));
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(text[i])));
+    if (IsWordChar(c) || IsDecimalPoint(text, i)) {
+      current += c;
+    } else {
+      if (!current.empty()) {
+        out.push_back(std::move(current));
+        current.clear();
+      }
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        out.emplace_back(1, c);  // punctuation as its own token
+      }
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+std::string Tokenizer::Normalize(std::string_view text) {
+  std::string out;
+  bool in_space = true;
+  for (char raw : text) {
+    char c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(raw)));
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_space && !out.empty()) out += ' ';
+      in_space = true;
+    } else {
+      out += c;
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+void Tokenizer::CountTokens(
+    std::string_view text,
+    std::unordered_map<std::string, int64_t>* counts) {
+  for (auto& token : Tokenize(text)) {
+    ++(*counts)[token];
+  }
+}
+
+std::vector<int32_t> Tokenizer::Encode(std::string_view text,
+                                       const Vocab& vocab) {
+  std::vector<int32_t> out;
+  for (const auto& word : Tokenize(text)) {
+    auto ids = vocab.EncodeWord(word);
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+  return out;
+}
+
+}  // namespace rpt

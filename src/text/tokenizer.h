@@ -1,0 +1,38 @@
+// Word tokenizer used throughout RPT.
+//
+// Normalization: ASCII lowercase, punctuation split into separate tokens
+// (so "5.8-inch" -> "5.8" "-" "inch" stays comparable with "5.8 inch"),
+// keeping decimal numbers intact.
+
+#ifndef RPT_TEXT_TOKENIZER_H_
+#define RPT_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace rpt {
+
+class Tokenizer {
+ public:
+  /// Splits normalized text into word tokens.
+  static std::vector<std::string> Tokenize(std::string_view text);
+
+  /// Lowercases and collapses whitespace without splitting punctuation.
+  static std::string Normalize(std::string_view text);
+
+  /// Adds the tokens of `text` into a running count map (for Vocab::Build).
+  static void CountTokens(std::string_view text,
+                          std::unordered_map<std::string, int64_t>* counts);
+
+  /// Tokenizes and encodes with the vocab's word/char-fallback scheme.
+  static std::vector<int32_t> Encode(std::string_view text,
+                                     const Vocab& vocab);
+};
+
+}  // namespace rpt
+
+#endif  // RPT_TEXT_TOKENIZER_H_

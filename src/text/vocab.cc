@@ -1,0 +1,135 @@
+#include "text/vocab.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rpt {
+
+namespace {
+
+const char* const kSpecialNames[SpecialTokens::kCount] = {
+    "[PAD]", "[BOS]", "[EOS]", "[UNK]", "[M]",
+    "[A]",   "[V]",   "[CLS]", "[SEP]",
+};
+
+bool IsPrintableAscii(char c) { return c >= 0x20 && c < 0x7F; }
+
+}  // namespace
+
+Vocab::Vocab() {
+  for (int i = 0; i < SpecialTokens::kCount; ++i) {
+    AddToken(kSpecialNames[i]);
+  }
+  // Character fallback: every printable ASCII char as a word-initial token
+  // and as a "@@" continuation token.
+  for (char c = 0x21; c < 0x7F; ++c) {
+    AddToken(std::string(1, c));
+  }
+  for (char c = 0x21; c < 0x7F; ++c) {
+    AddToken(std::string("@@") + c);
+  }
+}
+
+Vocab Vocab::Build(const std::unordered_map<std::string, int64_t>& counts,
+                   int64_t min_freq) {
+  Vocab vocab;
+  std::vector<std::pair<std::string, int64_t>> sorted(counts.begin(),
+                                                      counts.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  for (const auto& [token, count] : sorted) {
+    if (count < min_freq) continue;
+    if (token.empty()) continue;
+    if (!vocab.Contains(token)) vocab.AddToken(token);
+  }
+  return vocab;
+}
+
+void Vocab::AddToken(const std::string& token) {
+  index_.emplace(token, static_cast<int32_t>(tokens_.size()));
+  tokens_.push_back(token);
+}
+
+int32_t Vocab::Id(const std::string& token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? SpecialTokens::kUnk : it->second;
+}
+
+bool Vocab::Contains(const std::string& token) const {
+  return index_.count(token) > 0;
+}
+
+const std::string& Vocab::Token(int32_t id) const {
+  RPT_CHECK(id >= 0 && id < size()) << "token id out of range: " << id;
+  return tokens_[static_cast<size_t>(id)];
+}
+
+std::vector<int32_t> Vocab::EncodeWord(const std::string& word) const {
+  auto it = index_.find(word);
+  if (it != index_.end()) return {it->second};
+  std::vector<int32_t> out;
+  out.reserve(word.size());
+  bool first = true;
+  for (char c : word) {
+    if (!IsPrintableAscii(c) || c == ' ') {
+      out.push_back(SpecialTokens::kUnk);
+      first = false;
+      continue;
+    }
+    const std::string key = first ? std::string(1, c)
+                                  : std::string("@@") + c;
+    auto cit = index_.find(key);
+    out.push_back(cit == index_.end() ? SpecialTokens::kUnk : cit->second);
+    first = false;
+  }
+  if (out.empty()) out.push_back(SpecialTokens::kUnk);
+  return out;
+}
+
+std::string Vocab::Decode(const std::vector<int32_t>& ids) const {
+  std::string out;
+  for (int32_t id : ids) {
+    if (id < 0 || id >= size()) continue;
+    if (id < SpecialTokens::kCount) continue;  // skip specials
+    const std::string& tok = tokens_[static_cast<size_t>(id)];
+    if (tok.size() > 2 && tok[0] == '@' && tok[1] == '@') {
+      out += tok.substr(2);  // continuation: no space
+    } else {
+      if (!out.empty()) out += ' ';
+      out += tok;
+    }
+  }
+  return out;
+}
+
+void Vocab::Save(BinaryWriter* writer) const {
+  writer->WriteU64(tokens_.size());
+  for (const auto& t : tokens_) writer->WriteString(t);
+}
+
+Result<Vocab> Vocab::Load(BinaryReader* reader) {
+  auto count = reader->ReadU64();
+  if (!count.ok()) return count.status();
+  Vocab vocab;
+  // The constructor pre-populates specials + fallback; verify the prefix
+  // matches and append the rest.
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto token = reader->ReadString();
+    if (!token.ok()) return token.status();
+    if (i < static_cast<uint64_t>(vocab.size())) {
+      if (*token != vocab.tokens_[i]) {
+        return Status::InvalidArgument("vocab prefix mismatch at " +
+                                       std::to_string(i));
+      }
+    } else {
+      vocab.AddToken(*token);
+    }
+  }
+  return vocab;
+}
+
+}  // namespace rpt

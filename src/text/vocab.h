@@ -1,0 +1,85 @@
+// Vocabulary with the RPT special tokens and a character-level fallback.
+//
+// Word-level tokens are learned from a corpus; any out-of-vocabulary ASCII
+// word can still be encoded losslessly as a character sequence using the
+// "@@" continuation convention ("xyz" -> "x", "@@y", "@@z"), so the cleaner
+// can read and *generate* values it never saw as whole words (typos,
+// unseen numbers).
+
+#ifndef RPT_TEXT_VOCAB_H_
+#define RPT_TEXT_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace rpt {
+
+/// Fixed ids of the special tokens (always present, in this order).
+struct SpecialTokens {
+  static constexpr int32_t kPad = 0;   // padding
+  static constexpr int32_t kBos = 1;   // decoder start
+  static constexpr int32_t kEos = 2;   // decoder end
+  static constexpr int32_t kUnk = 3;   // unknown (non-ASCII fallback)
+  static constexpr int32_t kMask = 4;  // [M] — masked span
+  static constexpr int32_t kAttr = 5;  // [A] — attribute-name marker
+  static constexpr int32_t kValue = 6; // [V] — attribute-value marker
+  static constexpr int32_t kCls = 7;   // [CLS] — sequence-level slot
+  static constexpr int32_t kSep = 8;   // [SEP] — tuple separator
+  static constexpr int32_t kCount = 9;
+};
+
+/// Token-kind ids used as token-type embeddings (Fig. 4 enrichment).
+struct TokenKinds {
+  static constexpr int32_t kOther = 0;
+  static constexpr int32_t kAttrName = 1;
+  static constexpr int32_t kValueToken = 2;
+  static constexpr int32_t kStructure = 3;
+  static constexpr int32_t kCount = 4;
+};
+
+class Vocab {
+ public:
+  /// An empty vocabulary holding only specials + character fallback.
+  Vocab();
+
+  /// Builds from token counts; tokens with count >= min_freq are added in
+  /// descending frequency order (ties broken lexicographically, so builds
+  /// are deterministic).
+  static Vocab Build(const std::unordered_map<std::string, int64_t>& counts,
+                     int64_t min_freq = 1);
+
+  /// Id for a token; kUnk when absent.
+  int32_t Id(const std::string& token) const;
+  bool Contains(const std::string& token) const;
+
+  /// Token string for an id (CHECKs range).
+  const std::string& Token(int32_t id) const;
+
+  int64_t size() const { return static_cast<int64_t>(tokens_.size()); }
+
+  /// Encodes one word: its own id when known, otherwise the character
+  /// fallback sequence. Characters outside printable ASCII map to kUnk.
+  std::vector<int32_t> EncodeWord(const std::string& word) const;
+
+  /// Inverse of a stream of EncodeWord outputs: merges "@@" continuations
+  /// and joins words with single spaces. Skips special tokens.
+  std::string Decode(const std::vector<int32_t>& ids) const;
+
+  void Save(BinaryWriter* writer) const;
+  static Result<Vocab> Load(BinaryReader* reader);
+
+ private:
+  void AddToken(const std::string& token);
+
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_TEXT_VOCAB_H_

@@ -1,0 +1,35 @@
+// RFC-4180-ish CSV reading/writing (quotes, embedded separators, newlines).
+
+#ifndef RPT_UTIL_CSV_H_
+#define RPT_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rpt {
+
+/// Parses CSV text into rows of fields. Handles double-quoted fields with
+/// escaped quotes ("") and embedded separators/newlines. A trailing newline
+/// does not produce an empty final row.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text, char sep = ',');
+
+/// Serializes rows to CSV text, quoting fields that need it.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                     char sep = ',');
+
+/// Reads and parses a CSV file.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char sep = ',');
+
+/// Writes rows to a CSV file.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char sep = ',');
+
+}  // namespace rpt
+
+#endif  // RPT_UTIL_CSV_H_

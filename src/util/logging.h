@@ -1,0 +1,74 @@
+// Minimal logging and precondition checking.
+//
+// RPT_CHECK* abort on programmer error with a source location; RPT_LOG emits
+// a timestamped line to stderr. Verbosity is controlled by SetLogLevel.
+
+#ifndef RPT_UTIL_LOGGING_H_
+#define RPT_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rpt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Builds one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define RPT_LOG(level)                                                  \
+  ::rpt::internal::LogMessage(::rpt::LogLevel::k##level, __FILE__,      \
+                              __LINE__)                                 \
+      .stream()
+
+#define RPT_CHECK(condition)                                           \
+  if (!(condition))                                                    \
+  ::rpt::internal::FatalMessage(__FILE__, __LINE__, #condition).stream()
+
+#define RPT_CHECK_EQ(a, b) RPT_CHECK((a) == (b))
+#define RPT_CHECK_NE(a, b) RPT_CHECK((a) != (b))
+#define RPT_CHECK_LT(a, b) RPT_CHECK((a) < (b))
+#define RPT_CHECK_LE(a, b) RPT_CHECK((a) <= (b))
+#define RPT_CHECK_GT(a, b) RPT_CHECK((a) > (b))
+#define RPT_CHECK_GE(a, b) RPT_CHECK((a) >= (b))
+
+}  // namespace rpt
+
+#endif  // RPT_UTIL_LOGGING_H_

@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All stochastic components of RPT (weight init, masking, data synthesis,
+// dropout) draw from an explicitly seeded Rng so that every experiment is
+// reproducible bit-for-bit across runs.
+
+#ifndef RPT_UTIL_RNG_H_
+#define RPT_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rpt {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation), wrapped with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) (bound > 0), rejection-sampled to avoid
+  /// modulo bias.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi);
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// Normal with given mean/stddev.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli trial.
+  bool Bernoulli(double p);
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    RPT_CHECK(!items.empty()) << "Choice from empty vector";
+    return items[UniformInt(items.size())];
+  }
+
+  /// Index sampled proportionally to non-negative weights (not all zero).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->size() < 2) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = UniformInt(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  /// Derives an independent child generator; the parent advances.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_UTIL_RNG_H_

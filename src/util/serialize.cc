@@ -1,0 +1,95 @@
+#include "util/serialize.h"
+
+#include <fstream>
+
+namespace rpt {
+
+Status BinaryWriter::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(bytes_.data()),
+            static_cast<std::streamsize>(bytes_.size()));
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::streamsize size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    return Status::IoError("read failed for " + path);
+  }
+  return BinaryReader(std::move(bytes));
+}
+
+Status BinaryReader::CopyRaw(void* out, size_t n) {
+  if (pos_ + n > bytes_.size()) {
+    return Status::OutOfRange("truncated buffer");
+  }
+  std::memcpy(out, bytes_.data() + pos_, n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  RPT_RETURN_IF_ERROR(CopyRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  RPT_RETURN_IF_ERROR(CopyRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<int64_t> BinaryReader::ReadI64() {
+  int64_t v = 0;
+  RPT_RETURN_IF_ERROR(CopyRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<float> BinaryReader::ReadF32() {
+  float v = 0;
+  RPT_RETURN_IF_ERROR(CopyRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<double> BinaryReader::ReadF64() {
+  double v = 0;
+  RPT_RETURN_IF_ERROR(CopyRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  auto n = ReadU64();
+  if (!n.ok()) return n.status();
+  if (pos_ + *n > bytes_.size()) {
+    return Status::OutOfRange("truncated string");
+  }
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), *n);
+  pos_ += *n;
+  return s;
+}
+
+Result<std::vector<float>> BinaryReader::ReadFloatVector() {
+  auto n = ReadU64();
+  if (!n.ok()) return n.status();
+  std::vector<float> v(*n);
+  RPT_RETURN_IF_ERROR(CopyRaw(v.data(), *n * sizeof(float)));
+  return v;
+}
+
+Result<std::vector<int64_t>> BinaryReader::ReadI64Vector() {
+  auto n = ReadU64();
+  if (!n.ok()) return n.status();
+  std::vector<int64_t> v(*n);
+  RPT_RETURN_IF_ERROR(CopyRaw(v.data(), *n * sizeof(int64_t)));
+  return v;
+}
+
+}  // namespace rpt

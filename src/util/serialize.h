@@ -1,0 +1,85 @@
+// Binary serialization used for model checkpoints.
+//
+// Little-endian, tagged with a magic header. Writers append primitives and
+// containers; readers consume them in the same order and fail with a Status
+// on truncation or magic mismatch rather than crashing.
+
+#ifndef RPT_UTIL_SERIALIZE_H_
+#define RPT_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rpt {
+
+/// Accumulates a byte buffer of primitives/containers.
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { AppendRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { AppendRaw(&v, sizeof(v)); }
+
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    AppendRaw(s.data(), s.size());
+  }
+
+  void WriteFloatVector(const std::vector<float>& v) {
+    WriteU64(v.size());
+    AppendRaw(v.data(), v.size() * sizeof(float));
+  }
+
+  void WriteI64Vector(const std::vector<int64_t>& v) {
+    WriteU64(v.size());
+    AppendRaw(v.data(), v.size() * sizeof(int64_t));
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  /// Writes the accumulated buffer to a file.
+  Status SaveToFile(const std::string& path) const;
+
+ private:
+  void AppendRaw(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+/// Sequentially consumes a byte buffer written by BinaryWriter.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  static Result<BinaryReader> FromFile(const std::string& path);
+
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<float> ReadF32();
+  Result<double> ReadF64();
+  Result<std::string> ReadString();
+  Result<std::vector<float>> ReadFloatVector();
+  Result<std::vector<int64_t>> ReadI64Vector();
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  Status CopyRaw(void* out, size_t n);
+
+  std::vector<uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_UTIL_SERIALIZE_H_

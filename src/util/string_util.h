@@ -1,0 +1,46 @@
+// Small string helpers shared across the library.
+
+#ifndef RPT_UTIL_STRING_UTIL_H_
+#define RPT_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpt {
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on any run of ASCII whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+/// True if the string parses fully as a finite double.
+bool IsNumber(std::string_view text);
+
+/// Parses a double; returns fallback when not a number.
+double ParseDoubleOr(std::string_view text, double fallback);
+
+/// Formats a double trimming trailing zeros ("9.99", "64", "5.8").
+std::string FormatNumber(double value);
+
+}  // namespace rpt
+
+#endif  // RPT_UTIL_STRING_UTIL_H_

@@ -1,0 +1,56 @@
+// Fixed-size worker pool with a ParallelFor convenience.
+//
+// Used for embarrassingly parallel evaluation loops (pair scoring,
+// similarity features). Model *training* stays single-threaded so gradients
+// are bit-reproducible.
+
+#ifndef RPT_UTIL_THREAD_POOL_H_
+#define RPT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rpt {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, n), partitioned over the pool; blocks until
+  /// complete. Falls back to inline execution for n smaller than the pool.
+  static void ParallelFor(size_t n, size_t num_threads,
+                          const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_UTIL_THREAD_POOL_H_

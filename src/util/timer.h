@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for reporting stage timings in benches.
+
+#ifndef RPT_UTIL_TIMER_H_
+#define RPT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace rpt {
+
+/// Starts on construction; ElapsedSeconds/Millis read without stopping.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_UTIL_TIMER_H_

@@ -1,0 +1,165 @@
+// Tests for the baseline implementations: similarity features, ZeroER's EM
+// mixture, the DeepMatcher MLP, and the Magellan random forest.
+
+#include <gtest/gtest.h>
+
+#include "baselines/deepmatcher.h"
+#include "baselines/magellan.h"
+#include "baselines/sim_features.h"
+#include "baselines/zeroer.h"
+#include "synth/benchmarks.h"
+#include "synth/universe.h"
+#include "util/rng.h"
+
+namespace rpt {
+namespace {
+
+TEST(SimFeaturesTest, FixedLengthAndBounded) {
+  Schema sa({"title", "price"});
+  Schema sb({"title", "price"});
+  Tuple a = {Value::Parse("apple iphone 10"), Value::Parse("999.99")};
+  Tuple b = {Value::Parse("iphone x by apple"), Value::Parse("989.95")};
+  auto f = PairFeatures(sa, a, sb, b);
+  ASSERT_EQ(static_cast<int64_t>(f.size()), kNumPairFeatures);
+  ASSERT_EQ(PairFeatureNames().size(),
+            static_cast<size_t>(kNumPairFeatures));
+  for (double v : f) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SimFeaturesTest, IdenticalTuplesScoreHigh) {
+  Schema s({"title", "price"});
+  Tuple t = {Value::Parse("apple iphone 10"), Value::Parse("999.99")};
+  auto f = PairFeatures(s, t, s, t);
+  for (double v : f) EXPECT_GE(v, 0.99);
+}
+
+TEST(SimFeaturesTest, DisjointSchemasStillWork) {
+  Schema sa({"title"});
+  Schema sb({"name"});
+  Tuple a = {Value::Parse("apple iphone")};
+  Tuple b = {Value::Parse("apple iphone")};
+  auto f = PairFeatures(sa, a, sb, b);
+  ASSERT_EQ(static_cast<int64_t>(f.size()), kNumPairFeatures);
+  EXPECT_GT(f[1], 0.9);  // whole-record token jaccard
+}
+
+TEST(SimFeaturesTest, ConcatSkipsNulls) {
+  Tuple t = {Value::Parse("a"), Value::Null(), Value::Parse("b")};
+  EXPECT_EQ(ConcatTuple(t), "a b");
+}
+
+TEST(ZeroErTest, SeparatesSyntheticMixture) {
+  // Two well-separated Gaussian clusters in feature space.
+  Rng rng(42);
+  std::vector<std::vector<double>> features;
+  std::vector<bool> truth;
+  for (int i = 0; i < 200; ++i) {
+    const bool match = i < 60;
+    std::vector<double> f(static_cast<size_t>(kNumPairFeatures));
+    for (auto& v : f) {
+      v = (match ? 0.8 : 0.2) + 0.05 * rng.Normal();
+    }
+    features.push_back(std::move(f));
+    truth.push_back(match);
+  }
+  ZeroEr zeroer;
+  auto scores = zeroer.FitPredict(features);
+  BinaryConfusion confusion;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    confusion.Add(scores[i] >= 0.5, truth[i]);
+  }
+  EXPECT_GT(confusion.F1(), 0.95);
+}
+
+TEST(ZeroErTest, EvaluateOnBenchmarkBeatsCoinFlip) {
+  ProductUniverse universe(120, 88);
+  auto suite = DefaultBenchmarkSuite(0.25);
+  ErBenchmark bench = GenerateErBenchmark(universe, suite[0]);
+  ZeroEr zeroer;
+  BinaryConfusion confusion = zeroer.Evaluate(bench);
+  EXPECT_GT(confusion.F1(), 0.25);
+}
+
+TEST(DeepMatcherTest, LearnsSeparableData) {
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<bool> y;
+  for (int i = 0; i < 300; ++i) {
+    const bool label = i % 3 == 0;
+    std::vector<double> f(static_cast<size_t>(kNumPairFeatures));
+    for (auto& v : f) v = (label ? 0.75 : 0.25) + 0.1 * rng.Normal();
+    x.push_back(std::move(f));
+    y.push_back(label);
+  }
+  DeepMatcherConfig config;
+  config.epochs = 30;
+  DeepMatcher matcher(config);
+  matcher.Train(x, y);
+  auto scores = matcher.Predict(x);
+  BinaryConfusion confusion;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    confusion.Add(scores[i] >= 0.5, y[i]);
+  }
+  EXPECT_GT(confusion.F1(), 0.9);
+}
+
+TEST(DecisionTreeTest, LearnsAxisAlignedSplit) {
+  std::vector<std::vector<double>> x;
+  std::vector<bool> y;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i / 100.0;
+    x.push_back({v, 0.5});
+    y.push_back(v > 0.6);
+  }
+  DecisionTree tree;
+  Rng rng(1);
+  tree.Fit(x, y, DecisionTree::Options{}, &rng);
+  EXPECT_GT(tree.PredictProba({0.9, 0.5}), 0.8);
+  EXPECT_LT(tree.PredictProba({0.1, 0.5}), 0.2);
+  EXPECT_GT(tree.NodeCount(), 1);
+}
+
+TEST(DecisionTreeTest, PureNodeIsLeaf) {
+  std::vector<std::vector<double>> x = {{0.1}, {0.2}, {0.3}};
+  std::vector<bool> y = {true, true, true};
+  DecisionTree tree;
+  Rng rng(2);
+  tree.Fit(x, y, DecisionTree::Options{}, &rng);
+  EXPECT_EQ(tree.NodeCount(), 1);
+  EXPECT_DOUBLE_EQ(tree.PredictProba({0.5}), 1.0);
+}
+
+TEST(RandomForestTest, EnsembleLearnsXorishData) {
+  // XOR pattern needs depth >= 2; forests handle it.
+  std::vector<std::vector<double>> x;
+  std::vector<bool> y;
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.UniformDouble();
+    const double b = rng.UniformDouble();
+    x.push_back({a, b});
+    y.push_back((a > 0.5) != (b > 0.5));
+  }
+  RandomForest forest;
+  forest.Fit(x, y);
+  BinaryConfusion confusion;
+  for (size_t i = 0; i < x.size(); ++i) {
+    confusion.Add(forest.PredictProba(x[i]) >= 0.5, y[i]);
+  }
+  EXPECT_GT(confusion.Accuracy(), 0.85);
+}
+
+TEST(RandomForestTest, InDomainBenchmarkEvaluation) {
+  ProductUniverse universe(120, 99);
+  auto suite = DefaultBenchmarkSuite(0.25);
+  ErBenchmark bench = GenerateErBenchmark(universe, suite[2]);
+  RandomForest forest;
+  BinaryConfusion confusion = forest.EvaluateInDomain(bench);
+  EXPECT_GT(confusion.F1(), 0.5);
+}
+
+}  // namespace
+}  // namespace rpt

@@ -1,0 +1,144 @@
+// Tests for union-find, transitive-closure clustering, conflict detection
+// and oracle resolution.
+
+#include <gtest/gtest.h>
+
+#include "rpt/cluster.h"
+
+namespace rpt {
+namespace {
+
+TEST(UnionFindTest, BasicUnions) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumClusters(), 5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // already joined
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_EQ(uf.NumClusters(), 3);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_NE(uf.Find(0), uf.Find(2));
+}
+
+TEST(UnionFindTest, TransitiveClosure) {
+  UnionFind uf(4);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  EXPECT_EQ(uf.Find(0), uf.Find(2));
+  auto ids = uf.ClusterIds();
+  EXPECT_EQ(ids[0], ids[2]);
+  EXPECT_NE(ids[0], ids[3]);
+}
+
+TEST(BuildClustersTest, ThresholdFiltersEdges) {
+  std::vector<MatchEdge> edges = {{0, 1, 0.9}, {1, 2, 0.3}, {2, 3, 0.8}};
+  UnionFind uf = BuildClusters(4, edges, 0.5);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_NE(uf.Find(1), uf.Find(2));
+  EXPECT_EQ(uf.Find(2), uf.Find(3));
+}
+
+TEST(DetectConflictsTest, FindsTransitiveContradictions) {
+  // 0-1 strong, 1-2 strong => {0,1,2}; but 0-2 scored very low: conflict.
+  std::vector<MatchEdge> scores = {
+      {0, 1, 0.9}, {1, 2, 0.85}, {0, 2, 0.1}};
+  UnionFind uf = BuildClusters(3, scores, 0.5);
+  auto conflicts = DetectConflicts(&uf, scores, 0.5, 0.3);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].u, 0);
+  EXPECT_EQ(conflicts[0].v, 2);
+}
+
+TEST(DetectConflictsTest, NoConflictWhenSeparated) {
+  std::vector<MatchEdge> scores = {{0, 1, 0.9}, {2, 3, 0.1}};
+  UnionFind uf = BuildClusters(4, scores, 0.5);
+  EXPECT_TRUE(DetectConflicts(&uf, scores, 0.5, 0.3).empty());
+}
+
+TEST(ResolveConflictsTest, OracleSplitsWrongMerge) {
+  // Chain 0-1-2 but the oracle says 0 and 2 are different entities; the
+  // resolution must break the cluster.
+  std::vector<MatchEdge> edges = {
+      {0, 1, 0.9}, {1, 2, 0.6}, {0, 2, 0.1}};
+  UnionFind uf = BuildClusters(3, edges, 0.5);
+  ASSERT_EQ(uf.Find(0), uf.Find(2));
+  auto conflicts = DetectConflicts(&uf, edges, 0.5, 0.3);
+  ASSERT_FALSE(conflicts.empty());
+  UnionFind rebuilt(3);
+  int64_t calls = ResolveConflictsWithOracle(
+      3, &edges, 0.5, conflicts, /*budget=*/5,
+      [](int64_t u, int64_t v) { return false; },  // oracle: never a match
+      &rebuilt);
+  EXPECT_GE(calls, 1);
+  EXPECT_NE(rebuilt.Find(0), rebuilt.Find(2));
+}
+
+TEST(ResolveConflictsTest, OracleConfirmsKeepsCluster) {
+  std::vector<MatchEdge> edges = {
+      {0, 1, 0.9}, {1, 2, 0.6}, {0, 2, 0.1}};
+  UnionFind uf = BuildClusters(3, edges, 0.5);
+  auto conflicts = DetectConflicts(&uf, edges, 0.5, 0.3);
+  UnionFind rebuilt(3);
+  ResolveConflictsWithOracle(
+      3, &edges, 0.5, conflicts, 5,
+      [](int64_t, int64_t) { return true; },  // oracle confirms matches
+      &rebuilt);
+  EXPECT_EQ(rebuilt.Find(0), rebuilt.Find(2));
+}
+
+TEST(ResolveConflictsTest, BudgetLimitsOracleCalls) {
+  std::vector<MatchEdge> edges = {
+      {0, 1, 0.9}, {1, 2, 0.6}, {0, 2, 0.1}, {2, 3, 0.8}, {1, 3, 0.05}};
+  UnionFind uf = BuildClusters(4, edges, 0.5);
+  auto conflicts = DetectConflicts(&uf, edges, 0.5, 0.3);
+  UnionFind rebuilt(4);
+  int64_t calls = ResolveConflictsWithOracle(
+      4, &edges, 0.5, conflicts, /*budget=*/1,
+      [](int64_t, int64_t) { return true; }, &rebuilt);
+  EXPECT_EQ(calls, 1);
+}
+
+
+TEST(MutualBestEdgesTest, KeepsOnlyReciprocalBest) {
+  std::vector<MatchEdge> edges = {
+      {0, 10, 0.9},  // best for 0 and for 10
+      {0, 11, 0.7},  // 0 prefers 10; dropped
+      {1, 11, 0.8},  // best for 1 and 11
+  };
+  auto kept = MutualBestEdges(edges);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].v, 10);
+  EXPECT_EQ(kept[1].v, 11);
+}
+
+TEST(BestPerRecordEdgesTest, EachRecordKeepsItsBest) {
+  std::vector<MatchEdge> edges = {
+      {0, 10, 0.9},
+      {1, 10, 0.8},  // 10's best is 0, but this is 1's best -> kept
+      {1, 11, 0.5},
+      {2, 11, 0.6},
+  };
+  auto kept = BestPerRecordEdges(edges);
+  // Kept: (0,10) [best of 0 and 10], (1,10) [best of 1],
+  // (2,11) [best of 2 and 11]. (1,11) dropped.
+  ASSERT_EQ(kept.size(), 3u);
+  bool has_1_11 = false;
+  for (const auto& e : kept) {
+    if (e.u == 1 && e.v == 11) has_1_11 = true;
+  }
+  EXPECT_FALSE(has_1_11);
+}
+
+TEST(BestPerRecordEdgesTest, PreventsSnowballing) {
+  // A chain of borderline edges all above threshold would merge 0..3;
+  // best-per-record keeps the strong pairs only.
+  std::vector<MatchEdge> edges = {
+      {0, 1, 0.95}, {1, 2, 0.55}, {2, 3, 0.96}};
+  auto kept = BestPerRecordEdges(edges);
+  UnionFind uf = BuildClusters(4, kept, 0.5);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_EQ(uf.Find(2), uf.Find(3));
+  EXPECT_NE(uf.Find(1), uf.Find(2));
+}
+
+}  // namespace
+}  // namespace rpt

@@ -1,0 +1,163 @@
+// Tests for the corruption module: masking policies and dirt channels.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "corrupt/dirt.h"
+#include "corrupt/masking.h"
+#include "table/serializer.h"
+#include "text/vocab.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace rpt {
+namespace {
+
+class MaskingTest : public ::testing::Test {
+ protected:
+  MaskingTest()
+      : vocab_(Vocab::Build({{"name", 5},
+                             {"city", 5},
+                             {"michael", 5},
+                             {"jordan", 5},
+                             {"berkeley", 5}})),
+        serializer_(&vocab_) {}
+
+  Vocab vocab_;
+  TupleSerializer serializer_;
+  Schema schema_{std::vector<std::string>{"name", "city"}};
+  Tuple tuple_{Value::Parse("Michael Jordan"), Value::Parse("Berkeley")};
+};
+
+TEST_F(MaskingTest, ValueMaskingProducesSingleMaskAndFullTarget) {
+  MaskingPolicy policy(MaskingStrategy::kValueMasking, &serializer_);
+  Rng rng(1);
+  auto ex = policy.MakeExample(schema_, tuple_, &rng);
+  ASSERT_TRUE(ex.has_value());
+  // Exactly one [M] in the corrupted input.
+  int masks = 0;
+  for (int32_t id : ex->corrupted.ids) masks += (id == SpecialTokens::kMask);
+  EXPECT_EQ(masks, 1);
+  // Target reconstructs the masked cell.
+  ASSERT_GE(ex->masked_column, 0);
+  const std::string expected =
+      vocab_.Decode(serializer_.EncodeValue(
+          tuple_[static_cast<size_t>(ex->masked_column)]));
+  EXPECT_EQ(vocab_.Decode(ex->target), expected);
+}
+
+TEST_F(MaskingTest, TokenMaskingTargetsOneToken) {
+  MaskingPolicy policy(MaskingStrategy::kTokenMasking, &serializer_);
+  Rng rng(2);
+  auto ex = policy.MakeExample(schema_, tuple_, &rng);
+  ASSERT_TRUE(ex.has_value());
+  EXPECT_EQ(ex->target.size(), 1u);
+  int masks = 0;
+  for (int32_t id : ex->corrupted.ids) masks += (id == SpecialTokens::kMask);
+  EXPECT_EQ(masks, 1);
+}
+
+TEST_F(MaskingTest, AttributeNamesNeverMasked) {
+  MaskingPolicy policy(MaskingStrategy::kTokenMasking, &serializer_);
+  Rng rng(3);
+  const int32_t name_id = vocab_.Id("name");
+  const int32_t city_id = vocab_.Id("city");
+  for (int i = 0; i < 50; ++i) {
+    auto ex = policy.MakeExample(schema_, tuple_, &rng);
+    ASSERT_TRUE(ex.has_value());
+    // Attribute-name tokens must survive corruption.
+    int name_seen = 0, city_seen = 0;
+    for (int32_t id : ex->corrupted.ids) {
+      name_seen += (id == name_id);
+      city_seen += (id == city_id);
+    }
+    EXPECT_EQ(name_seen, 1);
+    EXPECT_EQ(city_seen, 1);
+  }
+}
+
+TEST_F(MaskingTest, AllNullTupleYieldsNoExample) {
+  MaskingPolicy policy(MaskingStrategy::kValueMasking, &serializer_);
+  Rng rng(4);
+  Tuple nulls = {Value::Null(), Value::Null()};
+  EXPECT_FALSE(policy.MakeExample(schema_, nulls, &rng).has_value());
+}
+
+TEST_F(MaskingTest, FdGuidedPrefersDeterminedColumns) {
+  // Column 1 heavily weighted; with weights {0, 1} nearly all masks should
+  // land on column 1 (floor keeps column 0 possible).
+  MaskingPolicy policy(MaskingStrategy::kFdGuided, &serializer_,
+                       {0.0, 1.0});
+  Rng rng(5);
+  int col1 = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    auto ex = policy.MakeExample(schema_, tuple_, &rng);
+    ASSERT_TRUE(ex.has_value());
+    col1 += (ex->masked_column == 1);
+  }
+  EXPECT_GT(col1, n * 3 / 4);
+  EXPECT_LT(col1, n);  // the floor keeps column 0 alive
+}
+
+TEST_F(MaskingTest, StrategyNames) {
+  EXPECT_STREQ(MaskingStrategyName(MaskingStrategy::kTokenMasking), "token");
+  EXPECT_STREQ(MaskingStrategyName(MaskingStrategy::kValueMasking), "value");
+  EXPECT_STREQ(MaskingStrategyName(MaskingStrategy::kFdGuided),
+               "fd-guided");
+}
+
+// ---- Dirt -------------------------------------------------------------------
+
+TEST(DirtTest, InjectTypoChangesString) {
+  Rng rng(6);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (InjectTypo("iphone", &rng) != "iphone") ++changed;
+  }
+  EXPECT_GT(changed, 40);  // replace-with-same-char can no-op rarely
+}
+
+TEST(DirtTest, InjectTypoShortStringsUntouched) {
+  Rng rng(7);
+  EXPECT_EQ(InjectTypo("a", &rng), "a");
+  EXPECT_EQ(InjectTypo("", &rng), "");
+}
+
+TEST(DirtTest, DropAndDuplicateWord) {
+  Rng rng(8);
+  EXPECT_EQ(DropWord("single", &rng), "single");
+  auto dropped = DropWord("a b c", &rng);
+  EXPECT_EQ(SplitWhitespace(dropped).size(), 2u);
+  auto duped = DuplicateWord("a b", &rng);
+  EXPECT_EQ(SplitWhitespace(duped).size(), 3u);
+}
+
+TEST(DirtTest, ApplyDirtRateIsRespected) {
+  Table t{Schema({"a", "b"})};
+  for (int i = 0; i < 500; ++i) {
+    t.AddRow({Value::String("hello world"), Value::Number(10.0)});
+  }
+  Rng rng(9);
+  DirtOptions opts;
+  opts.cell_rate = 0.2;
+  DirtReport report = ApplyDirt(&t, opts, &rng);
+  EXPECT_EQ(report.cells_seen, 1000);
+  const int64_t touched = report.cells_nulled + report.cells_typoed +
+                          report.cells_word_dropped;
+  EXPECT_NEAR(static_cast<double>(touched) / 1000.0, 0.2, 0.05);
+}
+
+TEST(DirtTest, ZeroRateChangesNothing) {
+  Table t{Schema({"a"})};
+  t.AddRow({Value::String("original")});
+  Rng rng(10);
+  DirtOptions opts;
+  opts.cell_rate = 0.0;
+  ApplyDirt(&t, opts, &rng);
+  EXPECT_EQ(t.at(0, 0).text(), "original");
+}
+
+}  // namespace
+}  // namespace rpt

@@ -1,0 +1,157 @@
+// Tests for data-lake discovery (§5): MinHash sketches, LSH joinability,
+// unionability ranking.
+
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rpt/discovery.h"
+#include "synth/benchmarks.h"
+#include "synth/universe.h"
+#include "util/rng.h"
+
+namespace rpt {
+namespace {
+
+std::vector<std::string> MakeTokens(int64_t begin, int64_t end) {
+  std::vector<std::string> out;
+  for (int64_t i = begin; i < end; ++i) {
+    out.push_back("tok" + std::to_string(i));
+  }
+  return out;
+}
+
+double ExactJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  int64_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  return static_cast<double>(inter) /
+         static_cast<double>(sa.size() + sb.size() - inter);
+}
+
+TEST(ColumnSketchTest, IdenticalSetsEstimateOne) {
+  auto tokens = MakeTokens(0, 50);
+  auto a = ColumnSketch::FromTokens(tokens, 64);
+  auto b = ColumnSketch::FromTokens(tokens, 64);
+  EXPECT_DOUBLE_EQ(a.EstimateJaccard(b), 1.0);
+}
+
+TEST(ColumnSketchTest, DisjointSetsEstimateNearZero) {
+  auto a = ColumnSketch::FromTokens(MakeTokens(0, 50), 128);
+  auto b = ColumnSketch::FromTokens(MakeTokens(1000, 1050), 128);
+  EXPECT_LT(a.EstimateJaccard(b), 0.1);
+}
+
+TEST(ColumnSketchTest, EmptyHandling) {
+  auto empty = ColumnSketch::FromTokens({}, 32);
+  auto full = ColumnSketch::FromTokens(MakeTokens(0, 10), 32);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.EstimateJaccard(full), 0.0);
+  auto empty2 = ColumnSketch::FromTokens({}, 32);
+  EXPECT_DOUBLE_EQ(empty.EstimateJaccard(empty2), 1.0);
+}
+
+// Property: the MinHash estimate tracks the exact Jaccard within MinHash
+// noise (std ~ sqrt(J(1-J)/k)).
+class MinHashAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinHashAccuracyTest, EstimateWithinTolerance) {
+  const int overlap = GetParam();
+  auto a_tokens = MakeTokens(0, 100);
+  auto b_tokens = MakeTokens(100 - overlap, 200 - overlap);
+  const double exact = ExactJaccard(a_tokens, b_tokens);
+  auto a = ColumnSketch::FromTokens(a_tokens, 256);
+  auto b = ColumnSketch::FromTokens(b_tokens, 256);
+  const double estimated = a.EstimateJaccard(b);
+  // 4 sigma at k=256 is about 0.125 in the worst case.
+  EXPECT_NEAR(estimated, exact, 0.13)
+      << "overlap " << overlap << ": exact " << exact;
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlaps, MinHashAccuracyTest,
+                         ::testing::Values(10, 30, 50, 80, 100));
+
+TEST(DiscoveryIndexTest, FindsJoinableKeyColumn) {
+  // Two tables sharing a product-id-like column.
+  Table orders{Schema({"order_id", "product"})};
+  Table inventory{Schema({"product", "stock"})};
+  for (int i = 0; i < 40; ++i) {
+    const std::string product = "sku" + std::to_string(i);
+    orders.AddRow({Value::Number(i), Value::String(product)});
+    inventory.AddRow({Value::String(product), Value::Number(i * 2)});
+  }
+  DiscoveryIndex index;
+  index.AddTable("inventory", inventory);
+  auto hits = index.FindJoinableColumns(orders, 1, 0.5);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].column.table_name, "inventory");
+  EXPECT_EQ(hits[0].column.column_name, "product");
+  EXPECT_GT(hits[0].estimated_jaccard, 0.9);
+}
+
+TEST(DiscoveryIndexTest, UnrelatedColumnsNotReturned) {
+  Table a{Schema({"x"})};
+  Table b{Schema({"y"})};
+  for (int i = 0; i < 30; ++i) {
+    a.AddRow({Value::String("alpha" + std::to_string(i))});
+    b.AddRow({Value::String("beta" + std::to_string(i))});
+  }
+  DiscoveryIndex index;
+  index.AddTable("b", b);
+  EXPECT_TRUE(index.FindJoinableColumns(a, 0, 0.5).empty());
+}
+
+TEST(DiscoveryIndexTest, UnionabilityRanksSameSchemaTablesFirst) {
+  ProductUniverse universe(120, 606);
+  std::vector<int64_t> ids1, ids2, ids3;
+  for (int64_t i = 0; i < 40; ++i) ids1.push_back(i);
+  for (int64_t i = 40; i < 80; ++i) ids2.push_back(i);
+  for (int64_t i = 80; i < 120; ++i) ids3.push_back(i);
+  RenderProfile profile;
+  profile.missing_prob = 0.0;
+  // Two catalogs with the same shape, one with a different shape.
+  Table catalog_a = GenerateCleaningTable(
+      universe, ids1, {"title", "manufacturer", "price"}, profile, 1);
+  Table catalog_b = GenerateCleaningTable(
+      universe, ids2, {"title", "manufacturer", "price"}, profile, 2);
+  Table reviews{Schema({"user", "stars"})};
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    reviews.AddRow({Value::String("user" + std::to_string(i)),
+                    Value::Number(1 + static_cast<double>(
+                                          rng.UniformInt(5)))});
+  }
+  DiscoveryIndex index;
+  index.AddTable("catalog_b", catalog_b);
+  index.AddTable("reviews", reviews);
+  auto hits = index.FindUnionableTables(catalog_a, 0.0);
+  ASSERT_GE(hits.size(), 1u);
+  EXPECT_EQ(hits[0].table_name, "catalog_b");
+  if (hits.size() > 1) {
+    EXPECT_GT(hits[0].alignment, hits[1].alignment);
+  }
+}
+
+TEST(DiscoveryIndexTest, DuplicateTableNameAborts) {
+  Table t{Schema({"a"})};
+  t.AddRow({Value::String("x")});
+  DiscoveryIndex index;
+  index.AddTable("t", t);
+  EXPECT_DEATH(index.AddTable("t", t), "already registered");
+}
+
+TEST(DiscoveryIndexTest, NumColumnsCounts) {
+  Table t{Schema({"a", "b", "c"})};
+  t.AddRow({Value::String("x"), Value::String("y"), Value::String("z")});
+  DiscoveryIndex index;
+  index.AddTable("t", t);
+  EXPECT_EQ(index.NumColumns(), 3);
+}
+
+}  // namespace
+}  // namespace rpt

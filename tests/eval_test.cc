@@ -1,0 +1,101 @@
+// Tests for evaluation metrics and report rendering.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace rpt {
+namespace {
+
+TEST(BinaryConfusionTest, CountsAndDerivedMetrics) {
+  BinaryConfusion c;
+  c.Add(true, true);    // tp
+  c.Add(true, true);    // tp
+  c.Add(true, false);   // fp
+  c.Add(false, true);   // fn
+  c.Add(false, false);  // tn
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.tn, 1);
+  EXPECT_DOUBLE_EQ(c.Precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 3.0 / 5.0);
+}
+
+TEST(BinaryConfusionTest, EmptyIsZeroNotNan) {
+  BinaryConfusion c;
+  EXPECT_EQ(c.Precision(), 0.0);
+  EXPECT_EQ(c.Recall(), 0.0);
+  EXPECT_EQ(c.F1(), 0.0);
+  EXPECT_EQ(c.Accuracy(), 0.0);
+}
+
+TEST(ExactMatchTest, NormalizedComparison) {
+  EXPECT_TRUE(NormalizedExactMatch("Apple  Inc", "apple inc"));
+  EXPECT_TRUE(NormalizedExactMatch("9.99", "9.99"));
+  EXPECT_FALSE(NormalizedExactMatch("apple", "apple inc"));
+}
+
+TEST(TokenF1Test, OverlapScoring) {
+  EXPECT_DOUBLE_EQ(TokenF1("a b c", "a b c"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenF1("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(TokenF1("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(TokenF1("x y", "a b"), 0.0);
+  // pred {a b}, gold {a b c d}: p=1, r=0.5 -> F1 = 2/3.
+  EXPECT_NEAR(TokenF1("a b", "a b c d"), 2.0 / 3.0, 1e-9);
+}
+
+TEST(TokenF1Test, RespectsTokenMultiplicity) {
+  // pred "a a", gold "a": overlap 1, p=0.5, r=1 -> 2/3.
+  EXPECT_NEAR(TokenF1("a a", "a"), 2.0 / 3.0, 1e-9);
+}
+
+TEST(PairwiseClusterTest, PerfectClustering) {
+  // Records 0,1 entity X; 2,3 entity Y; clusters match exactly.
+  BinaryConfusion c =
+      PairwiseClusterConfusion({7, 7, 9, 9}, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(c.F1(), 1.0);
+}
+
+TEST(PairwiseClusterTest, OverMerged) {
+  // Everything in one cluster: recall 1, precision 2/6.
+  BinaryConfusion c =
+      PairwiseClusterConfusion({1, 1, 1, 1}, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(c.Recall(), 1.0);
+  EXPECT_NEAR(c.Precision(), 2.0 / 6.0, 1e-9);
+}
+
+TEST(MeanOfTest, Basics) {
+  EXPECT_EQ(MeanOf({}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanOf({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(ReportTableTest, RendersAlignedTable) {
+  ReportTable table({"name", "f1"});
+  table.AddRow({"abt_buy", "0.72"});
+  table.AddRow({"amazon_google", "0.53"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| abt_buy"), std::string::npos);
+  EXPECT_NE(out.find("0.53"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(ReportTableTest, ShortRowsArePadded) {
+  ReportTable table({"a", "b"});
+  table.AddRow({"only"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(FixedTest, Formats) {
+  EXPECT_EQ(Fixed(0.725, 2), "0.72");
+  EXPECT_EQ(Fixed(1.0, 3), "1.000");
+}
+
+}  // namespace
+}  // namespace rpt

@@ -1,0 +1,155 @@
+// Integration tests for RPT-I: span-extraction QA over text-rich tuples,
+// with PET one-shot question instantiation.
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "rpt/extractor.h"
+#include "rpt/pet.h"
+#include "rpt/vocab_builder.h"
+#include "synth/ie_tasks.h"
+#include "synth/universe.h"
+#include "text/tokenizer.h"
+
+namespace rpt {
+namespace {
+
+ExtractorConfig SmallExtractorConfig() {
+  ExtractorConfig config;
+  config.d_model = 48;
+  config.num_heads = 2;
+  config.num_layers = 2;
+  config.ffn_dim = 96;
+  config.max_seq_len = 80;
+  config.dropout = 0.0f;
+  config.batch_size = 12;
+  config.learning_rate = 2e-3f;
+  config.warmup_steps = 30;
+  config.seed = 55;
+  return config;
+}
+
+std::vector<QaExample> BuildQaExamples(const ProductUniverse& universe,
+                                       const std::string& attribute,
+                                       int64_t count, uint64_t seed) {
+  std::vector<QaExample> out;
+  for (const auto& ex :
+       GenerateIeExamples(universe, attribute, count, seed)) {
+    out.push_back({BuildQuestion(ex.target_attribute), ex.description,
+                   ex.label});
+  }
+  return out;
+}
+
+Vocab VocabFromQa(const std::vector<QaExample>& examples) {
+  std::unordered_map<std::string, int64_t> counts;
+  for (const auto& ex : examples) {
+    Tokenizer::CountTokens(ex.question, &counts);
+    Tokenizer::CountTokens(ex.paragraph, &counts);
+  }
+  return Vocab::Build(counts);
+}
+
+TEST(ExtractorIntegrationTest, LearnsToExtractYearSpans) {
+  ProductUniverse universe(100, 2024);
+  auto train = BuildQaExamples(universe, "year", 60, 5);
+  auto test = BuildQaExamples(universe, "year", 15, 99);
+  ASSERT_FALSE(train.empty());
+  ASSERT_FALSE(test.empty());
+  auto all = train;
+  all.insert(all.end(), test.begin(), test.end());
+  RptExtractor extractor(SmallExtractorConfig(), VocabFromQa(all));
+  const double loss = extractor.Train(train, 250);
+  EXPECT_LT(loss, 1.0);
+
+  double f1_sum = 0;
+  for (const auto& ex : test) {
+    const std::string predicted =
+        extractor.Extract(ex.question, ex.paragraph);
+    f1_sum += TokenF1(predicted, ex.answer);
+  }
+  const double mean_f1 = f1_sum / static_cast<double>(test.size());
+  EXPECT_GT(mean_f1, 0.6) << "year extraction F1 " << mean_f1;
+}
+
+TEST(ExtractorIntegrationTest, DistinguishesQuestions) {
+  // SQuAD-style training: each paragraph appears with *several* questions,
+  // so the span heads must condition on the question rather than memorize
+  // paragraph -> span.
+  ProductUniverse universe(100, 2025);
+  auto paragraphs = GenerateIeParagraphs(universe, 70, 6);
+  std::vector<QaExample> all;
+  for (const auto& p : paragraphs) {
+    for (const auto& [attr, span] : p.spans) {
+      if (attr == "memory" || attr == "year") {
+        all.push_back({BuildQuestion(attr), p.description, span});
+      }
+    }
+  }
+  RptExtractor extractor(SmallExtractorConfig(), VocabFromQa(all));
+  extractor.Train(all, 400);
+
+  // Fresh paragraphs: the two questions must pull different spans.
+  auto test_paragraphs = GenerateIeParagraphs(universe, 40, 77);
+  int differs = 0, checked = 0;
+  for (const auto& p : test_paragraphs) {
+    bool has_memory = false, has_year = false;
+    for (const auto& [attr, span] : p.spans) {
+      has_memory |= attr == "memory";
+      has_year |= attr == "year";
+    }
+    if (!has_memory || !has_year) continue;
+    if (checked >= 10) break;
+    const std::string mem_ans =
+        extractor.Extract("what is the memory", p.description);
+    const std::string year_ans =
+        extractor.Extract("what is the year", p.description);
+    differs += (mem_ans != year_ans);
+    ++checked;
+  }
+  ASSERT_GT(checked, 4);
+  EXPECT_GE(differs, checked * 7 / 10)
+      << differs << "/" << checked << " question-sensitive answers";
+}
+
+TEST(ExtractorIntegrationTest, UnalignableExamplesAreSkipped) {
+  ProductUniverse universe(50, 2026);
+  auto train = BuildQaExamples(universe, "price", 30, 8);
+  // Poison one example with an answer not present in the paragraph.
+  train.push_back({"what is the price", "no answer here", "zzzqqq"});
+  RptExtractor extractor(SmallExtractorConfig(), VocabFromQa(train));
+  // Must not crash; trains on the alignable subset.
+  const double loss = extractor.Train(train, 30);
+  EXPECT_GE(loss, 0.0);
+}
+
+TEST(ExtractorIntegrationTest, PetChainProducesWorkingQuestion) {
+  // Fig. 1(c) flow: from one labeled example, infer the task, build the
+  // question, and run extraction end-to-end.
+  ProductUniverse universe(100, 2027);
+  auto examples = GenerateIeExamples(universe, "memory", 50, 10);
+  ASSERT_FALSE(examples.empty());
+  // One-shot interpretation from the first example's label.
+  const std::string attribute =
+      InferQuestionAttribute(examples[0].label);
+  EXPECT_EQ(attribute, "memory");
+  const std::string question = BuildQuestion(attribute);
+
+  std::vector<QaExample> train;
+  for (const auto& ex : examples) {
+    train.push_back({question, ex.description, ex.label});
+  }
+  RptExtractor extractor(SmallExtractorConfig(), VocabFromQa(train));
+  extractor.Train(train, 250);
+  double f1_sum = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    f1_sum += TokenF1(extractor.Extract(question, train[i].paragraph),
+                      train[i].answer);
+  }
+  EXPECT_GT(f1_sum / 10.0, 0.6);
+}
+
+}  // namespace
+}  // namespace rpt

@@ -1,0 +1,123 @@
+// Tests for hybrid cleaning (§2.2 O1): quantitative outlier detection +
+// dictionary-constrained repair on top of RPT-C.
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "rpt/hybrid_cleaner.h"
+#include "rpt/vocab_builder.h"
+#include "table/table.h"
+
+namespace rpt {
+namespace {
+
+TEST(NumericOutlierTest, ModifiedZScoreBasics) {
+  std::vector<double> column = {10, 11, 9, 10, 12, 10, 11};
+  EXPECT_LT(NumericOutlierDetector::ModifiedZScore(10.5, column), 1.0);
+  EXPECT_GT(NumericOutlierDetector::ModifiedZScore(100.0, column), 10.0);
+}
+
+TEST(NumericOutlierTest, DegenerateSpreadFlagsAnyDeviation) {
+  std::vector<double> column = {5, 5, 5, 5, 5};
+  EXPECT_EQ(NumericOutlierDetector::ModifiedZScore(5.0, column), 0.0);
+  EXPECT_GT(NumericOutlierDetector::ModifiedZScore(5.1, column), 1e6);
+}
+
+TEST(NumericOutlierTest, DetectFlagsInjectedOutlier) {
+  Table t{Schema({"name", "price"})};
+  for (int i = 0; i < 10; ++i) {
+    t.AddRow({Value::String("item"), Value::Number(100 + i)});
+  }
+  t.AddRow({Value::String("item"), Value::Number(9999)});
+  NumericOutlierDetector detector;
+  auto errors = detector.Detect(t);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].row, 10);
+  EXPECT_EQ(errors[0].column, 1);
+}
+
+TEST(NumericOutlierTest, SmallColumnsSkipped) {
+  Table t{Schema({"x"})};
+  t.AddRow({Value::Number(1)});
+  t.AddRow({Value::Number(1000)});
+  NumericOutlierDetector detector;
+  EXPECT_TRUE(detector.Detect(t).empty());
+}
+
+class HybridCleanerTest : public ::testing::Test {
+ protected:
+  HybridCleanerTest() {
+    table_ = Table{Schema({"brand", "country", "price"})};
+    const std::vector<std::pair<std::string, std::string>> brands = {
+        {"apple", "usa"}, {"sony", "japan"}, {"dell", "texas"}};
+    double price = 100;
+    for (int r = 0; r < 8; ++r) {
+      for (const auto& [brand, country] : brands) {
+        table_.AddRow({Value::String(brand), Value::String(country),
+                       Value::Number(price)});
+        price += 1;
+      }
+    }
+    CleanerConfig config;
+    config.d_model = 48;
+    config.num_layers = 2;
+    config.num_heads = 2;
+    config.ffn_dim = 64;
+    config.dropout = 0.0f;
+    config.batch_size = 8;
+    config.learning_rate = 3e-3f;
+    config.seed = 11;
+    cleaner_ = std::make_unique<RptCleaner>(
+        config, BuildVocabFromTables({&table_}));
+    cleaner_->PretrainOnTables({&table_}, 300);
+  }
+
+  Table table_;
+  std::unique_ptr<RptCleaner> cleaner_;
+};
+
+TEST_F(HybridCleanerTest, RoutesNumericErrorsToOutlierDetector) {
+  HybridCleaner hybrid(cleaner_.get());
+  Table dirty = table_;
+  dirty.Set(0, 2, Value::Number(99999));  // numeric outlier
+  auto errors = hybrid.DetectErrors(dirty);
+  bool numeric_flagged = false;
+  for (const auto& e : errors) {
+    if (e.row == 0 && e.column == 2) {
+      numeric_flagged = true;
+      EXPECT_NE(e.predicted.find("outlier"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(numeric_flagged);
+}
+
+TEST_F(HybridCleanerTest, CategoricalErrorsStillCaught) {
+  HybridCleaner hybrid(cleaner_.get());
+  Table dirty{table_.schema()};
+  dirty.AddRow({Value::String("apple"), Value::String("japan"),
+                Value::Number(105)});
+  auto errors = hybrid.DetectErrors(dirty);
+  bool flagged = false;
+  for (const auto& e : errors) {
+    if (e.row == 0 && e.column == 1) flagged = true;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST_F(HybridCleanerTest, RepairSnapsToDictionary) {
+  HybridCleaner hybrid(cleaner_.get());
+  // Repair country of an apple row: must come from the observed
+  // dictionary {usa, japan, texas}.
+  Tuple probe = {Value::String("apple"), Value::Null(),
+                 Value::Number(110)};
+  Value repaired = hybrid.RepairCell(table_, probe, 1);
+  ASSERT_FALSE(repaired.is_null());
+  const std::string text = repaired.text();
+  EXPECT_TRUE(text == "usa" || text == "japan" || text == "texas")
+      << "repair escaped the dictionary: " << text;
+  EXPECT_EQ(text, "usa");
+}
+
+}  // namespace
+}  // namespace rpt

@@ -1,0 +1,348 @@
+// Tests for layers, attention, transformer shells, optimizers, and
+// checkpointing, including small end-to-end learning sanity checks.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "nn/checkpoint.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rpt {
+namespace {
+
+TransformerConfig SmallConfig(int64_t vocab) {
+  TransformerConfig config;
+  config.vocab_size = vocab;
+  config.d_model = 32;
+  config.num_heads = 2;
+  config.num_encoder_layers = 1;
+  config.num_decoder_layers = 1;
+  config.ffn_dim = 64;
+  config.max_seq_len = 32;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear lin(4, 3, &rng);
+  Tensor x = Tensor::Zeros({2, 4});
+  Tensor y = lin.Forward(x);
+  ASSERT_EQ(y.shape(), (std::vector<int64_t>{2, 3}));
+  // Zero input -> output equals bias (zero-initialized).
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(y.at(i), 0.0f);
+}
+
+TEST(LinearTest, LeadingDimsPreserved) {
+  Rng rng(2);
+  Linear lin(4, 5, &rng);
+  Tensor x = Tensor::Randn({2, 3, 4}, 1.0f, &rng);
+  Tensor y = lin.Forward(x);
+  ASSERT_EQ(y.shape(), (std::vector<int64_t>{2, 3, 5}));
+}
+
+TEST(EmbeddingTest, LookupAndCount) {
+  Rng rng(3);
+  Embedding emb(10, 4, &rng);
+  Tensor e = emb.Forward({0, 9, 5});
+  ASSERT_EQ(e.shape(), (std::vector<int64_t>{3, 4}));
+  EXPECT_EQ(emb.ParameterCount(), 40);
+}
+
+TEST(ModuleTest, NamedParametersAreStable) {
+  Rng rng(4);
+  Linear lin(2, 2, &rng);
+  auto named = lin.NamedParameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[1].first, "bias");
+}
+
+TEST(ModuleTest, SetTrainingPropagates) {
+  Rng rng(5);
+  MultiHeadAttention mha(32, 2, 0.1f, &rng);
+  mha.SetTraining(false);
+  EXPECT_FALSE(mha.training());
+}
+
+TEST(AttentionBiasTest, CausalMasking) {
+  Tensor bias = BuildAttentionBias(1, 1, 3, 3, {}, /*causal=*/true);
+  // Row 0 can only see col 0.
+  EXPECT_EQ(bias.at(0 * 3 + 0), 0.0f);
+  EXPECT_LT(bias.at(0 * 3 + 1), -1e8f);
+  EXPECT_LT(bias.at(0 * 3 + 2), -1e8f);
+  // Row 2 sees everything.
+  for (int j = 0; j < 3; ++j) EXPECT_EQ(bias.at(2 * 3 + j), 0.0f);
+}
+
+TEST(AttentionBiasTest, PaddingMasking) {
+  std::vector<uint8_t> valid = {1, 1, 0};  // last key is pad
+  Tensor bias = BuildAttentionBias(1, 2, 2, 3, valid, /*causal=*/false);
+  for (int h = 0; h < 2; ++h) {
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_EQ(bias.at((h * 2 + i) * 3 + 0), 0.0f);
+      EXPECT_EQ(bias.at((h * 2 + i) * 3 + 1), 0.0f);
+      EXPECT_LT(bias.at((h * 2 + i) * 3 + 2), -1e8f);
+    }
+  }
+}
+
+TEST(AttentionTest, OutputShape) {
+  Rng rng(6);
+  MultiHeadAttention mha(32, 4, 0.0f, &rng);
+  mha.SetTraining(false);
+  Tensor x = Tensor::Randn({2, 5, 32}, 1.0f, &rng);
+  Tensor y = mha.Forward(x, x, x, Tensor(), &rng);
+  ASSERT_EQ(y.shape(), (std::vector<int64_t>{2, 5, 32}));
+}
+
+TEST(AttentionTest, MaskedPositionsDoNotInfluenceOutput) {
+  // Changing the content of a fully masked key position must not change
+  // the attention output for valid queries.
+  Rng rng(7);
+  MultiHeadAttention mha(16, 2, 0.0f, &rng);
+  mha.SetTraining(false);
+  Tensor x1 = Tensor::Randn({1, 4, 16}, 1.0f, &rng);
+  Tensor x2 = x1.Detach();
+  // Perturb the last position of x2.
+  for (int d = 0; d < 16; ++d) x2.data()[3 * 16 + d] += 5.0f;
+  std::vector<uint8_t> valid = {1, 1, 1, 0};
+  Tensor bias = BuildAttentionBias(1, 2, 4, 4, valid, false);
+  NoGradGuard guard;
+  Tensor y1 = mha.Forward(x1, x1, x1, bias, &rng);
+  Tensor y2 = mha.Forward(x2, x2, x2, bias, &rng);
+  // Positions 0..2 identical (their queries are the same and masked keys
+  // cannot contribute).
+  for (int t = 0; t < 3; ++t) {
+    for (int d = 0; d < 16; ++d) {
+      EXPECT_NEAR(y1.at(t * 16 + d), y2.at(t * 16 + d), 1e-4);
+    }
+  }
+}
+
+TEST(TokenBatchTest, PackPadsToMaxLen) {
+  TokenBatch b = TokenBatch::Pack({{1, 2, 3}, {4}}, /*pad_id=*/0);
+  EXPECT_EQ(b.batch, 2);
+  EXPECT_EQ(b.len, 3);
+  EXPECT_EQ(b.ids, (std::vector<int32_t>{1, 2, 3, 4, 0, 0}));
+  EXPECT_EQ(b.valid, (std::vector<uint8_t>{1, 1, 1, 1, 0, 0}));
+}
+
+TEST(TokenBatchTest, PackWithColumnAndTypeIds) {
+  std::vector<std::vector<int32_t>> seqs = {{5, 6}};
+  std::vector<std::vector<int32_t>> cols = {{0, 1}};
+  std::vector<std::vector<int32_t>> types = {{2, 1}};
+  TokenBatch b = TokenBatch::Pack(seqs, 0, &cols, &types);
+  EXPECT_EQ(b.col_ids, (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ(b.type_ids, (std::vector<int32_t>{2, 1}));
+}
+
+TEST(EncoderModelTest, EncodeShapes) {
+  Rng rng(8);
+  auto config = SmallConfig(50);
+  TransformerEncoderModel model(config, &rng);
+  model.SetTraining(false);
+  TokenBatch batch = TokenBatch::Pack({{1, 2, 3}, {4, 5}}, 0);
+  Tensor states = model.Encode(batch, &rng);
+  ASSERT_EQ(states.shape(), (std::vector<int64_t>{2, 3, 32}));
+  Tensor pooled = model.EncodePooled(batch, &rng);
+  ASSERT_EQ(pooled.shape(), (std::vector<int64_t>{2, 32}));
+}
+
+TEST(Seq2SeqTest, ForwardShapes) {
+  Rng rng(9);
+  auto config = SmallConfig(50);
+  Seq2SeqTransformer model(config, &rng);
+  model.SetTraining(false);
+  TokenBatch src = TokenBatch::Pack({{1, 2, 3, 4}}, 0);
+  TokenBatch tgt = TokenBatch::Pack({{1, 2, 3}}, 0);
+  Tensor logits = model.Forward(src, tgt, &rng);
+  ASSERT_EQ(logits.shape(), (std::vector<int64_t>{1, 3, 50}));
+}
+
+TEST(OptimizerTest, SgdDecreasesQuadratic) {
+  // minimize ||w||^2 with SGD.
+  Tensor w = Tensor::FromVector({3.0f, -4.0f}, {2});
+  w.set_requires_grad(true);
+  Sgd opt({w}, 0.1f);
+  for (int i = 0; i < 50; ++i) {
+    opt.ZeroGrad();
+    Tensor loss = Sum(Mul(w, w));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(w.at(0), 0.0f, 1e-3);
+  EXPECT_NEAR(w.at(1), 0.0f, 1e-3);
+}
+
+TEST(OptimizerTest, AdamDecreasesQuadratic) {
+  Tensor w = Tensor::FromVector({3.0f, -4.0f}, {2});
+  w.set_requires_grad(true);
+  Adam opt({w}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    opt.ZeroGrad();
+    Tensor loss = Sum(Mul(w, w));
+    loss.Backward();
+    opt.Step();
+  }
+  // Adam hovers around the optimum at a scale proportional to the LR.
+  EXPECT_NEAR(w.at(0), 0.0f, 0.05f);
+  EXPECT_NEAR(w.at(1), 0.0f, 0.05f);
+}
+
+TEST(OptimizerTest, ClipGradNormScales) {
+  Tensor w = Tensor::FromVector({3.0f, 4.0f}, {2});
+  w.set_requires_grad(true);
+  Tensor loss = Sum(Mul(w, w));  // grad = 2w = (6, 8), norm 10
+  loss.Backward();
+  float norm = ClipGradNorm({w}, 5.0f);
+  EXPECT_NEAR(norm, 10.0f, 1e-4);
+  EXPECT_NEAR(w.grad_data()[0], 3.0f, 1e-4);
+  EXPECT_NEAR(w.grad_data()[1], 4.0f, 1e-4);
+}
+
+TEST(OptimizerTest, WarmupScheduleShape) {
+  WarmupSchedule sched(1e-3f, 100);
+  EXPECT_LT(sched.LearningRate(1), sched.LearningRate(50));
+  EXPECT_LT(sched.LearningRate(50), sched.LearningRate(100));
+  EXPECT_GT(sched.LearningRate(100), sched.LearningRate(400));
+  EXPECT_NEAR(sched.LearningRate(100), 1e-3f, 1e-6);
+}
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  Rng rng1(10), rng2(11);
+  auto config = SmallConfig(20);
+  Seq2SeqTransformer model1(config, &rng1);
+  Seq2SeqTransformer model2(config, &rng2);
+
+  const std::string path = "/tmp/rpt_test_checkpoint.bin";
+  ASSERT_TRUE(SaveCheckpoint(model1, path).ok());
+  ASSERT_TRUE(LoadCheckpoint(&model2, path).ok());
+
+  auto p1 = model1.NamedParameters();
+  auto p2 = model2.NamedParameters();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i].second.ToVector(), p2[i].second.ToVector())
+        << "mismatch at " << p1[i].first;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadRejectsWrongArchitecture) {
+  Rng rng(12);
+  auto config = SmallConfig(20);
+  Seq2SeqTransformer model(config, &rng);
+  const std::string path = "/tmp/rpt_test_checkpoint2.bin";
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+
+  auto other_config = SmallConfig(21);  // different vocab size
+  Seq2SeqTransformer other(other_config, &rng);
+  Status s = LoadCheckpoint(&other, path);
+  EXPECT_FALSE(s.ok());
+  std::remove(path.c_str());
+}
+
+// End-to-end: a tiny seq2seq learns the identity (copy) function.
+TEST(TrainingTest, Seq2SeqLearnsToCopy) {
+  Rng rng(42);
+  auto config = SmallConfig(12);
+  config.d_model = 32;
+  Seq2SeqTransformer model(config, &rng);
+  Adam opt(model.Parameters(), 3e-3f);
+
+  const int32_t bos = 1, eos = 2;
+  // Training pairs: copy random token sequences (ids 3..11).
+  for (int step = 0; step < 150; ++step) {
+    std::vector<std::vector<int32_t>> srcs, tgt_in, tgt_out;
+    for (int b = 0; b < 8; ++b) {
+      std::vector<int32_t> seq;
+      const int len = 2 + static_cast<int>(rng.UniformInt(3));
+      for (int t = 0; t < len; ++t) {
+        seq.push_back(3 + static_cast<int32_t>(rng.UniformInt(9)));
+      }
+      srcs.push_back(seq);
+      std::vector<int32_t> in = {bos};
+      in.insert(in.end(), seq.begin(), seq.end());
+      std::vector<int32_t> out = seq;
+      out.push_back(eos);
+      tgt_in.push_back(in);
+      tgt_out.push_back(out);
+    }
+    TokenBatch src = TokenBatch::Pack(srcs, 0);
+    TokenBatch tin = TokenBatch::Pack(tgt_in, 0);
+    // Flatten targets aligned with tin (pad -> ignore).
+    std::vector<int32_t> targets(
+        static_cast<size_t>(tin.batch * tin.len), -100);
+    for (size_t b = 0; b < tgt_out.size(); ++b) {
+      for (size_t t = 0; t < tgt_out[b].size(); ++t) {
+        targets[b * static_cast<size_t>(tin.len) + t] = tgt_out[b][t];
+      }
+    }
+    opt.ZeroGrad();
+    Tensor logits = model.Forward(src, tin, &rng);
+    Tensor flat = Reshape(
+        logits, {tin.batch * tin.len, config.vocab_size});
+    Tensor loss = CrossEntropyLoss(flat, targets);
+    loss.Backward();
+    ClipGradNorm(model.Parameters(), 1.0f);
+    opt.Step();
+  }
+
+  // Evaluate copying on fresh sequences.
+  model.SetTraining(false);
+  int correct = 0, total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int32_t> seq;
+    const int len = 2 + static_cast<int>(rng.UniformInt(3));
+    for (int t = 0; t < len; ++t) {
+      seq.push_back(3 + static_cast<int32_t>(rng.UniformInt(9)));
+    }
+    TokenBatch src = TokenBatch::Pack({seq}, 0);
+    auto out = model.GenerateGreedy(src, bos, eos, 8, &rng);
+    ASSERT_EQ(out.size(), 1u);
+    if (out[0] == seq) ++correct;
+    ++total;
+  }
+  EXPECT_GE(correct, 7) << "copy accuracy too low: " << correct << "/"
+                        << total;
+}
+
+TEST(TrainingTest, BeamSearchMatchesGreedyOnConfidentModel) {
+  Rng rng(43);
+  auto config = SmallConfig(12);
+  Seq2SeqTransformer model(config, &rng);
+  Adam opt(model.Parameters(), 3e-3f);
+  const int32_t bos = 1, eos = 2;
+  // Train a fixed mapping: (3,4) -> (5,6).
+  for (int step = 0; step < 120; ++step) {
+    TokenBatch src = TokenBatch::Pack({{3, 4}}, 0);
+    TokenBatch tin = TokenBatch::Pack({{bos, 5, 6}}, 0);
+    std::vector<int32_t> targets = {5, 6, eos};
+    opt.ZeroGrad();
+    Tensor logits = model.Forward(src, tin, &rng);
+    Tensor flat =
+        Reshape(logits, {tin.batch * tin.len, config.vocab_size});
+    Tensor loss = CrossEntropyLoss(flat, targets);
+    loss.Backward();
+    opt.Step();
+  }
+  model.SetTraining(false);
+  TokenBatch src = TokenBatch::Pack({{3, 4}}, 0);
+  auto greedy = model.GenerateGreedy(src, bos, eos, 6, &rng);
+  auto beam = model.GenerateBeam(src, bos, eos, 6, 3, 1, &rng);
+  ASSERT_FALSE(beam.empty());
+  EXPECT_EQ(greedy[0], beam[0]);
+  EXPECT_EQ(greedy[0], (std::vector<int32_t>{5, 6}));
+}
+
+}  // namespace
+}  // namespace rpt

@@ -1,0 +1,90 @@
+// Tests for PET few-shot task interpretation.
+
+#include <gtest/gtest.h>
+
+#include "rpt/pet.h"
+#include "synth/benchmarks.h"
+#include "synth/universe.h"
+
+namespace rpt {
+namespace {
+
+TEST(QuestionInferenceTest, UnitsImplyAttributes) {
+  EXPECT_EQ(InferQuestionAttribute("4gb"), "memory");
+  EXPECT_EQ(InferQuestionAttribute("4gb of ram"), "memory");
+  EXPECT_EQ(InferQuestionAttribute("256gb"), "storage");
+  EXPECT_EQ(InferQuestionAttribute("1tb"), "storage");
+  EXPECT_EQ(InferQuestionAttribute("5.8-inch"), "screen");
+  EXPECT_EQ(InferQuestionAttribute("16 inches"), "screen");
+}
+
+TEST(QuestionInferenceTest, BareNumbersByShape) {
+  EXPECT_EQ(InferQuestionAttribute("2017"), "year");
+  EXPECT_EQ(InferQuestionAttribute("999.99"), "price");
+  EXPECT_EQ(InferQuestionAttribute("249"), "price");
+}
+
+TEST(QuestionInferenceTest, FallbackIsValue) {
+  EXPECT_EQ(InferQuestionAttribute("red"), "value");
+}
+
+TEST(QuestionInferenceTest, BuildsQuestionFromTemplate) {
+  EXPECT_EQ(BuildQuestion("memory"), "what is the memory");
+  // One-shot PET chain: label -> attribute -> question (the paper's
+  // "what is the memory size" flow).
+  EXPECT_EQ(BuildQuestion(InferQuestionAttribute("4gb of ram")),
+            "what is the memory");
+}
+
+TEST(AttributeImportanceTest, ModelMattersColorDoesNot) {
+  // Build a tiny benchmark where matches agree on brand and differ on
+  // nothing else systematically; importance must rank shared signal first.
+  // A clean-rendering benchmark: PET's T1/T2 templates test *surface*
+  // agreement, so alias noise (by design) hides agreement — use a spec
+  // without it.
+  ProductUniverse universe(80, 55);
+  BenchmarkSpec spec;
+  spec.name = "clean_walmart";
+  spec.schema_a = {"title", "category", "brand", "modelno", "price"};
+  spec.schema_b = {"title", "category", "brand", "modelno", "price"};
+  spec.profile_a.brand_alias_prob = 0.0;
+  spec.profile_a.model_alias_prob = 0.0;
+  spec.profile_b.brand_alias_prob = 0.0;
+  spec.profile_b.model_alias_prob = 0.0;
+  spec.num_matches = 45;
+  spec.num_hard_nonmatches = 75;
+  spec.num_random_nonmatches = 100;
+  spec.seed = 701;
+  ErBenchmark bench = GenerateErBenchmark(universe, spec);
+
+  // Use the first ~40 labeled pairs as "few-shot examples".
+  std::vector<LabeledPair> examples(
+      bench.pairs.begin(),
+      bench.pairs.begin() + std::min<size_t>(40, bench.pairs.size()));
+  auto importance = InferImportantAttributes(bench, examples);
+  ASSERT_FALSE(importance.empty());
+  // Sorted descending.
+  for (size_t i = 1; i < importance.size(); ++i) {
+    EXPECT_GE(importance[i - 1].weight, importance[i].weight);
+  }
+  // "category" agrees for siblings too (hard non-matches share it), so a
+  // discriminative attribute like modelno/title should rank above it.
+  double category_weight = -1, modelno_weight = -1;
+  for (const auto& imp : importance) {
+    if (imp.attribute == "category") category_weight = imp.weight;
+    if (imp.attribute == "modelno") modelno_weight = imp.weight;
+  }
+  ASSERT_GE(category_weight, 0.0);
+  ASSERT_GE(modelno_weight, 0.0);
+  EXPECT_GT(modelno_weight, category_weight);
+}
+
+TEST(AttributeImportanceTest, DisjointSchemasGiveEmpty) {
+  ErBenchmark bench;
+  bench.table_a = Table{Schema({"x"})};
+  bench.table_b = Table{Schema({"y"})};
+  EXPECT_TRUE(InferImportantAttributes(bench, {}).empty());
+}
+
+}  // namespace
+}  // namespace rpt

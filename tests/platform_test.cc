@@ -1,0 +1,129 @@
+// Tests for the collaborative (federated) training platform (§3 O1).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "rpt/platform.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rpt {
+namespace {
+
+TEST(ParameterSnapshotTest, CaptureRestoreRoundTrip) {
+  Rng rng(1);
+  Linear lin(3, 2, &rng);
+  ParameterSnapshot snapshot = ParameterSnapshot::Capture(lin);
+
+  // Mutate the module, then restore.
+  for (auto& p : lin.Parameters()) {
+    Tensor t = p;
+    for (int64_t i = 0; i < t.numel(); ++i) t.data()[i] = 0.0f;
+  }
+  snapshot.Restore(&lin);
+  ParameterSnapshot again = ParameterSnapshot::Capture(lin);
+  ASSERT_EQ(snapshot.values.size(), again.values.size());
+  for (size_t i = 0; i < snapshot.values.size(); ++i) {
+    EXPECT_EQ(snapshot.values[i], again.values[i]);
+  }
+}
+
+TEST(ParameterSnapshotTest, DeltaAndNorm) {
+  ParameterSnapshot a{{{1.0f, 2.0f}}};
+  ParameterSnapshot b{{{0.5f, 1.0f}}};
+  ParameterSnapshot d = a.Delta(b);
+  EXPECT_FLOAT_EQ(d.values[0][0], 0.5f);
+  EXPECT_FLOAT_EQ(d.values[0][1], 1.0f);
+  EXPECT_NEAR(d.Norm(), std::sqrt(1.25), 1e-6);
+}
+
+TEST(CollaborativePlatformTest, WeightedMerge) {
+  ParameterSnapshot global{{{0.0f}}};
+  CollaborativePlatform platform(global);
+  // Two parties: Δ=+1 (weight 3), Δ=-1 (weight 1) -> merged +0.5.
+  platform.SubmitDelta(ParameterSnapshot{{{1.0f}}}, 3.0);
+  platform.SubmitDelta(ParameterSnapshot{{{-1.0f}}}, 1.0);
+  EXPECT_EQ(platform.MergeRound(), 2);
+  EXPECT_FLOAT_EQ(platform.global().values[0][0], 0.5f);
+  EXPECT_EQ(platform.rounds_completed(), 1);
+}
+
+TEST(CollaborativePlatformTest, EmptyRoundIsNoOp) {
+  CollaborativePlatform platform(ParameterSnapshot{{{7.0f}}});
+  EXPECT_EQ(platform.MergeRound(), 0);
+  EXPECT_EQ(platform.rounds_completed(), 0);
+  EXPECT_FLOAT_EQ(platform.global().values[0][0], 7.0f);
+}
+
+TEST(FederatedRoundsTest, ConvergesToSharedOptimum) {
+  // Each party holds a different quadratic; federated averaging over
+  // local SGD should settle near the weighted mean of their optima.
+  Rng rng(5);
+  Linear model(1, 1, &rng);  // 2 params: weight, bias
+  // Party p pulls the bias toward p (targets 0 and 2 -> optimum 1).
+  auto local_train = [&model](int64_t party) -> double {
+    Sgd opt(model.Parameters(), 0.2f);
+    const float target = party == 0 ? 0.0f : 2.0f;
+    for (int step = 0; step < 20; ++step) {
+      opt.ZeroGrad();
+      Tensor x = Tensor::Full({1, 1}, 1.0f);
+      Tensor err = AddScalar(model.Forward(x), -target);
+      Tensor loss = Sum(Mul(err, err));
+      loss.Backward();
+      opt.Step();
+    }
+    return 1.0;  // equal weights
+  };
+  RunFederatedRounds(&model, /*num_parties=*/2, /*num_rounds=*/12,
+                     local_train);
+  Tensor x = Tensor::Full({1, 1}, 1.0f);
+  NoGradGuard guard;
+  const float prediction = model.Forward(x).item();
+  EXPECT_NEAR(prediction, 1.0f, 0.15f);
+}
+
+TEST(FederatedRoundsTest, SinglePartyEqualsLocalTraining) {
+  // With one party, federated rounds reduce to plain local training.
+  Rng rng(6);
+  Linear fed(1, 1, &rng);
+  Rng rng2(6);
+  Linear solo(1, 1, &rng2);
+
+  auto make_trainer = [](Linear* m) {
+    return [m](int64_t) -> double {
+      Sgd opt(m->Parameters(), 0.1f);
+      for (int step = 0; step < 5; ++step) {
+        opt.ZeroGrad();
+        Tensor x = Tensor::Full({1, 1}, 1.0f);
+        Tensor err = AddScalar(m->Forward(x), -3.0f);
+        Tensor loss = Sum(Mul(err, err));
+        loss.Backward();
+        opt.Step();
+      }
+      return 1.0;
+    };
+  };
+  RunFederatedRounds(&fed, 1, 4, make_trainer(&fed));
+  auto train_solo = make_trainer(&solo);
+  for (int round = 0; round < 4; ++round) train_solo(0);
+
+  auto pf = ParameterSnapshot::Capture(fed);
+  auto ps = ParameterSnapshot::Capture(solo);
+  for (size_t i = 0; i < pf.values.size(); ++i) {
+    for (size_t j = 0; j < pf.values[i].size(); ++j) {
+      EXPECT_NEAR(pf.values[i][j], ps.values[i][j], 1e-5);
+    }
+  }
+}
+
+TEST(CollaborativePlatformTest, MismatchedDeltaAborts) {
+  CollaborativePlatform platform(ParameterSnapshot{{{1.0f}}});
+  ParameterSnapshot wrong{{{1.0f}, {2.0f}}};  // extra buffer
+  EXPECT_DEATH(platform.SubmitDelta(wrong, 1.0), "delta");
+}
+
+}  // namespace
+}  // namespace rpt

@@ -1,0 +1,143 @@
+// Tests for data profiling: FD discovery, NMI, determinedness.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "profile/profiler.h"
+#include "table/table.h"
+
+namespace rpt {
+namespace {
+
+Table MakeTable(const std::vector<std::string>& cols,
+                const std::vector<std::vector<std::string>>& rows) {
+  Table t{Schema(cols)};
+  for (const auto& r : rows) {
+    Tuple tuple;
+    for (const auto& cell : r) tuple.push_back(Value::Parse(cell));
+    t.AddRow(std::move(tuple));
+  }
+  return t;
+}
+
+TEST(FdErrorTest, ExactFdHasZeroError) {
+  // brand -> country holds exactly.
+  Table t = MakeTable({"brand", "country"}, {{"apple", "usa"},
+                                             {"apple", "usa"},
+                                             {"sony", "japan"},
+                                             {"sony", "japan"}});
+  EXPECT_DOUBLE_EQ(FdError(t, {0}, 1), 0.0);
+}
+
+TEST(FdErrorTest, ViolationsCounted) {
+  // One of four apple rows disagrees -> g3 = 1/5.
+  Table t = MakeTable({"brand", "country"}, {{"apple", "usa"},
+                                             {"apple", "usa"},
+                                             {"apple", "usa"},
+                                             {"apple", "china"},
+                                             {"sony", "japan"}});
+  EXPECT_NEAR(FdError(t, {0}, 1), 0.2, 1e-9);
+}
+
+TEST(FdErrorTest, NullRhsIgnored) {
+  Table t = MakeTable({"a", "b"},
+                      {{"x", "1"}, {"x", ""}, {"x", "1"}});
+  EXPECT_DOUBLE_EQ(FdError(t, {0}, 1), 0.0);
+}
+
+TEST(FdErrorTest, PairLhs) {
+  // Neither a nor b alone determines c, but (a, b) does.
+  Table t = MakeTable({"a", "b", "c"}, {{"1", "1", "x"},
+                                        {"1", "2", "y"},
+                                        {"2", "1", "y"},
+                                        {"2", "2", "x"}});
+  EXPECT_GT(FdError(t, {0}, 2), 0.0);
+  EXPECT_GT(FdError(t, {1}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(FdError(t, {0, 1}, 2), 0.0);
+}
+
+TEST(DiscoverFdsTest, FindsSingleColumnFd) {
+  Table t = MakeTable({"brand", "country", "noise"},
+                      {{"apple", "usa", "1"},
+                       {"apple", "usa", "2"},
+                       {"sony", "japan", "3"},
+                       {"sony", "japan", "4"},
+                       {"dell", "usa", "5"}});
+  auto fds = DiscoverFds(t);
+  bool found = false;
+  for (const auto& fd : fds) {
+    if (fd.lhs == std::vector<int64_t>{0} && fd.rhs == 1) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DiscoverFdsTest, PairFdsAreMinimal) {
+  // brand -> country holds, so {brand, x} -> country must not be reported.
+  Table t = MakeTable({"brand", "x", "country"},
+                      {{"apple", "1", "usa"},
+                       {"apple", "2", "usa"},
+                       {"sony", "3", "japan"},
+                       {"sony", "4", "japan"}});
+  auto fds = DiscoverFds(t);
+  for (const auto& fd : fds) {
+    if (fd.rhs == 2) {
+      EXPECT_EQ(fd.lhs.size(), 1u) << "non-minimal FD reported";
+    }
+  }
+}
+
+TEST(DiscoverFdsTest, SmallTablesReportNothing) {
+  Table t = MakeTable({"a", "b"}, {{"1", "2"}});
+  EXPECT_TRUE(DiscoverFds(t).empty());
+}
+
+TEST(FdToStringTest, Renders) {
+  Table t = MakeTable({"brand", "country"}, {{"a", "b"}});
+  FunctionalDependency fd{{0}, 1, 0.01};
+  EXPECT_EQ(fd.ToString(t.schema()), "{brand} -> country (g3=0.010)");
+}
+
+TEST(NmiTest, IdenticalColumnsFullDependence) {
+  Table t = MakeTable({"a", "b"}, {{"1", "1"},
+                                   {"2", "2"},
+                                   {"3", "3"},
+                                   {"1", "1"}});
+  EXPECT_NEAR(NormalizedMutualInformation(t, 0, 1), 1.0, 1e-9);
+}
+
+TEST(NmiTest, IndependentColumnsNearZero) {
+  // A balanced 2x2 independent design.
+  Table t = MakeTable({"a", "b"}, {{"1", "x"},
+                                   {"1", "y"},
+                                   {"2", "x"},
+                                   {"2", "y"}});
+  EXPECT_NEAR(NormalizedMutualInformation(t, 0, 1), 0.0, 1e-9);
+}
+
+TEST(NmiTest, ConstantColumnGivesZero) {
+  Table t = MakeTable({"a", "b"}, {{"1", "x"}, {"1", "y"}});
+  EXPECT_EQ(NormalizedMutualInformation(t, 0, 1), 0.0);
+}
+
+TEST(DeterminednessTest, DependentColumnScoresHigh) {
+  Table t = MakeTable({"brand", "country", "rand"},
+                      {{"apple", "usa", "a"},
+                       {"apple", "usa", "b"},
+                       {"sony", "japan", "c"},
+                       {"sony", "japan", "d"},
+                       {"dell", "usa", "e"},
+                       {"dell", "usa", "f"}});
+  auto w = ColumnDeterminedness(t);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_GT(w[1], 0.9);  // country determined by brand
+}
+
+TEST(StatsTest, DistinctAndNullCounts) {
+  Table t = MakeTable({"a"}, {{"x"}, {"x"}, {"y"}, {""}});
+  EXPECT_EQ(DistinctCount(t, 0), 2);
+  EXPECT_DOUBLE_EQ(NullFraction(t, 0), 0.25);
+}
+
+}  // namespace
+}  // namespace rpt

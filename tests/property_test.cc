@@ -1,0 +1,198 @@
+// Cross-module property tests: invariants that must hold for arbitrary
+// (seeded random) inputs, swept with TEST_P.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "profile/profiler.h"
+#include "rpt/cluster.h"
+#include "rpt/vocab_builder.h"
+#include "synth/benchmarks.h"
+#include "synth/universe.h"
+#include "table/serializer.h"
+#include "text/tokenizer.h"
+
+namespace rpt {
+namespace {
+
+// ---- FD monotonicity: growing the LHS can only *reduce* g3 error ----------
+
+class FdMonotonicityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FdMonotonicityTest, LargerLhsNeverIncreasesError) {
+  ProductUniverse universe(60, GetParam());
+  std::vector<int64_t> ids;
+  for (int64_t i = 0; i < 60; ++i) ids.push_back(i);
+  RenderProfile profile;
+  profile.missing_prob = 0.05;
+  Table table = GenerateCleaningTable(
+      universe, ids, {"title", "manufacturer", "category", "year"},
+      profile, GetParam());
+  for (int64_t a = 0; a < table.NumColumns(); ++a) {
+    for (int64_t b = 0; b < table.NumColumns(); ++b) {
+      if (a == b) continue;
+      for (int64_t c = 0; c < table.NumColumns(); ++c) {
+        if (c == a || c == b) continue;
+        const double single = FdError(table, {a}, c);
+        const double pair = FdError(table, {std::min(a, b),
+                                            std::max(a, b)}, c);
+        EXPECT_LE(pair, single + 1e-12)
+            << "g3 grew when extending LHS {" << a << "} with " << b
+            << " -> " << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FdMonotonicityTest,
+                         ::testing::Values(1, 7, 23, 99));
+
+// ---- Serializer invariants over random tuples ------------------------------
+
+class SerializerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerializerPropertyTest, SpansPartitionValueTokens) {
+  ProductUniverse universe(40, GetParam());
+  auto suite = DefaultBenchmarkSuite(0.05);
+  ErBenchmark bench = GenerateErBenchmark(universe, suite[2]);
+  Vocab vocab = BuildVocabFromBenchmarks({&bench});
+  TupleSerializer serializer(&vocab);
+  for (int64_t r = 0; r < std::min<int64_t>(20, bench.table_a.NumRows());
+       ++r) {
+    TupleEncoding enc = serializer.Serialize(bench.table_a.schema(),
+                                             bench.table_a.row(r));
+    // Aligned vectors.
+    ASSERT_EQ(enc.ids.size(), enc.col_ids.size());
+    ASSERT_EQ(enc.ids.size(), enc.type_ids.size());
+    // One span per column, ordered, within bounds; spans contain exactly
+    // the kValueToken positions.
+    ASSERT_EQ(static_cast<int64_t>(enc.value_spans.size()),
+              bench.table_a.schema().size());
+    std::set<int64_t> in_span;
+    for (const auto& span : enc.value_spans) {
+      EXPECT_LE(0, span.begin);
+      EXPECT_LE(span.begin, span.end);
+      EXPECT_LE(span.end, enc.size());
+      for (int64_t i = span.begin; i < span.end; ++i) in_span.insert(i);
+    }
+    for (int64_t i = 0; i < enc.size(); ++i) {
+      const bool is_value_token =
+          enc.type_ids[static_cast<size_t>(i)] == TokenKinds::kValueToken;
+      if (is_value_token) {
+        EXPECT_TRUE(in_span.count(i))
+            << "value token outside every span at " << i;
+      }
+    }
+  }
+}
+
+TEST_P(SerializerPropertyTest, ShuffledSerializationPreservesMultiset) {
+  ProductUniverse universe(30, GetParam());
+  auto suite = DefaultBenchmarkSuite(0.05);
+  ErBenchmark bench = GenerateErBenchmark(universe, suite[1]);
+  Vocab vocab = BuildVocabFromBenchmarks({&bench});
+  TupleSerializer serializer(&vocab);
+  Rng rng(GetParam());
+  for (int64_t r = 0; r < std::min<int64_t>(10, bench.table_a.NumRows());
+       ++r) {
+    TupleEncoding plain = serializer.Serialize(bench.table_a.schema(),
+                                               bench.table_a.row(r));
+    TupleEncoding shuffled = serializer.SerializeShuffled(
+        bench.table_a.schema(), bench.table_a.row(r), &rng);
+    auto sorted_ids = [](TupleEncoding enc) {
+      std::sort(enc.ids.begin(), enc.ids.end());
+      return enc.ids;
+    };
+    EXPECT_EQ(sorted_ids(plain), sorted_ids(shuffled));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializerPropertyTest,
+                         ::testing::Values(11, 42, 314));
+
+// ---- Clustering invariants ---------------------------------------------------
+
+class ClusterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClusterPropertyTest, HigherThresholdRefinesClusters) {
+  Rng rng(GetParam());
+  const int64_t n = 40;
+  std::vector<MatchEdge> edges;
+  for (int i = 0; i < 120; ++i) {
+    const int64_t u = static_cast<int64_t>(rng.UniformInt(n));
+    int64_t v = u;
+    while (v == u) v = static_cast<int64_t>(rng.UniformInt(n));
+    edges.push_back({u, v, rng.UniformDouble()});
+  }
+  UnionFind low = BuildClusters(n, edges, 0.3);
+  UnionFind high = BuildClusters(n, edges, 0.7);
+  // Refinement: records together at the high threshold must also be
+  // together at the low threshold.
+  for (int64_t a = 0; a < n; ++a) {
+    for (int64_t b = a + 1; b < n; ++b) {
+      if (high.Find(a) == high.Find(b)) {
+        EXPECT_EQ(low.Find(a), low.Find(b));
+      }
+    }
+  }
+  // Cluster count is monotone in the threshold.
+  EXPECT_LE(low.NumClusters(), high.NumClusters());
+}
+
+TEST_P(ClusterPropertyTest, BestPerRecordIsSubsetAndDegreeBounded) {
+  Rng rng(GetParam() ^ 0xABC);
+  const int64_t n = 30;
+  std::vector<MatchEdge> edges;
+  for (int i = 0; i < 90; ++i) {
+    const int64_t u = static_cast<int64_t>(rng.UniformInt(n));
+    int64_t v = u;
+    while (v == u) v = static_cast<int64_t>(rng.UniformInt(n));
+    edges.push_back({u, v, rng.UniformDouble()});
+  }
+  auto kept = BestPerRecordEdges(edges);
+  EXPECT_LE(kept.size(), edges.size());
+  // Every kept edge is some endpoint's best incident edge.
+  for (const auto& e : kept) {
+    bool is_best_for_u = true, is_best_for_v = true;
+    for (const auto& other : edges) {
+      if ((other.u == e.u || other.v == e.u) && other.score > e.score) {
+        is_best_for_u = false;
+      }
+      if ((other.u == e.v || other.v == e.v) && other.score > e.score) {
+        is_best_for_v = false;
+      }
+    }
+    EXPECT_TRUE(is_best_for_u || is_best_for_v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterPropertyTest,
+                         ::testing::Values(5, 55, 555));
+
+// ---- Tokenizer round-trip through vocab --------------------------------------
+
+class TokenRoundTripTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TokenRoundTripTest, EncodeDecodePreservesNormalizedWords) {
+  // With an empty vocab, everything goes through the char fallback and
+  // must still round-trip (modulo normalization).
+  Vocab vocab;
+  const std::string text = GetParam();
+  auto ids = Tokenizer::Encode(text, vocab);
+  const std::string decoded = vocab.Decode(ids);
+  // Decoding splits punctuation into its own tokens; compare token
+  // streams instead of raw strings.
+  EXPECT_EQ(Tokenizer::Tokenize(decoded), Tokenizer::Tokenize(text));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Texts, TokenRoundTripTest,
+    ::testing::Values("apple iphone 10", "5.8-inch display!",
+                      "WH-1000XM4 headphones", "a b c d",
+                      "price: 999.99 usd"));
+
+}  // namespace
+}  // namespace rpt

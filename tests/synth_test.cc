@@ -1,0 +1,218 @@
+// Tests for the synthetic data generators: universe, benchmarks, text
+// corpus, IE tasks.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "profile/profiler.h"
+#include "synth/benchmarks.h"
+#include "synth/ie_tasks.h"
+#include "synth/text_corpus.h"
+#include "synth/universe.h"
+
+namespace rpt {
+namespace {
+
+TEST(UniverseTest, DeterministicBySeed) {
+  ProductUniverse u1(50, 7), u2(50, 7);
+  ASSERT_EQ(u1.products().size(), 50u);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(u1.products()[i].CanonicalName(),
+              u2.products()[i].CanonicalName());
+    EXPECT_EQ(u1.products()[i].price, u2.products()[i].price);
+  }
+}
+
+TEST(UniverseTest, PricesAreStructured) {
+  // Same product id => same price; prices end in .99 or are positive.
+  ProductUniverse u(100, 3);
+  for (const auto& p : u.products()) {
+    EXPECT_GT(p.price, 0);
+    double cents = p.price - std::floor(p.price);
+    EXPECT_NEAR(cents, 0.99, 1e-6);
+  }
+}
+
+TEST(UniverseTest, PriceDependsOnModelTier) {
+  // Within one line, a higher model (newer tier) never costs less given the
+  // same variant.
+  ProductUniverse u(400, 11);
+  for (const auto& a : u.products()) {
+    for (const auto& b : u.products()) {
+      if (a.brand == b.brand && a.line == b.line &&
+          a.variant == b.variant && a.model < b.model) {
+        EXPECT_LE(a.price, b.price)
+            << a.CanonicalName() << " vs " << b.CanonicalName();
+      }
+    }
+  }
+}
+
+TEST(UniverseTest, BrandAliasesIncludeCanonical) {
+  const auto& aliases = ProductUniverse::BrandAliases("apple");
+  ASSERT_GE(aliases.size(), 2u);
+  EXPECT_EQ(aliases[0], "apple");
+  EXPECT_TRUE(std::find(aliases.begin(), aliases.end(), "aapl") !=
+              aliases.end());
+}
+
+TEST(UniverseTest, ModelAliasesForTen) {
+  auto aliases = ProductUniverse::ModelAliases(10);
+  // "10", roman "x", word "ten" — the paper's iPhone 10 = iPhone X case.
+  EXPECT_EQ(aliases[0], "10");
+  EXPECT_TRUE(std::find(aliases.begin(), aliases.end(), "x") !=
+              aliases.end());
+  EXPECT_TRUE(std::find(aliases.begin(), aliases.end(), "ten") !=
+              aliases.end());
+}
+
+TEST(UniverseTest, RenderTitleVariesButKeepsLine) {
+  ProductUniverse u(30, 5);
+  const Product& p = u.product(0);
+  RenderProfile profile;
+  Rng rng(1);
+  std::set<std::string> titles;
+  for (int i = 0; i < 20; ++i) {
+    std::string t = u.RenderTitle(p, profile, &rng);
+    EXPECT_NE(t.find(p.line), std::string::npos)
+        << "title lost the product line: " << t;
+    titles.insert(t);
+  }
+  EXPECT_GT(titles.size(), 1u) << "renderer produced no variation";
+}
+
+TEST(UniverseTest, CleanProfileIsStable) {
+  ProductUniverse u(30, 5);
+  RenderProfile clean;
+  clean.brand_alias_prob = 0;
+  clean.model_alias_prob = 0;
+  clean.typo_prob = 0;
+  clean.drop_variant_prob = 0;
+  clean.reorder_prob = 0;
+  Rng r1(9), r2(9);
+  EXPECT_EQ(u.RenderTitle(u.product(3), clean, &r1),
+            u.RenderTitle(u.product(3), clean, &r2));
+}
+
+TEST(BenchmarkTest, SuiteHasFiveDatasetsWithDistinctSchemas) {
+  auto suite = DefaultBenchmarkSuite(0.1);
+  ASSERT_EQ(suite.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& spec : suite) names.insert(spec.name);
+  EXPECT_EQ(names.size(), 5u);
+  // At least two distinct schema shapes.
+  std::set<size_t> widths;
+  for (const auto& spec : suite) widths.insert(spec.schema_a.size());
+  EXPECT_GE(widths.size(), 2u);
+}
+
+TEST(BenchmarkTest, GeneratedPairsAreConsistent) {
+  ProductUniverse universe(120, 21);
+  auto suite = DefaultBenchmarkSuite(0.1);
+  ErBenchmark bench = GenerateErBenchmark(universe, suite[0]);
+  EXPECT_EQ(bench.table_a.NumRows(),
+            static_cast<int64_t>(bench.entity_a.size()));
+  EXPECT_EQ(bench.table_b.NumRows(),
+            static_cast<int64_t>(bench.entity_b.size()));
+  int matches = 0;
+  for (const auto& pair : bench.pairs) {
+    ASSERT_LT(pair.a, bench.table_a.NumRows());
+    ASSERT_LT(pair.b, bench.table_b.NumRows());
+    // Labels agree with ground-truth entity ids.
+    const bool same_entity =
+        bench.entity_a[static_cast<size_t>(pair.a)] ==
+        bench.entity_b[static_cast<size_t>(pair.b)];
+    EXPECT_EQ(pair.match, same_entity);
+    matches += pair.match;
+  }
+  EXPECT_GT(matches, 0);
+  EXPECT_LT(matches, static_cast<int>(bench.pairs.size()));
+}
+
+TEST(BenchmarkTest, HardNegativesShareBrandLine) {
+  // The benchmark must contain non-matches that are surface-similar
+  // (sibling products), otherwise ER would be trivial.
+  ProductUniverse universe(120, 22);
+  auto suite = DefaultBenchmarkSuite(0.2);
+  ErBenchmark bench = GenerateErBenchmark(universe, suite[0]);
+  int hard = 0;
+  for (const auto& pair : bench.pairs) {
+    if (pair.match) continue;
+    const Product& pa =
+        universe.product(bench.entity_a[static_cast<size_t>(pair.a)]);
+    const Product& pb =
+        universe.product(bench.entity_b[static_cast<size_t>(pair.b)]);
+    if (pa.brand == pb.brand && pa.line == pb.line) ++hard;
+  }
+  EXPECT_GT(hard, 0);
+}
+
+TEST(BenchmarkTest, CleaningTableHasStructure) {
+  ProductUniverse universe(200, 23);
+  std::vector<int64_t> ids;
+  for (int64_t i = 0; i < 200; ++i) ids.push_back(i);
+  RenderProfile profile;
+  profile.missing_prob = 0.0;
+  Table t = GenerateCleaningTable(
+      universe, ids, {"title", "manufacturer", "category", "price", "year"},
+      profile, 7);
+  EXPECT_EQ(t.NumRows(), 200);
+  // Category should be strongly implied by the rest of the tuple: check
+  // the profiler sees *some* dependency structure.
+  auto weights = ColumnDeterminedness(t);
+  double max_w = 0;
+  for (double w : weights) max_w = std::max(max_w, w);
+  EXPECT_GT(max_w, 0.3);
+}
+
+TEST(BenchmarkTest, SplitProductsOverlapBehaviour) {
+  std::vector<int64_t> train, test;
+  SplitProducts(100, 0.3, 1.0, 5, &train, &test);
+  EXPECT_EQ(test.size(), 30u);
+  // overlap 1.0: every test id also in train.
+  std::unordered_set<int64_t> train_set(train.begin(), train.end());
+  for (int64_t id : test) EXPECT_TRUE(train_set.count(id));
+
+  SplitProducts(100, 0.3, 0.0, 5, &train, &test);
+  std::unordered_set<int64_t> train_set2(train.begin(), train.end());
+  for (int64_t id : test) EXPECT_FALSE(train_set2.count(id));
+  EXPECT_EQ(train.size(), 70u);
+}
+
+TEST(TextCorpusTest, GeneratesRequestedCount) {
+  ProductUniverse universe(50, 31);
+  auto corpus = GenerateTextCorpus(universe, 100, 3);
+  ASSERT_EQ(corpus.size(), 100u);
+  std::set<std::string> unique(corpus.begin(), corpus.end());
+  EXPECT_GT(unique.size(), 50u);
+  for (const auto& s : corpus) EXPECT_FALSE(s.empty());
+}
+
+TEST(IeTaskTest, LabelsAppearInDescription) {
+  ProductUniverse universe(80, 41);
+  for (const auto& attr : IeTargetAttributes()) {
+    auto examples = GenerateIeExamples(universe, attr, 20, 9);
+    ASSERT_FALSE(examples.empty()) << attr;
+    for (const auto& ex : examples) {
+      EXPECT_EQ(ex.target_attribute, attr);
+      EXPECT_NE(ex.description.find(ex.label), std::string::npos)
+          << "label '" << ex.label << "' not in description '"
+          << ex.description << "'";
+    }
+  }
+}
+
+TEST(IeTaskTest, SkipsProductsWithoutAttribute) {
+  ProductUniverse universe(80, 42);
+  auto examples = GenerateIeExamples(universe, "screen", 30, 11);
+  for (const auto& ex : examples) {
+    EXPECT_NE(ex.label, "");  // only products with screens generate examples
+  }
+}
+
+}  // namespace
+}  // namespace rpt

@@ -1,0 +1,208 @@
+// Tests for the table module: values, schema/table, CSV bridge, and the RPT
+// tuple serializer ([A]/[V] linearization, masking, pair encoding).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "table/serializer.h"
+#include "table/table.h"
+#include "table/value.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace rpt {
+namespace {
+
+// ---- Value -------------------------------------------------------------------
+
+TEST(ValueTest, ParseKinds) {
+  EXPECT_TRUE(Value::Parse("").is_null());
+  EXPECT_TRUE(Value::Parse("   ").is_null());
+  EXPECT_TRUE(Value::Parse("9.99").is_number());
+  EXPECT_TRUE(Value::Parse("apple").is_string());
+  EXPECT_TRUE(Value::Parse(" 64 ").is_number());
+}
+
+TEST(ValueTest, NumberKeepsOriginalText) {
+  Value v = Value::Parse("9.990");
+  EXPECT_EQ(v.text(), "9.990");
+  EXPECT_DOUBLE_EQ(v.number(), 9.99);
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Parse("5.0"), Value::Parse("5"));  // numeric equality
+  EXPECT_NE(Value::Parse("apple"), Value::Parse("google"));
+  EXPECT_NE(Value::Null(), Value::Parse("x"));
+}
+
+TEST(ValueTest, FactoryHelpers) {
+  EXPECT_EQ(Value::Number(64).text(), "64");
+  EXPECT_EQ(Value::String("abc").text(), "abc");
+}
+
+// ---- Schema / Table -------------------------------------------------------------
+
+TEST(SchemaTest, IndexLookup) {
+  Schema s({"name", "city"});
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s.Index("city"), 1);
+  EXPECT_EQ(s.Index("missing"), -1);
+}
+
+TEST(TableTest, AddAndAccess) {
+  Table t{Schema({"a", "b"})};
+  t.AddRow({Value::Parse("1"), Value::Parse("x")});
+  EXPECT_EQ(t.NumRows(), 1);
+  EXPECT_EQ(t.at(0, 1).text(), "x");
+  t.Set(0, 1, Value::Parse("y"));
+  EXPECT_EQ(t.at(0, 1).text(), "y");
+}
+
+TEST(TableTest, ColumnExtraction) {
+  Table t{Schema({"a"})};
+  t.AddRow({Value::Parse("1")});
+  t.AddRow({Value::Parse("2")});
+  auto col = t.Column(0);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col[1].number(), 2.0);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  const std::string csv = "name,price\niphone x,999\n\"a,b\",\n";
+  auto t = Table::FromCsv(csv);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumRows(), 2);
+  EXPECT_EQ(t->at(0, 0).text(), "iphone x");
+  EXPECT_TRUE(t->at(1, 1).is_null());
+  auto back = Table::FromCsv(t->ToCsv());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumRows(), 2);
+  EXPECT_EQ(back->at(1, 0).text(), "a,b");
+}
+
+TEST(TableTest, FromCsvRejectsRaggedRows) {
+  EXPECT_FALSE(Table::FromCsv("a,b\n1\n").ok());
+}
+
+TEST(TableTest, FormatTupleShowsNulls) {
+  Schema s({"x", "y"});
+  Tuple t = {Value::Parse("1"), Value::Null()};
+  EXPECT_EQ(FormatTuple(s, t), "x=1 | y=<null>");
+}
+
+// ---- TupleSerializer -------------------------------------------------------------
+
+class SerializerTest : public ::testing::Test {
+ protected:
+  SerializerTest()
+      : vocab_(Vocab::Build({{"name", 5},
+                             {"city", 5},
+                             {"michael", 5},
+                             {"jordan", 5},
+                             {"berkeley", 5}})),
+        serializer_(&vocab_) {}
+
+  Vocab vocab_;
+  TupleSerializer serializer_;
+  Schema schema_{std::vector<std::string>{"name", "city"}};
+  Tuple tuple_{Value::Parse("Michael Jordan"), Value::Parse("Berkeley")};
+};
+
+TEST_F(SerializerTest, StructureTokensAndOrder) {
+  TupleEncoding enc = serializer_.Serialize(schema_, tuple_);
+  // [A] name [V] michael jordan [A] city [V] berkeley
+  ASSERT_EQ(enc.size(), 9);
+  EXPECT_EQ(enc.ids[0], SpecialTokens::kAttr);
+  EXPECT_EQ(vocab_.Token(enc.ids[1]), "name");
+  EXPECT_EQ(enc.ids[2], SpecialTokens::kValue);
+  EXPECT_EQ(vocab_.Token(enc.ids[3]), "michael");
+  EXPECT_EQ(vocab_.Token(enc.ids[4]), "jordan");
+  EXPECT_EQ(enc.ids[5], SpecialTokens::kAttr);
+  EXPECT_EQ(vocab_.Token(enc.ids[6]), "city");
+}
+
+TEST_F(SerializerTest, ColumnIdsFollowColumns) {
+  TupleEncoding enc = serializer_.Serialize(schema_, tuple_);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(enc.col_ids[i], 0);
+  for (int i = 5; i < 9; ++i) EXPECT_EQ(enc.col_ids[i], 1);
+}
+
+TEST_F(SerializerTest, TypeIdsDistinguishKinds) {
+  TupleEncoding enc = serializer_.Serialize(schema_, tuple_);
+  EXPECT_EQ(enc.type_ids[0], TokenKinds::kStructure);   // [A]
+  EXPECT_EQ(enc.type_ids[1], TokenKinds::kAttrName);    // name
+  EXPECT_EQ(enc.type_ids[2], TokenKinds::kStructure);   // [V]
+  EXPECT_EQ(enc.type_ids[3], TokenKinds::kValueToken);  // michael
+}
+
+TEST_F(SerializerTest, ValueSpansCoverValues) {
+  TupleEncoding enc = serializer_.Serialize(schema_, tuple_);
+  ASSERT_EQ(enc.value_spans.size(), 2u);
+  EXPECT_EQ(enc.value_spans[0].column, 0);
+  EXPECT_EQ(enc.value_spans[0].end - enc.value_spans[0].begin, 2);
+  EXPECT_EQ(enc.value_spans[1].end - enc.value_spans[1].begin, 1);
+}
+
+TEST_F(SerializerTest, NullValueGivesEmptySpan) {
+  Tuple t = {Value::Null(), Value::Parse("Berkeley")};
+  TupleEncoding enc = serializer_.Serialize(schema_, t);
+  EXPECT_EQ(enc.value_spans[0].begin, enc.value_spans[0].end);
+}
+
+TEST_F(SerializerTest, MaskReplacesValueWithSingleMaskToken) {
+  TupleEncoding enc = serializer_.SerializeWithMask(schema_, tuple_, 0);
+  // Value span of column 0 must be exactly one [M].
+  const auto& span = enc.value_spans[0];
+  ASSERT_EQ(span.end - span.begin, 1);
+  EXPECT_EQ(enc.ids[static_cast<size_t>(span.begin)], SpecialTokens::kMask);
+  // Column 1 untouched.
+  const auto& span1 = enc.value_spans[1];
+  EXPECT_EQ(vocab_.Token(enc.ids[static_cast<size_t>(span1.begin)]),
+            "berkeley");
+}
+
+TEST_F(SerializerTest, PairSerializationHasClsAndSep) {
+  Schema sb({"title"});
+  Tuple tb = {Value::Parse("Michael")};
+  TupleEncoding enc =
+      serializer_.SerializePair(schema_, tuple_, sb, tb);
+  EXPECT_EQ(enc.ids.front(), SpecialTokens::kCls);
+  int seps = 0;
+  for (int32_t id : enc.ids) seps += (id == SpecialTokens::kSep);
+  EXPECT_EQ(seps, 1);
+}
+
+TEST_F(SerializerTest, NoStructureTokensAblation) {
+  SerializerOptions opts;
+  opts.use_structure_tokens = false;
+  TupleSerializer plain(&vocab_, opts);
+  TupleEncoding enc = plain.Serialize(schema_, tuple_);
+  for (int32_t id : enc.ids) {
+    EXPECT_NE(id, SpecialTokens::kAttr);
+    EXPECT_NE(id, SpecialTokens::kValue);
+  }
+}
+
+TEST_F(SerializerTest, NoAttrNamesAblation) {
+  SerializerOptions opts;
+  opts.include_attr_names = false;
+  TupleSerializer plain(&vocab_, opts);
+  TupleEncoding enc = plain.Serialize(schema_, tuple_);
+  for (int32_t id : enc.ids) {
+    EXPECT_NE(vocab_.Token(id), "name");
+    EXPECT_NE(vocab_.Token(id), "city");
+  }
+}
+
+TEST_F(SerializerTest, EncodeValue) {
+  auto ids = serializer_.EncodeValue(Value::Parse("Michael Jordan"));
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(vocab_.Decode(ids), "michael jordan");
+  EXPECT_TRUE(serializer_.EncodeValue(Value::Null()).empty());
+}
+
+}  // namespace
+}  // namespace rpt

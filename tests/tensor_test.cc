@@ -1,0 +1,396 @@
+// Unit and property tests for the tensor/autograd module. The GradCheck
+// property tests compare analytic gradients against central differences for
+// every differentiable op.
+
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rpt {
+namespace {
+
+TEST(TensorTest, FactoriesAndShape) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  EXPECT_EQ(z.ndim(), 2);
+  EXPECT_EQ(z.dim(0), 2);
+  EXPECT_EQ(z.dim(-1), 3);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(z.at(i), 0.0f);
+
+  Tensor f = Tensor::Full({4}, 2.5f);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(f.at(i), 2.5f);
+
+  Tensor v = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  EXPECT_EQ(v.at(3), 4.0f);
+}
+
+TEST(TensorTest, RandnIsDeterministicGivenSeed) {
+  Rng rng1(42), rng2(42);
+  Tensor a = Tensor::Randn({16}, 1.0f, &rng1);
+  Tensor b = Tensor::Randn({16}, 1.0f, &rng2);
+  EXPECT_EQ(a.ToVector(), b.ToVector());
+}
+
+TEST(TensorTest, AddSubMulSameShape) {
+  Tensor a = Tensor::FromVector({1, 2, 3}, {3});
+  Tensor b = Tensor::FromVector({10, 20, 30}, {3});
+  EXPECT_EQ(Add(a, b).ToVector(), (std::vector<float>{11, 22, 33}));
+  EXPECT_EQ(Sub(b, a).ToVector(), (std::vector<float>{9, 18, 27}));
+  EXPECT_EQ(Mul(a, b).ToVector(), (std::vector<float>{10, 40, 90}));
+}
+
+TEST(TensorTest, AddSuffixBroadcast) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor bias = Tensor::FromVector({10, 20, 30}, {3});
+  Tensor out = Add(a, bias);
+  EXPECT_EQ(out.ToVector(), (std::vector<float>{11, 22, 33, 14, 25, 36}));
+}
+
+TEST(TensorTest, AddScalarBroadcast) {
+  Tensor a = Tensor::FromVector({1, 2}, {2});
+  Tensor s = Tensor::FromVector({5}, {1});
+  EXPECT_EQ(Add(a, s).ToVector(), (std::vector<float>{6, 7}));
+  EXPECT_EQ(AddScalar(a, 5.0f).ToVector(), (std::vector<float>{6, 7}));
+  EXPECT_EQ(Scale(a, 3.0f).ToVector(), (std::vector<float>{3, 6}));
+}
+
+TEST(TensorTest, MatMul2D) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  Tensor b = Tensor::FromVector({5, 6, 7, 8}, {2, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.ToVector(), (std::vector<float>{19, 22, 43, 50}));
+}
+
+TEST(TensorTest, MatMulLeadingDims) {
+  // [2, 1, 2] x [2, 3]
+  Tensor a = Tensor::FromVector({1, 2, 3, 4}, {2, 1, 2});
+  Tensor b = Tensor::FromVector({1, 0, 1, 0, 1, 1}, {2, 3});
+  Tensor c = MatMul(a, b);
+  ASSERT_EQ(c.shape(), (std::vector<int64_t>{2, 1, 3}));
+  EXPECT_EQ(c.ToVector(), (std::vector<float>{1, 2, 3, 3, 4, 7}));
+}
+
+TEST(TensorTest, MatMulBatched) {
+  // [2, 2, 2] x [2, 2, 2] batched.
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 1, 0, 0, 1}, {2, 2, 2});
+  Tensor b = Tensor::FromVector({1, 0, 0, 1, 5, 6, 7, 8}, {2, 2, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.ToVector(), (std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(TensorTest, SoftmaxRowsSumToOne) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn({5, 9}, 2.0f, &rng);
+  Tensor s = Softmax(a);
+  for (int r = 0; r < 5; ++r) {
+    float sum = 0;
+    float prev_max = -1;
+    for (int c = 0; c < 9; ++c) {
+      float v = s.at(r * 9 + c);
+      EXPECT_GT(v, 0.0f);
+      sum += v;
+      prev_max = std::max(prev_max, v);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(TensorTest, SoftmaxIsShiftInvariant) {
+  Tensor a = Tensor::FromVector({1, 2, 3}, {1, 3});
+  Tensor b = Tensor::FromVector({1001, 1002, 1003}, {1, 3});
+  auto sa = Softmax(a).ToVector();
+  auto sb = Softmax(b).ToVector();
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(sa[i], sb[i], 1e-5);
+}
+
+TEST(TensorTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 6}, 1.5f, &rng);
+  auto ls = LogSoftmax(a).ToVector();
+  auto s = Softmax(a).ToVector();
+  for (size_t i = 0; i < ls.size(); ++i) {
+    EXPECT_NEAR(ls[i], std::log(s[i]), 1e-4);
+  }
+}
+
+TEST(TensorTest, LayerNormNormalizesRows) {
+  Rng rng(11);
+  Tensor x = Tensor::Randn({3, 8}, 3.0f, &rng);
+  Tensor gamma = Tensor::Full({8}, 1.0f);
+  Tensor beta = Tensor::Zeros({8});
+  Tensor y = LayerNorm(x, gamma, beta);
+  for (int r = 0; r < 3; ++r) {
+    float mean = 0, var = 0;
+    for (int c = 0; c < 8; ++c) mean += y.at(r * 8 + c);
+    mean /= 8;
+    for (int c = 0; c < 8; ++c) {
+      float d = y.at(r * 8 + c) - mean;
+      var += d * d;
+    }
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0f, 1e-4);
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(TensorTest, ReshapeTransposeSliceConcat) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor r = Reshape(a, {3, 2});
+  EXPECT_EQ(r.ToVector(), a.ToVector());
+
+  Tensor t = Transpose(a, 0, 1);
+  ASSERT_EQ(t.shape(), (std::vector<int64_t>{3, 2}));
+  EXPECT_EQ(t.ToVector(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+
+  Tensor s = Slice(a, 1, 1, 3);
+  ASSERT_EQ(s.shape(), (std::vector<int64_t>{2, 2}));
+  EXPECT_EQ(s.ToVector(), (std::vector<float>{2, 3, 5, 6}));
+
+  Tensor c = Concat({a, a}, 0);
+  ASSERT_EQ(c.shape(), (std::vector<int64_t>{4, 3}));
+  EXPECT_EQ(c.at(6), 1.0f);
+
+  Tensor c1 = Concat({a, s}, 1);
+  ASSERT_EQ(c1.shape(), (std::vector<int64_t>{2, 5}));
+  EXPECT_EQ(c1.ToVector(),
+            (std::vector<float>{1, 2, 3, 2, 3, 4, 5, 6, 5, 6}));
+}
+
+TEST(TensorTest, Transpose3DMiddleAxes) {
+  // [2,2,2]: swap axes 0 and 1.
+  Tensor a = Tensor::FromVector({0, 1, 2, 3, 4, 5, 6, 7}, {2, 2, 2});
+  Tensor t = Transpose(a, 0, 1);
+  EXPECT_EQ(t.ToVector(), (std::vector<float>{0, 1, 4, 5, 2, 3, 6, 7}));
+}
+
+TEST(TensorTest, EmbeddingLookupGathersRows) {
+  Tensor w = Tensor::FromVector({0, 0, 1, 1, 2, 2}, {3, 2});
+  Tensor e = EmbeddingLookup(w, {2, 0, 2});
+  ASSERT_EQ(e.shape(), (std::vector<int64_t>{3, 2}));
+  EXPECT_EQ(e.ToVector(), (std::vector<float>{2, 2, 0, 0, 2, 2}));
+}
+
+TEST(TensorTest, SumMean) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4}, {4});
+  EXPECT_EQ(Sum(a).item(), 10.0f);
+  EXPECT_EQ(Mean(a).item(), 2.5f);
+}
+
+TEST(TensorTest, CrossEntropyUniformLogitsIsLogV) {
+  Tensor logits = Tensor::Zeros({2, 5});
+  Tensor loss = CrossEntropyLoss(logits, {0, 3});
+  EXPECT_NEAR(loss.item(), std::log(5.0f), 1e-5);
+}
+
+TEST(TensorTest, CrossEntropyIgnoreIndexSkipsRows) {
+  Tensor logits = Tensor::FromVector(
+      {10, 0, 0,   // row 0 strongly predicts class 0
+       0, 0, 0},   // row 1 ignored
+      {2, 3});
+  Tensor loss = CrossEntropyLoss(logits, {0, -100});
+  EXPECT_LT(loss.item(), 0.01f);
+}
+
+TEST(TensorTest, ArgmaxLastDim) {
+  Tensor a = Tensor::FromVector({1, 5, 2, 9, 0, 3}, {2, 3});
+  EXPECT_EQ(ArgmaxLastDim(a), (std::vector<int32_t>{1, 0}));
+}
+
+TEST(TensorTest, DropoutIdentityWhenEval) {
+  Rng rng(1);
+  Tensor a = Tensor::FromVector({1, 2, 3}, {3});
+  Tensor d = Dropout(a, 0.5f, /*training=*/false, &rng);
+  EXPECT_EQ(d.ToVector(), a.ToVector());
+}
+
+TEST(TensorTest, DropoutPreservesExpectation) {
+  Rng rng(123);
+  Tensor a = Tensor::Full({10000}, 1.0f);
+  a.set_requires_grad(false);
+  Tensor d = Dropout(a, 0.3f, /*training=*/true, &rng);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) sum += d.at(i);
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.05);
+}
+
+// ---- Autograd -------------------------------------------------------------
+
+TEST(AutogradTest, SimpleChainRule) {
+  // loss = mean((a*b + a)^2)... keep tiny and verify by hand:
+  // a=2, b=3 -> y = a*b = 6, loss = y -> dy/da = 3, dy/db = 2.
+  Tensor a = Tensor::FromVector({2}, {1});
+  Tensor b = Tensor::FromVector({3}, {1});
+  a.set_requires_grad(true);
+  b.set_requires_grad(true);
+  Tensor y = Sum(Mul(a, b));
+  y.Backward();
+  EXPECT_EQ(a.grad_data()[0], 3.0f);
+  EXPECT_EQ(b.grad_data()[0], 2.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossUses) {
+  // y = a + a -> dy/da = 2.
+  Tensor a = Tensor::FromVector({5}, {1});
+  a.set_requires_grad(true);
+  Tensor y = Sum(Add(a, a));
+  y.Backward();
+  EXPECT_EQ(a.grad_data()[0], 2.0f);
+}
+
+TEST(AutogradTest, NoGradGuardSkipsGraph) {
+  Tensor a = Tensor::FromVector({1}, {1});
+  a.set_requires_grad(true);
+  NoGradGuard guard;
+  Tensor y = Add(a, a);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(AutogradTest, MatMulGradCheck) {
+  Rng rng(17);
+  Tensor w = Tensor::Randn({4, 3}, 0.5f, &rng);
+  auto fn = [&w](const Tensor& x) { return Sum(Tanh(MatMul(x, w))); };
+  Tensor x = Tensor::Randn({2, 4}, 0.5f, &rng);
+  EXPECT_LT(GradCheck(fn, x, 8, &rng), 1e-2);
+}
+
+TEST(AutogradTest, BatchedMatMulGradCheck) {
+  Rng rng(18);
+  Tensor b = Tensor::Randn({2, 3, 2}, 0.5f, &rng);
+  b.set_requires_grad(true);
+  auto fn = [&b](const Tensor& x) { return Sum(MatMul(x, b)); };
+  Tensor x = Tensor::Randn({2, 2, 3}, 0.5f, &rng);
+  EXPECT_LT(GradCheck(fn, x, 8, &rng), 1e-2);
+}
+
+TEST(AutogradTest, SoftmaxGradCheck) {
+  Rng rng(19);
+  auto fn = [](const Tensor& x) {
+    Tensor s = Softmax(x);
+    return Sum(Mul(s, s));  // non-trivial downstream gradient
+  };
+  Tensor x = Tensor::Randn({3, 5}, 1.0f, &rng);
+  EXPECT_LT(GradCheck(fn, x, 10, &rng), 1e-2);
+}
+
+TEST(AutogradTest, LayerNormGradCheck) {
+  Rng rng(20);
+  Tensor gamma = Tensor::Randn({6}, 0.5f, &rng);
+  Tensor beta = Tensor::Randn({6}, 0.5f, &rng);
+  auto fn = [&](const Tensor& x) {
+    return Sum(Tanh(LayerNorm(x, gamma, beta)));
+  };
+  Tensor x = Tensor::Randn({4, 6}, 1.0f, &rng);
+  EXPECT_LT(GradCheck(fn, x, 10, &rng), 1e-2);
+}
+
+TEST(AutogradTest, LayerNormParamGradCheck) {
+  Rng rng(21);
+  Tensor x = Tensor::Randn({4, 6}, 1.0f, &rng);
+  Tensor beta = Tensor::Zeros({6});
+  auto fn = [&](const Tensor& gamma) {
+    return Sum(Tanh(LayerNorm(x, gamma, beta)));
+  };
+  Tensor gamma = Tensor::Randn({6}, 0.5f, &rng);
+  EXPECT_LT(GradCheck(fn, gamma, 6, &rng), 1e-2);
+}
+
+TEST(AutogradTest, GeluGradCheck) {
+  Rng rng(22);
+  auto fn = [](const Tensor& x) { return Sum(Gelu(x)); };
+  Tensor x = Tensor::Randn({10}, 1.0f, &rng);
+  EXPECT_LT(GradCheck(fn, x, 10, &rng), 1e-2);
+}
+
+TEST(AutogradTest, SigmoidReluGradCheck) {
+  Rng rng(23);
+  auto fn = [](const Tensor& x) { return Sum(Sigmoid(Relu(x))); };
+  Tensor x = Tensor::Randn({10}, 1.0f, &rng);
+  EXPECT_LT(GradCheck(fn, x, 10, &rng), 2e-2);
+}
+
+TEST(AutogradTest, CrossEntropyGradCheck) {
+  Rng rng(24);
+  std::vector<int32_t> targets = {1, 3, 0};
+  auto fn = [&targets](const Tensor& x) {
+    return CrossEntropyLoss(x, targets);
+  };
+  Tensor x = Tensor::Randn({3, 5}, 1.0f, &rng);
+  EXPECT_LT(GradCheck(fn, x, 10, &rng), 1e-2);
+}
+
+TEST(AutogradTest, CrossEntropyLabelSmoothingGradCheck) {
+  Rng rng(25);
+  std::vector<int32_t> targets = {1, -100, 0};
+  auto fn = [&targets](const Tensor& x) {
+    return CrossEntropyLoss(x, targets, -100, 0.1f);
+  };
+  Tensor x = Tensor::Randn({3, 5}, 1.0f, &rng);
+  EXPECT_LT(GradCheck(fn, x, 10, &rng), 1e-2);
+}
+
+TEST(AutogradTest, TransposeSliceConcatGradCheck) {
+  Rng rng(26);
+  auto fn = [](const Tensor& x) {
+    Tensor t = Transpose(x, 0, 1);
+    Tensor s = Slice(t, 0, 0, 2);
+    Tensor c = Concat({s, s}, 1);
+    return Sum(Mul(c, c));
+  };
+  Tensor x = Tensor::Randn({3, 4}, 1.0f, &rng);
+  EXPECT_LT(GradCheck(fn, x, 10, &rng), 1e-2);
+}
+
+TEST(AutogradTest, EmbeddingBackwardScatterAdds) {
+  Tensor w = Tensor::Zeros({3, 2});
+  w.set_requires_grad(true);
+  Tensor e = EmbeddingLookup(w, {1, 1, 2});
+  Sum(e).Backward();
+  // Row 1 used twice, row 2 once, row 0 never.
+  EXPECT_EQ(w.grad_data()[0], 0.0f);
+  EXPECT_EQ(w.grad_data()[2], 2.0f);
+  EXPECT_EQ(w.grad_data()[3], 2.0f);
+  EXPECT_EQ(w.grad_data()[4], 1.0f);
+}
+
+TEST(AutogradTest, BroadcastAddReducesGradToBias) {
+  Tensor x = Tensor::Zeros({4, 3});
+  Tensor bias = Tensor::Zeros({3});
+  bias.set_requires_grad(true);
+  Sum(Add(x, bias)).Backward();
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(bias.grad_data()[i], 4.0f);
+}
+
+// Property-style sweep: MatMul shapes.
+class MatMulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeTest, ForwardMatchesNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(100 + m * 31 + k * 7 + n);
+  Tensor a = Tensor::Randn({m, k}, 1.0f, &rng);
+  Tensor b = Tensor::Randn({k, n}, 1.0f, &rng);
+  Tensor c = MatMul(a, b);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at(i * k + p)) * b.at(p * n + j);
+      }
+      EXPECT_NEAR(c.at(i * n + j), acc, 1e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(1, 64, 8), std::make_tuple(33, 17, 9)));
+
+}  // namespace
+}  // namespace rpt

@@ -1,0 +1,282 @@
+// Tests for the util module: status, rng, strings, csv, serialization,
+// thread pool.
+
+#include <cstdio>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace rpt {
+namespace {
+
+// ---- Status / Result -------------------------------------------------------
+
+TEST(StatusTest, OkAndErrorStates) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "Ok");
+
+  Status err = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  Result<int> bad = Status::NotFound("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+// ---- Rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsApproximate) {
+  Rng rng(4);
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(6);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int count2 = 0;
+  for (int i = 0; i < 4000; ++i) {
+    size_t idx = rng.WeightedIndex(w);
+    EXPECT_NE(idx, 1u);  // zero weight never sampled
+    if (idx == 2) ++count2;
+  }
+  EXPECT_NEAR(count2 / 4000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(7);
+  auto idx = rng.SampleIndices(10, 6);
+  std::set<size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 6u);
+  for (size_t i : idx) EXPECT_LT(i, 10u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(8);
+  std::vector<int> v(20);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(9);
+  Rng child = a.Fork();
+  // Parent advanced; the two streams should differ.
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+// ---- string_util -------------------------------------------------------------
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  a\tb \n c  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, JoinLowerTrim) {
+  EXPECT_EQ(Join({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(ToLower("AbC-9"), "abc-9");
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, StartsEndsReplace) {
+  EXPECT_TRUE(StartsWith("iphone 10", "iphone"));
+  EXPECT_FALSE(StartsWith("ip", "iphone"));
+  EXPECT_TRUE(EndsWith("5.8-inch", "inch"));
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+}
+
+TEST(StringUtilTest, NumberParsing) {
+  EXPECT_TRUE(IsNumber("9.99"));
+  EXPECT_TRUE(IsNumber("-3"));
+  EXPECT_FALSE(IsNumber("9.99usd"));
+  EXPECT_FALSE(IsNumber(""));
+  EXPECT_EQ(ParseDoubleOr("2.5", 0.0), 2.5);
+  EXPECT_EQ(ParseDoubleOr("x", 7.0), 7.0);
+}
+
+TEST(StringUtilTest, FormatNumber) {
+  EXPECT_EQ(FormatNumber(64.0), "64");
+  EXPECT_EQ(FormatNumber(9.99), "9.99");
+  EXPECT_EQ(FormatNumber(5.8), "5.8");
+}
+
+// ---- CSV ------------------------------------------------------------------------
+
+TEST(CsvTest, SimpleRoundTrip) {
+  std::vector<std::vector<std::string>> rows = {
+      {"a", "b"}, {"1", "hello world"}};
+  auto parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndNewlines) {
+  std::vector<std::vector<std::string>> rows = {
+      {"x,y", "line1\nline2", "he said \"hi\""}};
+  auto parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(CsvTest, CrLfTolerated) {
+  auto parsed = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  auto parsed = ParseCsv("a,\"unterminated");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = "/tmp/rpt_csv_test.csv";
+  std::vector<std::vector<std::string>> rows = {{"h1", "h2"}, {"v1", "v2"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, rows);
+  std::remove(path.c_str());
+}
+
+// ---- Binary serialization ----------------------------------------------------------
+
+TEST(SerializeTest, PrimitivesRoundTrip) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  w.WriteU64(1ull << 40);
+  w.WriteI64(-5);
+  w.WriteF32(2.5f);
+  w.WriteF64(3.25);
+  w.WriteString("hello");
+  w.WriteFloatVector({1.0f, 2.0f});
+  w.WriteI64Vector({-1, 0, 1});
+
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(*r.ReadU32(), 7u);
+  EXPECT_EQ(*r.ReadU64(), 1ull << 40);
+  EXPECT_EQ(*r.ReadI64(), -5);
+  EXPECT_EQ(*r.ReadF32(), 2.5f);
+  EXPECT_EQ(*r.ReadF64(), 3.25);
+  EXPECT_EQ(*r.ReadString(), "hello");
+  EXPECT_EQ(*r.ReadFloatVector(), (std::vector<float>{1.0f, 2.0f}));
+  EXPECT_EQ(*r.ReadI64Vector(), (std::vector<int64_t>{-1, 0, 1}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, TruncationIsError) {
+  BinaryWriter w;
+  w.WriteU32(1);
+  BinaryReader r(w.bytes());
+  EXPECT_TRUE(r.ReadU32().ok());
+  EXPECT_FALSE(r.ReadU64().ok());
+}
+
+// ---- ThreadPool ----------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  std::vector<int> hits(1000, 0);
+  ThreadPool::ParallelFor(1000, 4, [&hits](size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleThreadInline) {
+  std::vector<int> hits(10, 0);
+  ThreadPool::ParallelFor(10, 1, [&hits](size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+}  // namespace
+}  // namespace rpt

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/annotate_columns"
+  "../bench/annotate_columns.pdb"
+  "CMakeFiles/annotate_columns.dir/annotate_columns.cc.o"
+  "CMakeFiles/annotate_columns.dir/annotate_columns.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_columns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

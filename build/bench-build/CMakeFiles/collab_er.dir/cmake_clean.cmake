@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/collab_er"
+  "../bench/collab_er.pdb"
+  "CMakeFiles/collab_er.dir/collab_er.cc.o"
+  "CMakeFiles/collab_er.dir/collab_er.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collab_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dirty_pretrain"
+  "../bench/dirty_pretrain.pdb"
+  "CMakeFiles/dirty_pretrain.dir/dirty_pretrain.cc.o"
+  "CMakeFiles/dirty_pretrain.dir/dirty_pretrain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirty_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fewshot_curve"
+  "../bench/fewshot_curve.pdb"
+  "CMakeFiles/fewshot_curve.dir/fewshot_curve.cc.o"
+  "CMakeFiles/fewshot_curve.dir/fewshot_curve.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fewshot_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

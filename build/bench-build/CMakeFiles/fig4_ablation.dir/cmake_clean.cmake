@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_ablation"
+  "../bench/fig4_ablation.pdb"
+  "CMakeFiles/fig4_ablation.dir/fig4_ablation.cc.o"
+  "CMakeFiles/fig4_ablation.dir/fig4_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

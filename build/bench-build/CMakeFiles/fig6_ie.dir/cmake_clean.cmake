@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_ie"
+  "../bench/fig6_ie.pdb"
+  "CMakeFiles/fig6_ie.dir/fig6_ie.cc.o"
+  "CMakeFiles/fig6_ie.dir/fig6_ie.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

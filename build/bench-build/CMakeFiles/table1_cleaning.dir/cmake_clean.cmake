@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_cleaning"
+  "../bench/table1_cleaning.pdb"
+  "CMakeFiles/table1_cleaning.dir/table1_cleaning.cc.o"
+  "CMakeFiles/table1_cleaning.dir/table1_cleaning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

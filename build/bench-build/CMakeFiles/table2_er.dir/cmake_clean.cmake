@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_er"
+  "../bench/table2_er.pdb"
+  "CMakeFiles/table2_er.dir/table2_er.cc.o"
+  "CMakeFiles/table2_er.dir/table2_er.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

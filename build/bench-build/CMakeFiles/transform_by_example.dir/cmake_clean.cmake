@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/transform_by_example"
+  "../bench/transform_by_example.pdb"
+  "CMakeFiles/transform_by_example.dir/transform_by_example.cc.o"
+  "CMakeFiles/transform_by_example.dir/transform_by_example.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_by_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

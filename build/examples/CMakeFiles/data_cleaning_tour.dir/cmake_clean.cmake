@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_cleaning_tour.dir/data_cleaning_tour.cc.o"
+  "CMakeFiles/data_cleaning_tour.dir/data_cleaning_tour.cc.o.d"
+  "data_cleaning_tour"
+  "data_cleaning_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_cleaning_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_prep_suite.dir/data_prep_suite.cc.o"
+  "CMakeFiles/data_prep_suite.dir/data_prep_suite.cc.o.d"
+  "data_prep_suite"
+  "data_prep_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_prep_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_pipeline.dir/er_pipeline.cc.o"
+  "CMakeFiles/er_pipeline.dir/er_pipeline.cc.o.d"
+  "er_pipeline"
+  "er_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

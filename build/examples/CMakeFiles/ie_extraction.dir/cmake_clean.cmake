@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ie_extraction.dir/ie_extraction.cc.o"
+  "CMakeFiles/ie_extraction.dir/ie_extraction.cc.o.d"
+  "ie_extraction"
+  "ie_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ie_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bart_text.cc" "src/CMakeFiles/rpt.dir/baselines/bart_text.cc.o" "gcc" "src/CMakeFiles/rpt.dir/baselines/bart_text.cc.o.d"
+  "/root/repo/src/baselines/deepmatcher.cc" "src/CMakeFiles/rpt.dir/baselines/deepmatcher.cc.o" "gcc" "src/CMakeFiles/rpt.dir/baselines/deepmatcher.cc.o.d"
+  "/root/repo/src/baselines/magellan.cc" "src/CMakeFiles/rpt.dir/baselines/magellan.cc.o" "gcc" "src/CMakeFiles/rpt.dir/baselines/magellan.cc.o.d"
+  "/root/repo/src/baselines/sim_features.cc" "src/CMakeFiles/rpt.dir/baselines/sim_features.cc.o" "gcc" "src/CMakeFiles/rpt.dir/baselines/sim_features.cc.o.d"
+  "/root/repo/src/baselines/zeroer.cc" "src/CMakeFiles/rpt.dir/baselines/zeroer.cc.o" "gcc" "src/CMakeFiles/rpt.dir/baselines/zeroer.cc.o.d"
+  "/root/repo/src/corrupt/dirt.cc" "src/CMakeFiles/rpt.dir/corrupt/dirt.cc.o" "gcc" "src/CMakeFiles/rpt.dir/corrupt/dirt.cc.o.d"
+  "/root/repo/src/corrupt/masking.cc" "src/CMakeFiles/rpt.dir/corrupt/masking.cc.o" "gcc" "src/CMakeFiles/rpt.dir/corrupt/masking.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/rpt.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/rpt.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/rpt.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/rpt.dir/eval/report.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/rpt.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/rpt.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "src/CMakeFiles/rpt.dir/nn/checkpoint.cc.o" "gcc" "src/CMakeFiles/rpt.dir/nn/checkpoint.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/rpt.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/rpt.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/rpt.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/rpt.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/rpt.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/rpt.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/CMakeFiles/rpt.dir/nn/transformer.cc.o" "gcc" "src/CMakeFiles/rpt.dir/nn/transformer.cc.o.d"
+  "/root/repo/src/profile/profiler.cc" "src/CMakeFiles/rpt.dir/profile/profiler.cc.o" "gcc" "src/CMakeFiles/rpt.dir/profile/profiler.cc.o.d"
+  "/root/repo/src/rpt/annotator.cc" "src/CMakeFiles/rpt.dir/rpt/annotator.cc.o" "gcc" "src/CMakeFiles/rpt.dir/rpt/annotator.cc.o.d"
+  "/root/repo/src/rpt/blocker.cc" "src/CMakeFiles/rpt.dir/rpt/blocker.cc.o" "gcc" "src/CMakeFiles/rpt.dir/rpt/blocker.cc.o.d"
+  "/root/repo/src/rpt/cleaner.cc" "src/CMakeFiles/rpt.dir/rpt/cleaner.cc.o" "gcc" "src/CMakeFiles/rpt.dir/rpt/cleaner.cc.o.d"
+  "/root/repo/src/rpt/cluster.cc" "src/CMakeFiles/rpt.dir/rpt/cluster.cc.o" "gcc" "src/CMakeFiles/rpt.dir/rpt/cluster.cc.o.d"
+  "/root/repo/src/rpt/consolidator.cc" "src/CMakeFiles/rpt.dir/rpt/consolidator.cc.o" "gcc" "src/CMakeFiles/rpt.dir/rpt/consolidator.cc.o.d"
+  "/root/repo/src/rpt/discovery.cc" "src/CMakeFiles/rpt.dir/rpt/discovery.cc.o" "gcc" "src/CMakeFiles/rpt.dir/rpt/discovery.cc.o.d"
+  "/root/repo/src/rpt/extractor.cc" "src/CMakeFiles/rpt.dir/rpt/extractor.cc.o" "gcc" "src/CMakeFiles/rpt.dir/rpt/extractor.cc.o.d"
+  "/root/repo/src/rpt/hybrid_cleaner.cc" "src/CMakeFiles/rpt.dir/rpt/hybrid_cleaner.cc.o" "gcc" "src/CMakeFiles/rpt.dir/rpt/hybrid_cleaner.cc.o.d"
+  "/root/repo/src/rpt/matcher.cc" "src/CMakeFiles/rpt.dir/rpt/matcher.cc.o" "gcc" "src/CMakeFiles/rpt.dir/rpt/matcher.cc.o.d"
+  "/root/repo/src/rpt/pet.cc" "src/CMakeFiles/rpt.dir/rpt/pet.cc.o" "gcc" "src/CMakeFiles/rpt.dir/rpt/pet.cc.o.d"
+  "/root/repo/src/rpt/platform.cc" "src/CMakeFiles/rpt.dir/rpt/platform.cc.o" "gcc" "src/CMakeFiles/rpt.dir/rpt/platform.cc.o.d"
+  "/root/repo/src/rpt/value_transform.cc" "src/CMakeFiles/rpt.dir/rpt/value_transform.cc.o" "gcc" "src/CMakeFiles/rpt.dir/rpt/value_transform.cc.o.d"
+  "/root/repo/src/rpt/vocab_builder.cc" "src/CMakeFiles/rpt.dir/rpt/vocab_builder.cc.o" "gcc" "src/CMakeFiles/rpt.dir/rpt/vocab_builder.cc.o.d"
+  "/root/repo/src/synth/benchmarks.cc" "src/CMakeFiles/rpt.dir/synth/benchmarks.cc.o" "gcc" "src/CMakeFiles/rpt.dir/synth/benchmarks.cc.o.d"
+  "/root/repo/src/synth/column_examples.cc" "src/CMakeFiles/rpt.dir/synth/column_examples.cc.o" "gcc" "src/CMakeFiles/rpt.dir/synth/column_examples.cc.o.d"
+  "/root/repo/src/synth/ie_tasks.cc" "src/CMakeFiles/rpt.dir/synth/ie_tasks.cc.o" "gcc" "src/CMakeFiles/rpt.dir/synth/ie_tasks.cc.o.d"
+  "/root/repo/src/synth/text_corpus.cc" "src/CMakeFiles/rpt.dir/synth/text_corpus.cc.o" "gcc" "src/CMakeFiles/rpt.dir/synth/text_corpus.cc.o.d"
+  "/root/repo/src/synth/transform_tasks.cc" "src/CMakeFiles/rpt.dir/synth/transform_tasks.cc.o" "gcc" "src/CMakeFiles/rpt.dir/synth/transform_tasks.cc.o.d"
+  "/root/repo/src/synth/universe.cc" "src/CMakeFiles/rpt.dir/synth/universe.cc.o" "gcc" "src/CMakeFiles/rpt.dir/synth/universe.cc.o.d"
+  "/root/repo/src/table/serializer.cc" "src/CMakeFiles/rpt.dir/table/serializer.cc.o" "gcc" "src/CMakeFiles/rpt.dir/table/serializer.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/rpt.dir/table/table.cc.o" "gcc" "src/CMakeFiles/rpt.dir/table/table.cc.o.d"
+  "/root/repo/src/table/value.cc" "src/CMakeFiles/rpt.dir/table/value.cc.o" "gcc" "src/CMakeFiles/rpt.dir/table/value.cc.o.d"
+  "/root/repo/src/tensor/gemm.cc" "src/CMakeFiles/rpt.dir/tensor/gemm.cc.o" "gcc" "src/CMakeFiles/rpt.dir/tensor/gemm.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/rpt.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/rpt.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/CMakeFiles/rpt.dir/text/similarity.cc.o" "gcc" "src/CMakeFiles/rpt.dir/text/similarity.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/rpt.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/rpt.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/CMakeFiles/rpt.dir/text/vocab.cc.o" "gcc" "src/CMakeFiles/rpt.dir/text/vocab.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/rpt.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/rpt.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/rpt.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/rpt.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/rpt.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/rpt.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/serialize.cc" "src/CMakeFiles/rpt.dir/util/serialize.cc.o" "gcc" "src/CMakeFiles/rpt.dir/util/serialize.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/rpt.dir/util/status.cc.o" "gcc" "src/CMakeFiles/rpt.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/rpt.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/rpt.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/rpt.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/rpt.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocker_test.dir/blocker_test.cc.o"
+  "CMakeFiles/blocker_test.dir/blocker_test.cc.o.d"
+  "blocker_test"
+  "blocker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

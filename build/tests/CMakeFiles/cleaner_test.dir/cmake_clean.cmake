@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaner_test.dir/cleaner_test.cc.o"
+  "CMakeFiles/cleaner_test.dir/cleaner_test.cc.o.d"
+  "cleaner_test"
+  "cleaner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidator_test.dir/consolidator_test.cc.o"
+  "CMakeFiles/consolidator_test.dir/consolidator_test.cc.o.d"
+  "consolidator_test"
+  "consolidator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corrupt_test.dir/corrupt_test.cc.o"
+  "CMakeFiles/corrupt_test.dir/corrupt_test.cc.o.d"
+  "corrupt_test"
+  "corrupt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corrupt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

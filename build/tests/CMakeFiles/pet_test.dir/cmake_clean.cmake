@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_test.dir/pet_test.cc.o"
+  "CMakeFiles/pet_test.dir/pet_test.cc.o.d"
+  "pet_test"
+  "pet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_transform_test.dir/value_transform_test.cc.o"
+  "CMakeFiles/value_transform_test.dir/value_transform_test.cc.o.d"
+  "value_transform_test"
+  "value_transform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -87,4 +87,14 @@ double MeanOf(const std::vector<double>& values) {
   return sum / static_cast<double>(values.size());
 }
 
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::max(0.0, std::min(100.0, q));
+  const size_t n = values.size();
+  size_t rank = static_cast<size_t>(q / 100.0 * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
+}
+
 }  // namespace rpt

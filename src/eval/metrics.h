@@ -45,6 +45,10 @@ BinaryConfusion PairwiseClusterConfusion(
 /// Mean of a vector (0 for empty).
 double MeanOf(const std::vector<double>& values);
 
+/// The q-th percentile (q in [0, 100]) of `values` by nearest-rank on a
+/// sorted copy; 0 for empty. Used for serving-latency p50/p95/p99.
+double Percentile(std::vector<double> values, double q);
+
 }  // namespace rpt
 
 #endif  // RPT_EVAL_METRICS_H_

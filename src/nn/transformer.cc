@@ -278,38 +278,88 @@ Tensor Seq2SeqTransformer::Forward(const TokenBatch& src,
   return DecodeLogits(tgt, memory, src.valid, rng);
 }
 
+namespace {
+
+// Gathers `rows` of a [B, T, D] tensor into a new [rows.size(), T, D]
+// tensor (inference-only: no autograd edge).
+Tensor GatherRows3d(const Tensor& m, const std::vector<int64_t>& rows) {
+  const int64_t t = m.dim(1);
+  const int64_t d = m.dim(2);
+  Tensor out = Tensor::Zeros({static_cast<int64_t>(rows.size()), t, d});
+  const size_t row_elems = static_cast<size_t>(t * d);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const float* from = m.data() + rows[i] * t * d;
+    std::copy(from, from + row_elems, out.data() + i * row_elems);
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<std::vector<int32_t>> Seq2SeqTransformer::GenerateGreedy(
     const TokenBatch& src, int32_t bos_id, int32_t eos_id, int64_t max_len,
     Rng* rng) const {
   NoGradGuard no_grad;
   Tensor memory = Encode(src, rng);
   const int64_t batch = src.batch;
+  const int64_t v = config_.vocab_size;
   std::vector<std::vector<int32_t>> generated(
       static_cast<size_t>(batch), std::vector<int32_t>{bos_id});
-  std::vector<bool> done(static_cast<size_t>(batch), false);
 
-  for (int64_t step = 0; step < max_len; ++step) {
-    TokenBatch tgt = TokenBatch::Pack(generated, /*pad_id=*/eos_id);
-    Tensor logits = DecodeLogits(tgt, memory, src.valid, rng);
-    const int64_t v = config_.vocab_size;
-    bool all_done = true;
-    for (int64_t b = 0; b < batch; ++b) {
-      if (done[static_cast<size_t>(b)]) continue;
+  // Rows still decoding. When a row emits EOS it is compacted out, so later
+  // steps run the decoder (and cross-attention memory) over active rows
+  // only — with ragged answer lengths the average decode batch shrinks
+  // toward the longest answers instead of staying at `batch`.
+  std::vector<int64_t> active(static_cast<size_t>(batch));
+  for (int64_t b = 0; b < batch; ++b) active[static_cast<size_t>(b)] = b;
+  Tensor active_memory = memory;
+  std::vector<uint8_t> active_valid = src.valid;
+
+  for (int64_t step = 0; step < max_len && !active.empty(); ++step) {
+    std::vector<std::vector<int32_t>> prefixes;
+    prefixes.reserve(active.size());
+    for (int64_t b : active) prefixes.push_back(generated[static_cast<size_t>(b)]);
+    TokenBatch tgt = TokenBatch::Pack(prefixes, /*pad_id=*/eos_id);
+    Tensor logits = DecodeLogits(tgt, active_memory, active_valid, rng);
+
+    std::vector<int64_t> still_active;
+    still_active.reserve(active.size());
+    for (size_t i = 0; i < active.size(); ++i) {
+      const int64_t b = active[i];
       const int64_t t =
           static_cast<int64_t>(generated[static_cast<size_t>(b)].size()) - 1;
-      const float* row = logits.data() + (b * tgt.len + t) * v;
+      const float* row =
+          logits.data() + (static_cast<int64_t>(i) * tgt.len + t) * v;
       int32_t best = 0;
       for (int64_t c = 1; c < v; ++c) {
         if (row[c] > row[best]) best = static_cast<int32_t>(c);
       }
-      if (best == eos_id) {
-        done[static_cast<size_t>(b)] = true;
-      } else {
+      if (best != eos_id) {
         generated[static_cast<size_t>(b)].push_back(best);
-        all_done = false;
+        still_active.push_back(b);
       }
     }
-    if (all_done) break;
+    if (still_active.size() != active.size() && !still_active.empty()) {
+      // Compact memory/masks down to the surviving rows. `still_active`
+      // holds original batch indices; map them to positions in `active`.
+      std::vector<int64_t> keep;
+      keep.reserve(still_active.size());
+      std::vector<uint8_t> next_valid;
+      const size_t src_len = static_cast<size_t>(active_memory.dim(1));
+      size_t j = 0;
+      for (size_t i = 0; i < active.size(); ++i) {
+        if (j < still_active.size() && active[i] == still_active[j]) {
+          keep.push_back(static_cast<int64_t>(i));
+          next_valid.insert(next_valid.end(),
+                            active_valid.begin() + i * src_len,
+                            active_valid.begin() + (i + 1) * src_len);
+          ++j;
+        }
+      }
+      active_memory = GatherRows3d(active_memory, keep);
+      active_valid = std::move(next_valid);
+    }
+    active = std::move(still_active);
   }
   for (auto& seq : generated) {
     seq.erase(seq.begin());  // drop BOS

@@ -166,6 +166,10 @@ class Seq2SeqTransformer : public Module {
   /// Greedy autoregressive generation. Starts each sequence with `bos_id`,
   /// stops at `eos_id` or `max_len`. Returns one id sequence per batch row
   /// (without BOS/EOS).
+  ///
+  /// Decodes the whole batch in one pass per step; rows that emit EOS are
+  /// compacted out of the decode batch (and out of the encoder memory), so a
+  /// micro-batch of ragged-length answers only pays for its active rows.
   std::vector<std::vector<int32_t>> GenerateGreedy(const TokenBatch& src,
                                                    int32_t bos_id,
                                                    int32_t eos_id,

@@ -190,6 +190,31 @@ double RptCleaner::PretrainOnText(
   return tail_losses.empty() ? 0.0 : sum / tail_losses.size();
 }
 
+std::vector<std::string> RptCleaner::PredictBatch(
+    const Schema& schema, const std::vector<CellQuery>& queries) const {
+  if (queries.empty()) return {};
+  std::vector<DenoisingExample> examples;
+  examples.reserve(queries.size());
+  for (const auto& q : queries) {
+    DenoisingExample ex;
+    ex.corrupted = serializer_.SerializeWithMask(schema, q.tuple, q.column);
+    examples.push_back(std::move(ex));
+  }
+  TokenBatch src = PackSources(examples);
+
+  auto* self = const_cast<RptCleaner*>(this);
+  self->model_->SetTraining(false);
+  Rng decode_rng(config_.seed ^ 0xBA7C);
+  auto generated = model_->GenerateGreedy(src, SpecialTokens::kBos,
+                                          SpecialTokens::kEos,
+                                          config_.max_target_len,
+                                          &decode_rng);
+  std::vector<std::string> out;
+  out.reserve(generated.size());
+  for (const auto& ids : generated) out.push_back(vocab_.Decode(ids));
+  return out;
+}
+
 std::vector<std::string> RptCleaner::PredictCandidates(
     const Schema& schema, const Tuple& tuple, int64_t column,
     int64_t k) const {

@@ -54,6 +54,12 @@ struct CleanerConfig {
   uint64_t seed = 1234;
 };
 
+/// One masked-cell prediction request: predict `column` of `tuple`.
+struct CellQuery {
+  Tuple tuple;
+  int64_t column = 0;
+};
+
 /// A suspicious cell flagged by DetectErrors.
 struct CellError {
   int64_t row = 0;
@@ -80,6 +86,14 @@ class RptCleaner {
   /// Predicts the value of `column` from the rest of the tuple.
   Value PredictValue(const Schema& schema, const Tuple& tuple,
                      int64_t column) const;
+
+  /// Predicts many masked cells in one batched greedy decode: all queries
+  /// are packed into a single TokenBatch, the encoder runs once, and one
+  /// decoder pass per step serves every still-active query (the serving
+  /// layer's micro-batch path). Returns one decoded string per query, in
+  /// order. Greedy decoding — equivalent to beam_width=1.
+  std::vector<std::string> PredictBatch(
+      const Schema& schema, const std::vector<CellQuery>& queries) const;
 
   /// Top-k candidate strings (beam search), best first.
   std::vector<std::string> PredictCandidates(const Schema& schema,

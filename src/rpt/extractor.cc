@@ -173,43 +173,66 @@ double RptExtractor::Train(const std::vector<QaExample>& examples,
 
 std::string RptExtractor::Extract(const std::string& question,
                                   const std::string& paragraph) const {
+  return ExtractBatch({QaExample{question, paragraph, ""}})[0];
+}
+
+std::vector<std::string> RptExtractor::ExtractBatch(
+    const std::vector<QaExample>& queries) const {
+  if (queries.empty()) return {};
   NoGradGuard no_grad;
   auto* self = const_cast<RptExtractor*>(this);
   self->encoder_->SetTraining(false);
   self->start_head_->SetTraining(false);
   self->end_head_->SetTraining(false);
 
-  EncodedQa qa = Encode(question, paragraph, /*answer=*/"");
-  TokenBatch packed = TokenBatch::Pack({qa.ids}, SpecialTokens::kPad);
+  std::vector<EncodedQa> encoded;
+  encoded.reserve(queries.size());
+  std::vector<std::vector<int32_t>> ids;
+  ids.reserve(queries.size());
+  for (const auto& q : queries) {
+    encoded.push_back(Encode(q.question, q.paragraph, /*answer=*/""));
+    ids.push_back(encoded.back().ids);
+  }
+  TokenBatch packed = TokenBatch::Pack(ids, SpecialTokens::kPad);
   Rng eval_rng(config_.seed ^ 0xABCD);
-  Tensor states = encoder_->Encode(packed, &eval_rng);
+  Tensor states = encoder_->Encode(packed, &eval_rng);  // [B, T, D]
   Tensor start_logits = Reshape(start_head_->Forward(states),
-                                {packed.len});
-  Tensor end_logits = Reshape(end_head_->Forward(states), {packed.len});
+                                {packed.batch, packed.len});
+  Tensor end_logits = Reshape(end_head_->Forward(states),
+                              {packed.batch, packed.len});
 
-  // Best (start <= end <= start + max_answer_tokens) span over paragraph
-  // positions.
-  double best_score = -1e18;
-  int64_t best_start = -1, best_end = -1;
-  for (int64_t s = qa.paragraph_begin; s < packed.len; ++s) {
-    const int64_t max_e =
-        std::min<int64_t>(packed.len - 1,
-                          s + config_.max_answer_tokens - 1);
-    for (int64_t e = s; e <= max_e; ++e) {
-      const double score = static_cast<double>(start_logits.at(s)) +
-                           end_logits.at(e);
-      if (score > best_score) {
-        best_score = score;
-        best_start = s;
-        best_end = e;
+  std::vector<std::string> out;
+  out.reserve(queries.size());
+  for (size_t b = 0; b < encoded.size(); ++b) {
+    const EncodedQa& qa = encoded[b];
+    const int64_t row = static_cast<int64_t>(b) * packed.len;
+    const int64_t row_len = static_cast<int64_t>(qa.ids.size());
+    // Best (start <= end <= start + max_answer_tokens) span over this
+    // row's real (non-pad) paragraph positions.
+    double best_score = -1e18;
+    int64_t best_start = -1, best_end = -1;
+    for (int64_t s = qa.paragraph_begin; s < row_len; ++s) {
+      const int64_t max_e =
+          std::min<int64_t>(row_len - 1, s + config_.max_answer_tokens - 1);
+      for (int64_t e = s; e <= max_e; ++e) {
+        const double score = static_cast<double>(start_logits.at(row + s)) +
+                             end_logits.at(row + e);
+        if (score > best_score) {
+          best_score = score;
+          best_start = s;
+          best_end = e;
+        }
       }
     }
+    if (best_start < 0) {
+      out.emplace_back();
+      continue;
+    }
+    std::vector<int32_t> span(qa.ids.begin() + best_start,
+                              qa.ids.begin() + best_end + 1);
+    out.push_back(vocab_.Decode(span));
   }
-  if (best_start < 0) return "";
-  std::vector<int32_t> span(
-      qa.ids.begin() + best_start,
-      qa.ids.begin() + best_end + 1);
-  return vocab_.Decode(span);
+  return out;
 }
 
 }  // namespace rpt

@@ -60,6 +60,13 @@ class RptExtractor {
   std::string Extract(const std::string& question,
                       const std::string& paragraph) const;
 
+  /// Batched extraction: all (question, paragraph) pairs are packed into a
+  /// single TokenBatch and span-scored with one encoder pass (the serving
+  /// layer's micro-batch path). `answer` fields are ignored. Order matches
+  /// the inputs.
+  std::vector<std::string> ExtractBatch(
+      const std::vector<QaExample>& queries) const;
+
   const Vocab& vocab() const { return vocab_; }
   const ExtractorConfig& config() const { return config_; }
 

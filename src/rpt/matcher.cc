@@ -476,6 +476,19 @@ double RptMatcher::ScorePair(const Schema& schema_a, const Tuple& a,
   return ScoreBatch({EncodePair(schema_a, a, schema_b, b, false)})[0];
 }
 
+std::vector<double> RptMatcher::ScorePairsBatch(
+    const Schema& schema_a, const std::vector<Tuple>& a,
+    const Schema& schema_b, const std::vector<Tuple>& b) const {
+  RPT_CHECK_EQ(a.size(), b.size());
+  if (a.empty()) return {};
+  std::vector<EncodedPair> batch;
+  batch.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    batch.push_back(EncodePair(schema_a, a[i], schema_b, b[i], false));
+  }
+  return ScoreBatch(batch);
+}
+
 std::vector<double> RptMatcher::ScorePairs(
     const ErBenchmark& bench, const std::vector<LabeledPair>& pairs) const {
   std::vector<double> scores;

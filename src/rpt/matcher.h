@@ -85,6 +85,14 @@ class RptMatcher {
   double ScorePair(const Schema& schema_a, const Tuple& a,
                    const Schema& schema_b, const Tuple& b) const;
 
+  /// Batched P(match) for `a[i]` vs `b[i]` (aligned vectors): every pair is
+  /// packed into one TokenBatch and scored with a single encoder pass — the
+  /// serving layer's micro-batch path. Order matches the inputs.
+  std::vector<double> ScorePairsBatch(const Schema& schema_a,
+                                      const std::vector<Tuple>& a,
+                                      const Schema& schema_b,
+                                      const std::vector<Tuple>& b) const;
+
   /// Batched scoring of benchmark pairs (row indices into the benchmark
   /// tables). Order matches `pairs`.
   std::vector<double> ScorePairs(const ErBenchmark& bench,

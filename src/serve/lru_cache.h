@@ -1,0 +1,73 @@
+// LruCache<K, V>: a thread-safe least-recently-used response cache.
+//
+// The serving layer keys it on the serialized request payload — dirty data
+// is heavy-tailed (the same misspelled city appears thousands of times), so
+// a small LRU in front of the model absorbs a large fraction of traffic.
+// Get refreshes recency; Put inserts or overwrites and evicts the coldest
+// entry past `capacity`.
+
+#ifndef RPT_SERVE_LRU_CACHE_H_
+#define RPT_SERVE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace rpt {
+
+template <typename K, typename V>
+class LruCache {
+ public:
+  /// capacity == 0 disables the cache (Get always misses, Put is a no-op).
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  std::optional<V> Get(const K& key) {
+    if (capacity_ == 0) return std::nullopt;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);  // refresh recency
+    return it->second->second;
+  }
+
+  void Put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::pair<K, V>> order_;  // most-recent first
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator>
+      index_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_SERVE_LRU_CACHE_H_

@@ -1,0 +1,37 @@
+// ModelSession: the model-side contract of the serving layer.
+//
+// The InferenceServer (serve/server.h) is model-agnostic: it batches opaque
+// string payloads and hands them to a ModelSession, which owns one loaded
+// model (cleaner, matcher, or extractor — serve/sessions.h) and executes a
+// whole micro-batch with a single forward pass. Payload formats are
+// session-specific; the Format*/Parse* helpers in serve/sessions.h are the
+// canonical encoders.
+//
+// RunBatch is called from exactly one scheduler thread at a time, so
+// sessions need no internal locking as long as the underlying model is not
+// trained concurrently.
+
+#ifndef RPT_SERVE_MODEL_SESSION_H_
+#define RPT_SERVE_MODEL_SESSION_H_
+
+#include <string>
+#include <vector>
+
+namespace rpt {
+
+class ModelSession {
+ public:
+  virtual ~ModelSession() = default;
+
+  /// Human-readable session name for stats/reports ("cleaner", ...).
+  virtual std::string name() const = 0;
+
+  /// Executes one micro-batch: returns exactly one output per input, in
+  /// order. Must be safe to call repeatedly from one thread.
+  virtual std::vector<std::string> RunBatch(
+      const std::vector<std::string>& inputs) = 0;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_SERVE_MODEL_SESSION_H_

@@ -1,0 +1,179 @@
+#include "serve/sessions.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rpt {
+
+namespace {
+
+// Payload field separators: plain ASCII control characters that never occur
+// in tokenized cell text.
+constexpr char kUnitSep = '\x1f';    // between fields
+constexpr char kRecordSep = '\x1e';  // between the two tuples of a pair
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  for (;;) {
+    const size_t pos = s.find(sep, begin);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(begin));
+      return parts;
+    }
+    parts.push_back(s.substr(begin, pos - begin));
+    begin = pos + 1;
+  }
+}
+
+std::string JoinTuple(const Tuple& tuple) {
+  std::string out;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out.push_back(kUnitSep);
+    out += tuple[i].text();  // "" renders null
+  }
+  return out;
+}
+
+Tuple ParseTuple(const std::string& payload, int64_t expected_arity) {
+  std::vector<std::string> fields = SplitOn(payload, kUnitSep);
+  RPT_CHECK_EQ(static_cast<int64_t>(fields.size()), expected_arity)
+      << "payload arity does not match the session schema";
+  Tuple tuple;
+  tuple.reserve(fields.size());
+  for (const auto& f : fields) tuple.push_back(Value::Parse(f));
+  return tuple;
+}
+
+}  // namespace
+
+// ---- CleanerSession ---------------------------------------------------------
+
+CleanerSession::CleanerSession(const RptCleaner* cleaner, Schema schema)
+    : cleaner_(cleaner), schema_(std::move(schema)) {
+  RPT_CHECK(cleaner_ != nullptr);
+}
+
+std::string CleanerSession::FormatCellQuery(const Tuple& tuple,
+                                            int64_t column) {
+  std::string out = std::to_string(column);
+  out.push_back(kUnitSep);
+  out += JoinTuple(tuple);
+  return out;
+}
+
+std::vector<std::string> CleanerSession::RunBatch(
+    const std::vector<std::string>& inputs) {
+  std::vector<CellQuery> queries;
+  queries.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    // Leading field is the masked column index, the rest is the tuple.
+    const size_t pos = input.find(kUnitSep);
+    RPT_CHECK(pos != std::string::npos) << "malformed cell query payload";
+    CellQuery q;
+    q.column = std::stoll(input.substr(0, pos));
+    RPT_CHECK_GE(q.column, 0);
+    RPT_CHECK_LT(q.column, schema_.size());
+    q.tuple = ParseTuple(input.substr(pos + 1), schema_.size());
+    queries.push_back(std::move(q));
+  }
+  return cleaner_->PredictBatch(schema_, queries);
+}
+
+// ---- MatcherSession ---------------------------------------------------------
+
+MatcherSession::MatcherSession(const RptMatcher* matcher, Schema schema_a,
+                               Schema schema_b)
+    : matcher_(matcher),
+      schema_a_(std::move(schema_a)),
+      schema_b_(std::move(schema_b)) {
+  RPT_CHECK(matcher_ != nullptr);
+}
+
+std::string MatcherSession::FormatPairQuery(const Tuple& a, const Tuple& b) {
+  std::string out = JoinTuple(a);
+  out.push_back(kRecordSep);
+  out += JoinTuple(b);
+  return out;
+}
+
+std::vector<std::string> MatcherSession::RunBatch(
+    const std::vector<std::string>& inputs) {
+  std::vector<Tuple> lhs, rhs;
+  lhs.reserve(inputs.size());
+  rhs.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    const size_t pos = input.find(kRecordSep);
+    RPT_CHECK(pos != std::string::npos) << "malformed pair query payload";
+    lhs.push_back(ParseTuple(input.substr(0, pos), schema_a_.size()));
+    rhs.push_back(ParseTuple(input.substr(pos + 1), schema_b_.size()));
+  }
+  std::vector<double> scores =
+      matcher_->ScorePairsBatch(schema_a_, lhs, schema_b_, rhs);
+  std::vector<std::string> out;
+  out.reserve(scores.size());
+  for (double s : scores) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", s);
+    out.emplace_back(buf);
+  }
+  return out;
+}
+
+// ---- ExtractorSession -------------------------------------------------------
+
+ExtractorSession::ExtractorSession(const RptExtractor* extractor)
+    : extractor_(extractor) {
+  RPT_CHECK(extractor_ != nullptr);
+}
+
+std::string ExtractorSession::FormatQaQuery(const std::string& question,
+                                            const std::string& paragraph) {
+  std::string out = question;
+  out.push_back(kUnitSep);
+  out += paragraph;
+  return out;
+}
+
+std::vector<std::string> ExtractorSession::RunBatch(
+    const std::vector<std::string>& inputs) {
+  std::vector<QaExample> queries;
+  queries.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    const size_t pos = input.find(kUnitSep);
+    RPT_CHECK(pos != std::string::npos) << "malformed QA query payload";
+    QaExample q;
+    q.question = input.substr(0, pos);
+    q.paragraph = input.substr(pos + 1);
+    queries.push_back(std::move(q));
+  }
+  return extractor_->ExtractBatch(queries);
+}
+
+// ---- SyntheticSession -------------------------------------------------------
+
+SyntheticSession::SyntheticSession(std::chrono::microseconds per_pass,
+                                   std::chrono::microseconds per_item)
+    : per_pass_(per_pass), per_item_(per_item) {}
+
+std::vector<std::string> SyntheticSession::RunBatch(
+    const std::vector<std::string>& inputs) {
+  // Busy-wait rather than sleep: scheduler preemption would add multi-ms
+  // noise that swamps the microsecond-scale cost model.
+  const auto budget =
+      per_pass_ + per_item_ * static_cast<int64_t>(inputs.size());
+  const auto until = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+  calls_.fetch_add(1);
+  items_.fetch_add(static_cast<int64_t>(inputs.size()));
+  std::vector<std::string> out;
+  out.reserve(inputs.size());
+  for (const auto& input : inputs) out.push_back("echo:" + input);
+  return out;
+}
+
+}  // namespace rpt

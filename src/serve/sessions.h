@@ -1,0 +1,109 @@
+// ModelSession adapters: one per RPT model shell, plus a synthetic session
+// for benchmarks and tests.
+//
+// Each adapter wraps a *trained* model by const reference, parses the
+// server's opaque string payloads into model inputs, and executes the whole
+// micro-batch with the model's batched inference API (one encoder pass, and
+// for the cleaner one decoder pass per generation step). The Format*
+// helpers are the canonical payload encoders; fields are joined with
+// ASCII unit/record separators so ordinary cell text round-trips.
+//
+// The wrapped model must not be trained while a server is running on it.
+
+#ifndef RPT_SERVE_SESSIONS_H_
+#define RPT_SERVE_SESSIONS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpt/cleaner.h"
+#include "rpt/extractor.h"
+#include "rpt/matcher.h"
+#include "serve/model_session.h"
+#include "table/table.h"
+
+namespace rpt {
+
+/// Serves RptCleaner::PredictBatch. Payload: a masked-cell query over the
+/// session's fixed schema; output: the predicted cell text.
+class CleanerSession : public ModelSession {
+ public:
+  CleanerSession(const RptCleaner* cleaner, Schema schema);
+
+  /// Serializes (tuple, masked column) into a request payload.
+  static std::string FormatCellQuery(const Tuple& tuple, int64_t column);
+
+  std::string name() const override { return "cleaner"; }
+  std::vector<std::string> RunBatch(
+      const std::vector<std::string>& inputs) override;
+
+ private:
+  const RptCleaner* cleaner_;
+  Schema schema_;
+};
+
+/// Serves RptMatcher::ScorePairsBatch. Payload: a tuple pair; output: the
+/// match probability rendered with 6 decimals.
+class MatcherSession : public ModelSession {
+ public:
+  MatcherSession(const RptMatcher* matcher, Schema schema_a, Schema schema_b);
+
+  static std::string FormatPairQuery(const Tuple& a, const Tuple& b);
+
+  std::string name() const override { return "matcher"; }
+  std::vector<std::string> RunBatch(
+      const std::vector<std::string>& inputs) override;
+
+ private:
+  const RptMatcher* matcher_;
+  Schema schema_a_;
+  Schema schema_b_;
+};
+
+/// Serves RptExtractor::ExtractBatch. Payload: question + paragraph;
+/// output: the extracted answer span (possibly empty).
+class ExtractorSession : public ModelSession {
+ public:
+  explicit ExtractorSession(const RptExtractor* extractor);
+
+  static std::string FormatQaQuery(const std::string& question,
+                                   const std::string& paragraph);
+
+  std::string name() const override { return "extractor"; }
+  std::vector<std::string> RunBatch(
+      const std::vector<std::string>& inputs) override;
+
+ private:
+  const RptExtractor* extractor_;
+};
+
+/// A model stand-in with an accelerator-shaped cost profile: every forward
+/// pass busy-waits `per_pass` (kernel launch / weight traffic) plus
+/// `per_item` for each input (FLOPs that scale with batch rows), then
+/// echoes "echo:<input>". Deterministic; used by bench/serve_throughput
+/// and the serve tests to measure scheduling rather than model quality.
+class SyntheticSession : public ModelSession {
+ public:
+  SyntheticSession(std::chrono::microseconds per_pass,
+                   std::chrono::microseconds per_item);
+
+  std::string name() const override { return "synthetic"; }
+  std::vector<std::string> RunBatch(
+      const std::vector<std::string>& inputs) override;
+
+  int64_t calls() const { return calls_.load(); }
+  int64_t items() const { return items_.load(); }
+
+ private:
+  std::chrono::microseconds per_pass_;
+  std::chrono::microseconds per_item_;
+  std::atomic<int64_t> calls_{0};
+  std::atomic<int64_t> items_{0};
+};
+
+}  // namespace rpt
+
+#endif  // RPT_SERVE_SESSIONS_H_

@@ -1,0 +1,119 @@
+// BoundedQueue<T>: a mutex-based bounded MPMC queue with batch draining.
+//
+// Built for the serving layer's micro-batching scheduler (serve/server.h):
+// many client threads TryPush requests (non-blocking, rejected when full so
+// the server can exert backpressure), one or more collector threads drain
+// with PopBatch, which blocks for the first element and then gathers more
+// until either `max_n` elements are collected or `max_wait` elapses.
+//
+// Close() stops producers but lets consumers drain what is already queued —
+// PopBatch keeps returning elements until the queue is empty, then reports
+// closed. That is exactly the graceful-shutdown semantics a server wants.
+//
+// T only needs to be movable (the serving layer queues types holding
+// std::promise).
+
+#ifndef RPT_UTIL_BOUNDED_QUEUE_H_
+#define RPT_UTIL_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace rpt {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push; returns false when the queue is full or closed.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pops one element, waiting up to `timeout`. Empty optional on timeout or
+  /// on a closed-and-drained queue.
+  std::optional<T> PopWait(std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    not_empty_.wait_until(lock, deadline,
+                          [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Blocks until at least one element is available (or the queue is closed
+  /// and empty), then keeps draining until `max_n` elements are gathered or
+  /// `max_wait` has elapsed since the first element was taken. Appends to
+  /// `*out` and returns true, or returns false when closed and drained.
+  bool PopBatch(std::vector<T>* out, size_t max_n,
+                std::chrono::microseconds max_wait) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and fully drained
+    const auto deadline = std::chrono::steady_clock::now() + max_wait;
+    for (;;) {
+      while (!items_.empty() && out->size() < max_n) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+      if (out->size() >= max_n || closed_) break;
+      if (not_empty_.wait_until(lock, deadline, [this] {
+            return closed_ || !items_.empty();
+          })) {
+        continue;  // woke with work (or closed); loop to drain / exit
+      }
+      break;  // deadline hit with a partial batch
+    }
+    return true;
+  }
+
+  /// Stops further pushes; waiting consumers wake and drain the remainder.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_UTIL_BOUNDED_QUEUE_H_

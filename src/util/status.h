@@ -22,6 +22,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  kUnavailable,        // transient: resource busy / at capacity, retryable
+  kDeadlineExceeded,   // the caller's deadline passed before completion
 };
 
 /// Returns a human-readable name for `code` ("Ok", "InvalidArgument", ...).
@@ -53,6 +55,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

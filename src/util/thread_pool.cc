@@ -59,6 +59,40 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  const size_t shards = std::max<size_t>(1, std::min(num_threads(), n));
+  const size_t chunk = (n + shards - 1) / shards;
+  if (shards == 1 || chunk >= n) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // Shards 1..k run on the pool; shard 0 runs inline on the caller so the
+  // calling thread contributes work instead of idling on the wait.
+  // `remaining` is fixed before any task is submitted: a shard finishing
+  // early must never race a later unlocked increment.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = 0;
+  for (size_t s = 1; s < shards; ++s) {
+    if (s * chunk < n) ++remaining;
+  }
+  for (size_t s = 1; s < shards; ++s) {
+    const size_t begin = s * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    Submit([begin, end, &body, &done_mu, &done_cv, &remaining] {
+      for (size_t i = begin; i < end; ++i) body(i);
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  for (size_t i = 0; i < std::min(n, chunk); ++i) body(i);
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+}
+
 void ThreadPool::ParallelFor(size_t n, size_t num_threads,
                              const std::function<void(size_t)>& body) {
   if (n == 0) return;

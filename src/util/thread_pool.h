@@ -34,8 +34,15 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Runs body(i) for i in [0, n), partitioned over the pool; blocks until
-  /// complete. Falls back to inline execution for n smaller than the pool.
+  /// Runs body(i) for i in [0, n) partitioned over this pool's workers;
+  /// blocks until complete. The calling thread executes the first shard
+  /// itself, so there is no per-call thread spawn. Must not be called from
+  /// inside a pool task (the wait could deadlock on a saturated pool).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// Static shim: runs body(i) for i in [0, n) on up to `num_threads`
+  /// freshly spawned threads. Prefer the instance method on a hot path —
+  /// this exists for one-shot callers without a pool at hand.
   static void ParallelFor(size_t n, size_t num_threads,
                           const std::function<void(size_t)>& body);
 

@@ -145,6 +145,42 @@ TEST(TokenBatchTest, PackWithColumnAndTypeIds) {
   EXPECT_EQ(b.type_ids, (std::vector<int32_t>{2, 1}));
 }
 
+TEST(TokenBatchTest, PackEmptySequenceList) {
+  TokenBatch batch = TokenBatch::Pack({}, 0);
+  EXPECT_EQ(batch.batch, 0);
+  EXPECT_EQ(batch.len, 1);  // len is clamped away from zero-size tensors
+  EXPECT_TRUE(batch.ids.empty());
+  EXPECT_TRUE(batch.valid.empty());
+}
+
+TEST(TokenBatchTest, PackAllPadRows) {
+  // Empty sequences produce rows that are entirely padding.
+  TokenBatch batch = TokenBatch::Pack({{}, {7}, {}}, 9);
+  EXPECT_EQ(batch.batch, 3);
+  EXPECT_EQ(batch.len, 1);
+  EXPECT_EQ(batch.ids, (std::vector<int32_t>{9, 7, 9}));
+  EXPECT_EQ(batch.valid, (std::vector<uint8_t>{0, 1, 0}));
+}
+
+TEST(TokenBatchTest, PackRaggedColAndTypeIds) {
+  // Col/type sequences mirror their id sequence lengths row by row; pads
+  // get id 0.
+  std::vector<std::vector<int32_t>> ids = {{1, 2, 3}, {4}};
+  std::vector<std::vector<int32_t>> cols = {{5, 6, 7}, {8}};
+  std::vector<std::vector<int32_t>> types = {{1, 1, 2}, {3}};
+  TokenBatch batch = TokenBatch::Pack(ids, 0, &cols, &types);
+  EXPECT_EQ(batch.len, 3);
+  EXPECT_EQ(batch.col_ids, (std::vector<int32_t>{5, 6, 7, 8, 0, 0}));
+  EXPECT_EQ(batch.type_ids, (std::vector<int32_t>{1, 1, 2, 3, 0, 0}));
+  EXPECT_EQ(batch.valid, (std::vector<uint8_t>{1, 1, 1, 1, 0, 0}));
+}
+
+TEST(TokenBatchTest, PackMismatchedColArityDies) {
+  std::vector<std::vector<int32_t>> ids = {{1, 2}};
+  std::vector<std::vector<int32_t>> cols = {{5}};  // wrong length
+  EXPECT_DEATH(TokenBatch::Pack(ids, 0, &cols), "");
+}
+
 TEST(EncoderModelTest, EncodeShapes) {
   Rng rng(8);
   auto config = SmallConfig(50);
@@ -342,6 +378,59 @@ TEST(TrainingTest, BeamSearchMatchesGreedyOnConfidentModel) {
   ASSERT_FALSE(beam.empty());
   EXPECT_EQ(greedy[0], beam[0]);
   EXPECT_EQ(greedy[0], (std::vector<int32_t>{5, 6}));
+}
+
+TEST(GenerationTest, BeamWidthOneAgreesWithGreedy) {
+  // At beam_width=1 beam search degenerates to greedy: both take the argmax
+  // continuation each step. Serving leans on batched greedy, so the two
+  // must agree even on an untrained (random-weight) model.
+  Rng rng(101);
+  auto config = SmallConfig(20);
+  Seq2SeqTransformer model(config, &rng);
+  model.SetTraining(false);
+  const int32_t bos = 1, eos = 2;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<int32_t> seq;
+    const int len = 2 + static_cast<int>(rng.UniformInt(4));
+    for (int t = 0; t < len; ++t) {
+      seq.push_back(3 + static_cast<int32_t>(rng.UniformInt(16)));
+    }
+    TokenBatch src = TokenBatch::Pack({seq}, 0);
+    auto greedy = model.GenerateGreedy(src, bos, eos, 8, &rng);
+    auto beam = model.GenerateBeam(src, bos, eos, 8, /*beam_width=*/1,
+                                   /*num_results=*/1, &rng);
+    ASSERT_EQ(greedy.size(), 1u);
+    ASSERT_EQ(beam.size(), 1u);
+    EXPECT_EQ(greedy[0], beam[0]) << "trial " << trial;
+  }
+}
+
+TEST(GenerationTest, BatchedGreedyMatchesPerRowGreedy) {
+  // The micro-batch path: decoding many ragged sources together (with
+  // finished-row compaction) must produce exactly what one-at-a-time
+  // decoding produces.
+  Rng rng(202);
+  auto config = SmallConfig(20);
+  Seq2SeqTransformer model(config, &rng);
+  model.SetTraining(false);
+  const int32_t bos = 1, eos = 2;
+  std::vector<std::vector<int32_t>> seqs;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<int32_t> seq;
+    const int len = 1 + static_cast<int>(rng.UniformInt(5));
+    for (int t = 0; t < len; ++t) {
+      seq.push_back(3 + static_cast<int32_t>(rng.UniformInt(16)));
+    }
+    seqs.push_back(std::move(seq));
+  }
+  TokenBatch packed = TokenBatch::Pack(seqs, 0);
+  auto batched = model.GenerateGreedy(packed, bos, eos, 8, &rng);
+  ASSERT_EQ(batched.size(), seqs.size());
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    TokenBatch single = TokenBatch::Pack({seqs[i]}, 0);
+    auto one = model.GenerateGreedy(single, bos, eos, 8, &rng);
+    EXPECT_EQ(batched[i], one[0]) << "row " << i;
+  }
 }
 
 }  // namespace

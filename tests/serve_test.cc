@@ -1,0 +1,337 @@
+// Tests for the serving subsystem: LRU cache, concurrent submit/drain,
+// micro-batch formation, queue-full backpressure, deadline expiry, graceful
+// shutdown drain, and the session adapters' payload round-trips.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rpt/cleaner.h"
+#include "rpt/vocab_builder.h"
+#include "serve/lru_cache.h"
+#include "serve/server.h"
+#include "serve/sessions.h"
+#include "table/table.h"
+
+namespace rpt {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+/// Echo session whose forward passes block until Open() — lets tests pin
+/// requests in the queue deterministically.
+class GateSession : public ModelSession {
+ public:
+  std::string name() const override { return "gate"; }
+
+  std::vector<std::string> RunBatch(
+      const std::vector<std::string>& inputs) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return open_; });
+    }
+    calls_.fetch_add(1);
+    std::vector<std::string> out;
+    out.reserve(inputs.size());
+    for (const auto& s : inputs) out.push_back("echo:" + s);
+    return out;
+  }
+
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  int64_t calls() const { return calls_.load(); }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  std::atomic<int64_t> calls_{0};
+};
+
+// ---- LruCache ---------------------------------------------------------------
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<std::string, std::string> cache(2);
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  EXPECT_TRUE(cache.Get("a").has_value());  // refreshes "a"
+  cache.Put("c", "3");                      // evicts "b"
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_EQ(cache.Get("c").value_or(""), "3");
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, ZeroCapacityDisables) {
+  LruCache<std::string, std::string> cache(0);
+  cache.Put("a", "1");
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, PutOverwritesExisting) {
+  LruCache<std::string, std::string> cache(2);
+  cache.Put("a", "1");
+  cache.Put("a", "9");
+  EXPECT_EQ(cache.Get("a").value_or(""), "9");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---- InferenceServer --------------------------------------------------------
+
+TEST(ServeTest, ConcurrentSubmitAllComplete) {
+  auto session = std::make_shared<SyntheticSession>(microseconds(200),
+                                                    microseconds(20));
+  ServerConfig config;
+  config.max_batch_size = 4;
+  config.max_batch_delay = microseconds(500);
+  config.queue_capacity = 1024;
+  config.cache_capacity = 0;  // every request must reach the model
+  InferenceServer server(session, config);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 16;
+  std::vector<std::thread> clients;
+  std::mutex results_mu;
+  std::vector<ServeResponse> results;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ServeResponse r = server.SubmitWait("t" + std::to_string(t) + "_" +
+                                            std::to_string(i));
+        std::lock_guard<std::mutex> lock(results_mu);
+        results.push_back(std::move(r));
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  server.Shutdown();
+
+  ASSERT_EQ(results.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.output.rfind("echo:t", 0), 0u);
+    EXPECT_GE(r.batch_size, 1);
+    EXPECT_LE(r.batch_size, 4);
+  }
+  ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.expired, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  // Histogram sizes must sum to the completed count.
+  uint64_t histogram_total = 0;
+  for (const auto& [size, count] : stats.batch_size_histogram) {
+    EXPECT_GE(size, 1u);
+    EXPECT_LE(size, 4u);
+    histogram_total += size * count;
+  }
+  EXPECT_EQ(histogram_total, stats.completed);
+  EXPECT_GE(stats.p95_ms, stats.p50_ms);
+  EXPECT_GE(stats.p99_ms, stats.p95_ms);
+}
+
+TEST(ServeTest, MicroBatchingActuallyBatches) {
+  auto session = std::make_shared<SyntheticSession>(microseconds(100),
+                                                    microseconds(10));
+  ServerConfig config;
+  config.max_batch_size = 8;
+  config.max_batch_delay = microseconds(20000);  // generous straggler window
+  config.cache_capacity = 0;
+  InferenceServer server(session, config);
+
+  // 16 requests fired together with a wide delay window must ride in far
+  // fewer than 16 passes.
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(server.Submit("req" + std::to_string(i)));
+  }
+  for (auto& f : futures) {
+    ServeResponse r = f.get();
+    ASSERT_TRUE(r.status.ok());
+  }
+  server.Shutdown();
+  EXPECT_LE(session->calls(), 8);  // ≥ 2 average batch size
+  EXPECT_EQ(session->items(), 16);
+}
+
+TEST(ServeTest, QueueFullRejectsWithUnavailable) {
+  auto session = std::make_shared<GateSession>();
+  ServerConfig config;
+  config.max_batch_size = 1;
+  config.queue_capacity = 2;
+  config.cache_capacity = 0;
+  InferenceServer server(session, config);
+
+  // With the gate closed the collector wedges on its first batch; pushing
+  // capacity + 2 more must overflow the queue at least once.
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(server.Submit("r" + std::to_string(i)));
+  }
+  int rejected = 0;
+  session->Open();
+  for (auto& f : futures) {
+    ServeResponse r = f.get();
+    if (!r.status.ok()) {
+      EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+      ++rejected;
+    }
+  }
+  server.Shutdown();
+  EXPECT_GE(rejected, 1);
+  EXPECT_EQ(server.Stats().rejected, static_cast<uint64_t>(rejected));
+}
+
+TEST(ServeTest, DeadlineExpiresWhileQueued) {
+  auto session = std::make_shared<GateSession>();
+  ServerConfig config;
+  config.max_batch_size = 1;
+  config.queue_capacity = 16;
+  config.cache_capacity = 0;
+  InferenceServer server(session, config);
+
+  // First request occupies the collector (gate closed); the second waits in
+  // the queue past its 1 ms deadline.
+  std::future<ServeResponse> first = server.Submit("first");
+  std::future<ServeResponse> doomed =
+      server.Submit("doomed", milliseconds(1));
+  std::this_thread::sleep_for(milliseconds(50));
+  session->Open();
+
+  EXPECT_TRUE(first.get().status.ok());
+  ServeResponse r = doomed.get();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  server.Shutdown();
+  EXPECT_EQ(server.Stats().expired, 1u);
+}
+
+TEST(ServeTest, ShutdownDrainsQueuedRequests) {
+  auto session = std::make_shared<SyntheticSession>(microseconds(500),
+                                                    microseconds(50));
+  ServerConfig config;
+  config.max_batch_size = 4;
+  config.queue_capacity = 64;
+  config.cache_capacity = 0;
+  InferenceServer server(session, config);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(server.Submit("r" + std::to_string(i)));
+  }
+  server.Shutdown();  // must drain everything already accepted
+
+  for (auto& f : futures) {
+    ServeResponse r = f.get();
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+  // Post-shutdown submissions are turned away immediately.
+  ServeResponse late = server.SubmitWait("late");
+  EXPECT_EQ(late.status.code(), StatusCode::kUnavailable);
+}
+
+TEST(ServeTest, CacheShortCircuitsRepeats) {
+  auto session = std::make_shared<SyntheticSession>(microseconds(100),
+                                                    microseconds(10));
+  ServerConfig config;
+  config.max_batch_size = 4;
+  config.cache_capacity = 16;
+  InferenceServer server(session, config);
+
+  ServeResponse cold = server.SubmitWait("hello");
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_FALSE(cold.cache_hit);
+  ServeResponse warm = server.SubmitWait("hello");
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.output, cold.output);
+  server.Shutdown();
+  EXPECT_EQ(session->items(), 1);
+  ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_GT(stats.cache_hit_rate, 0.0);
+}
+
+TEST(ServeTest, StatsRenderMentionsKeyMetrics) {
+  auto session = std::make_shared<SyntheticSession>(microseconds(50),
+                                                    microseconds(5));
+  InferenceServer server(session);
+  server.SubmitWait("x");
+  server.Shutdown();
+  const std::string report = server.Stats().Render("synthetic");
+  EXPECT_NE(report.find("serving stats"), std::string::npos);
+  EXPECT_NE(report.find("latency p95"), std::string::npos);
+  EXPECT_NE(report.find("batch size"), std::string::npos);
+}
+
+// ---- Session adapters -------------------------------------------------------
+
+TEST(SessionTest, CleanerSessionServesMaskedCells) {
+  Table table{Schema({"name", "city"})};
+  for (int i = 0; i < 4; ++i) {
+    table.AddRow({Value::String("ada"), Value::String("london")});
+    table.AddRow({Value::String("alan"), Value::String("cambridge")});
+  }
+  CleanerConfig config;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  config.dropout = 0.0f;
+  RptCleaner cleaner(config, BuildVocabFromTables({&table}));
+  cleaner.PretrainOnTables({&table}, 30);
+
+  auto session =
+      std::make_shared<CleanerSession>(&cleaner, table.schema());
+  ServerConfig server_config;
+  server_config.max_batch_size = 4;
+  InferenceServer server(session, server_config);
+
+  // Batched serving must agree with the direct batched API.
+  Tuple query = {Value::String("ada"), Value::Null()};
+  const std::string expected =
+      cleaner.PredictBatch(table.schema(), {{query, 1}})[0];
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(
+        server.Submit(CleanerSession::FormatCellQuery(query, 1)));
+  }
+  for (auto& f : futures) {
+    ServeResponse r = f.get();
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.output, expected);
+  }
+  server.Shutdown();
+}
+
+TEST(SessionTest, PayloadFormatsRoundTripSeparators) {
+  // Cell text with spaces/punctuation must survive the payload encoding.
+  Tuple t1 = {Value::String("anna k."), Value::Number(3.5), Value::Null()};
+  Tuple t2 = {Value::String("anna k"), Value::Number(3.5), Value::Null()};
+  const std::string cell = CleanerSession::FormatCellQuery(t1, 2);
+  EXPECT_NE(cell.find("anna k."), std::string::npos);
+  const std::string pair = MatcherSession::FormatPairQuery(t1, t2);
+  EXPECT_NE(pair.find("anna k."), std::string::npos);
+  const std::string qa =
+      ExtractorSession::FormatQaQuery("what is the city", "ada lives in london");
+  EXPECT_NE(qa.find("what is the city"), std::string::npos);
+  EXPECT_NE(qa.find("ada lives in london"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpt

@@ -1,14 +1,18 @@
 // Tests for the util module: status, rng, strings, csv, serialization,
 // thread pool.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <numeric>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "util/bounded_queue.h"
 #include "util/csv.h"
 #include "util/rng.h"
 #include "util/serialize.h"
@@ -276,6 +280,83 @@ TEST(ThreadPoolTest, ParallelForSingleThreadInline) {
   std::vector<int> hits(10, 0);
   ThreadPool::ParallelFor(10, 1, [&hits](size_t i) { hits[i] = 1; });
   EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(ThreadPoolTest, InstanceParallelForReusesWorkers) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(1000, [&hits](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  // Repeated calls on the same pool must stay correct (no leftover state).
+  pool.ParallelFor(1000, [&hits](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 2000);
+}
+
+TEST(ThreadPoolTest, InstanceParallelForSmallAndEmptyRanges) {
+  ThreadPool pool(8);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "body on empty range"; });
+  std::vector<int> hits(3, 0);
+  pool.ParallelFor(3, [&hits](size_t i) { hits[i] = 1; });  // n < threads
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+}
+
+// ---- BoundedQueue ----------------------------------------------------------------------
+
+TEST(BoundedQueueTest, TryPushRejectsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_EQ(q.size(), 2u);
+  auto popped = q.PopWait(std::chrono::microseconds(1000));
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(*popped, 1);
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BoundedQueueTest, PopBatchGathersUpToMax) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.TryPush(std::move(i)));
+  std::vector<int> batch;
+  ASSERT_TRUE(q.PopBatch(&batch, 4, std::chrono::microseconds(100)));
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+  batch.clear();
+  ASSERT_TRUE(q.PopBatch(&batch, 4, std::chrono::microseconds(100)));
+  EXPECT_EQ(batch, (std::vector<int>{4, 5}));  // partial batch on timeout
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenReportsClosed) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.TryPush(7));
+  q.Close();
+  EXPECT_FALSE(q.TryPush(8));  // producers turned away
+  std::vector<int> batch;
+  ASSERT_TRUE(q.PopBatch(&batch, 4, std::chrono::microseconds(100)));
+  EXPECT_EQ(batch, (std::vector<int>{7}));  // drain survives Close
+  batch.clear();
+  EXPECT_FALSE(q.PopBatch(&batch, 4, std::chrono::microseconds(100)));
+}
+
+TEST(BoundedQueueTest, PopBatchWakesOnConcurrentPush) {
+  BoundedQueue<int> q(8);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.TryPush(42);
+  });
+  std::vector<int> batch;
+  // Blocks until the producer delivers, despite starting on an empty queue.
+  ASSERT_TRUE(q.PopBatch(&batch, 4, std::chrono::microseconds(100)));
+  EXPECT_EQ(batch, (std::vector<int>{42}));
+  producer.join();
+}
+
+TEST(StatusTest, ServingStatusCodes) {
+  Status busy = Status::Unavailable("queue full");
+  EXPECT_EQ(busy.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(busy.ToString(), "Unavailable: queue full");
+  Status late = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.ToString(), "DeadlineExceeded: too slow");
 }
 
 }  // namespace

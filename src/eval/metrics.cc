@@ -1,6 +1,7 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <unordered_map>
 
@@ -91,7 +92,11 @@ double Percentile(std::vector<double> values, double q) {
   if (values.empty()) return 0.0;
   q = std::max(0.0, std::min(100.0, q));
   const size_t n = values.size();
-  size_t rank = static_cast<size_t>(q / 100.0 * static_cast<double>(n));
+  // Nearest-rank: the q-th percentile is the smallest value with at least
+  // q% of the sample at or below it, i.e. 1-based rank ceil(q/100 * n).
+  const double exact = q / 100.0 * static_cast<double>(n);
+  size_t rank = static_cast<size_t>(std::ceil(exact));
+  if (rank > 0) --rank;
   if (rank >= n) rank = n - 1;
   std::nth_element(values.begin(), values.begin() + rank, values.end());
   return values[rank];

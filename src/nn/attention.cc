@@ -1,10 +1,33 @@
 #include "nn/attention.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
 
 namespace rpt {
+
+namespace {
+
+// Gathers `rows` of the leading axis of `t` into a new tensor whose dim 0 is
+// rows.size(); repeats allowed. Inference-only: no autograd edge.
+Tensor GatherAxis0(const Tensor& t, const std::vector<int64_t>& rows) {
+  const int64_t old_batch = t.dim(0);
+  std::vector<int64_t> shape = t.shape();
+  shape[0] = static_cast<int64_t>(rows.size());
+  const int64_t row_elems = old_batch > 0 ? t.numel() / old_batch : 0;
+  Tensor out = Tensor::Zeros(shape);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    RPT_CHECK_GE(rows[i], 0);
+    RPT_CHECK_LT(rows[i], old_batch);
+    const float* from = t.data() + rows[i] * row_elems;
+    std::copy(from, from + row_elems,
+              out.data() + static_cast<int64_t>(i) * row_elems);
+  }
+  return out;
+}
+
+}  // namespace
 
 Tensor BuildAttentionBias(int64_t batch, int64_t heads, int64_t q_len,
                           int64_t k_len,
@@ -35,6 +58,19 @@ Tensor BuildAttentionBias(int64_t batch, int64_t heads, int64_t q_len,
   return bias;
 }
 
+Tensor BuildIncrementalAttentionBias(int64_t batch, int64_t heads,
+                                     int64_t k_len,
+                                     const std::vector<uint8_t>& key_valid) {
+  return BuildAttentionBias(batch, heads, /*q_len=*/1, k_len, key_valid,
+                            /*causal=*/false);
+}
+
+void KVCache::GatherRows(const std::vector<int64_t>& rows) {
+  if (empty()) return;
+  k = GatherAxis0(k, rows);
+  v = GatherAxis0(v, rows);
+}
+
 MultiHeadAttention::MultiHeadAttention(int64_t d_model, int64_t num_heads,
                                        float dropout, Rng* rng)
     : d_model_(d_model),
@@ -54,24 +90,53 @@ MultiHeadAttention::MultiHeadAttention(int64_t d_model, int64_t num_heads,
   RegisterModule("attn_dropout", &attn_dropout_);
 }
 
+Tensor MultiHeadAttention::SplitHeads(const Tensor& x, int64_t batch,
+                                      int64_t t) const {
+  Tensor reshaped = Reshape(x, {batch, t, num_heads_, head_dim_});
+  return Transpose(reshaped, 1, 2);
+}
+
+void MultiHeadAttention::AppendKV(const Tensor& key, const Tensor& value,
+                                  KVCache* cache) const {
+  RPT_CHECK(cache != nullptr);
+  const int64_t batch = key.dim(0);
+  const int64_t t = key.dim(1);
+  RPT_CHECK_EQ(key.dim(2), d_model_);
+  RPT_CHECK_EQ(value.dim(1), t);
+  Tensor k_new = SplitHeads(k_proj_.Forward(key), batch, t);
+  Tensor v_new = SplitHeads(v_proj_.Forward(value), batch, t);
+  if (cache->empty()) {
+    cache->k = k_new;
+    cache->v = v_new;
+  } else {
+    RPT_CHECK_EQ(cache->k.dim(0), batch);
+    cache->k = Concat({cache->k, k_new}, 2);
+    cache->v = Concat({cache->v, v_new}, 2);
+  }
+}
+
 Tensor MultiHeadAttention::Forward(const Tensor& query, const Tensor& key,
                                    const Tensor& value, const Tensor& bias,
-                                   Rng* rng) const {
+                                   Rng* rng, KVCache* cache) const {
   const int64_t batch = query.dim(0);
   const int64_t q_len = query.dim(1);
-  const int64_t k_len = key.dim(1);
   RPT_CHECK_EQ(query.dim(2), d_model_);
-  RPT_CHECK_EQ(key.dim(2), d_model_);
-  RPT_CHECK_EQ(value.dim(1), k_len);
 
   // Project and split heads: [B, T, D] -> [B, H, T, Dh].
-  auto split_heads = [&](const Tensor& x, int64_t t) {
-    Tensor reshaped = Reshape(x, {batch, t, num_heads_, head_dim_});
-    return Transpose(reshaped, 1, 2);
-  };
-  Tensor q = split_heads(q_proj_.Forward(query), q_len);
-  Tensor k = split_heads(k_proj_.Forward(key), k_len);
-  Tensor v = split_heads(v_proj_.Forward(value), k_len);
+  Tensor q = SplitHeads(q_proj_.Forward(query), batch, q_len);
+  Tensor k, v;
+  if (cache != nullptr) {
+    if (key.defined()) AppendKV(key, value, cache);
+    RPT_CHECK(!cache->empty()) << "attention cache holds no keys";
+    RPT_CHECK_EQ(cache->k.dim(0), batch);
+    k = cache->k;
+    v = cache->v;
+  } else {
+    RPT_CHECK_EQ(key.dim(2), d_model_);
+    RPT_CHECK_EQ(value.dim(1), key.dim(1));
+    k = SplitHeads(k_proj_.Forward(key), batch, key.dim(1));
+    v = SplitHeads(v_proj_.Forward(value), batch, key.dim(1));
+  }
 
   // Scores: [B, H, Tq, Dh] x [B, H, Dh, Tk] -> [B, H, Tq, Tk].
   Tensor kt = Transpose(k, 2, 3);

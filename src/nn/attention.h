@@ -25,6 +25,35 @@ Tensor BuildAttentionBias(int64_t batch, int64_t heads, int64_t q_len,
                           const std::vector<uint8_t>& key_valid,
                           bool causal);
 
+/// Incremental-decode variant: the bias for a single query row (the newest
+/// decoder position) against `k_len` cached keys, shape
+/// [batch, heads, 1, k_len]. The newest position may attend to every cached
+/// key, so no causal term is needed — only `key_valid` padding is masked.
+Tensor BuildIncrementalAttentionBias(int64_t batch, int64_t heads,
+                                     int64_t k_len,
+                                     const std::vector<uint8_t>& key_valid);
+
+/// Cached key/value projections in split-head layout [B, H, T, Dh].
+///
+/// Two usage modes (both inference-only, no autograd):
+///   * append-mode (decoder self-attention): AppendKV adds one step's K/V
+///     along the time axis each decode step;
+///   * compute-once (decoder cross-attention): AppendKV is called a single
+///     time over the encoder memory, then reused every step.
+struct KVCache {
+  Tensor k;
+  Tensor v;
+
+  bool empty() const { return !k.defined(); }
+  /// Number of cached key/value time steps.
+  int64_t length() const { return k.defined() ? k.dim(2) : 0; }
+
+  /// Reorders/compacts/replicates the batch axis: row i of the result is
+  /// old row rows[i]. Repeats are allowed (beam replication); dropping
+  /// indices compacts finished rows out.
+  void GatherRows(const std::vector<int64_t>& rows);
+};
+
 /// Standard multi-head attention. Query/key/value projections, per-head
 /// scaled dot-product with an additive bias, then an output projection.
 class MultiHeadAttention : public Module {
@@ -34,12 +63,27 @@ class MultiHeadAttention : public Module {
 
   /// query [B, Tq, D], key/value [B, Tk, D], bias [B, H, Tq, Tk] (may be
   /// undefined for no masking). Returns [B, Tq, D].
+  ///
+  /// With a `cache`, attention runs against the cached keys/values instead
+  /// of projecting `key`/`value` in full: when `key` is defined it is
+  /// projected and appended to the cache first (incremental self-attention
+  /// over new tokens); when `key` is undefined the cache is used as-is
+  /// (cross-attention whose K/V were precomputed with AppendKV). `bias`
+  /// must then be [B, H, Tq, cache_len] or undefined.
   Tensor Forward(const Tensor& query, const Tensor& key, const Tensor& value,
-                 const Tensor& bias, Rng* rng) const;
+                 const Tensor& bias, Rng* rng,
+                 KVCache* cache = nullptr) const;
+
+  /// Projects `key`/`value` ([B, T, D]) and appends them to `cache` along
+  /// the time axis (initializing it when empty). Inference-only.
+  void AppendKV(const Tensor& key, const Tensor& value, KVCache* cache) const;
 
   int64_t num_heads() const { return num_heads_; }
 
  private:
+  /// [B, T, D] -> [B, H, T, Dh].
+  Tensor SplitHeads(const Tensor& x, int64_t batch, int64_t t) const;
+
   int64_t d_model_;
   int64_t num_heads_;
   int64_t head_dim_;

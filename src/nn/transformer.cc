@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -123,6 +125,34 @@ Tensor TransformerDecoderLayer::Forward(const Tensor& x,
   return Add(h, dropout_.Forward(ff, rng));
 }
 
+Tensor TransformerDecoderLayer::ForwardStep(const Tensor& x,
+                                            const Tensor& cross_bias,
+                                            KVCache* self_cache,
+                                            KVCache* cross_cache,
+                                            Rng* rng) const {
+  // The newest position attends to all cached self-attention keys (the
+  // causal mask's last row is all-zero) so no self bias is needed.
+  Tensor normed = ln1_.Forward(x);
+  Tensor self = self_attn_.Forward(normed, normed, normed, Tensor(), rng,
+                                   self_cache);
+  Tensor h = Add(x, dropout_.Forward(self, rng));
+
+  Tensor normed2 = ln2_.Forward(h);
+  Tensor cross = cross_attn_.Forward(normed2, Tensor(), Tensor(), cross_bias,
+                                     rng, cross_cache);
+  h = Add(h, dropout_.Forward(cross, rng));
+
+  Tensor ff = ffn_.Forward(ln3_.Forward(h), rng);
+  return Add(h, dropout_.Forward(ff, rng));
+}
+
+void TransformerDecoderLayer::PrecomputeCross(const Tensor& memory,
+                                              KVCache* cache) const {
+  RPT_CHECK(cache != nullptr);
+  RPT_CHECK(cache->empty()) << "cross-attention cache already filled";
+  cross_attn_.AppendKV(memory, memory, cache);
+}
+
 // ---- InputEmbedding -------------------------------------------------------------
 
 InputEmbedding::InputEmbedding(const TransformerConfig& config, Rng* rng)
@@ -145,16 +175,19 @@ InputEmbedding::InputEmbedding(const TransformerConfig& config, Rng* rng)
   RegisterModule("dropout", &dropout_);
 }
 
-Tensor InputEmbedding::Forward(const TokenBatch& batch, Rng* rng) const {
-  RPT_CHECK_LE(batch.len, config_.max_seq_len)
-      << "sequence length " << batch.len << " exceeds max_seq_len";
+Tensor InputEmbedding::Forward(const TokenBatch& batch, Rng* rng,
+                               int64_t position_offset) const {
+  RPT_CHECK_GE(position_offset, 0);
+  RPT_CHECK_LE(position_offset + batch.len, config_.max_seq_len)
+      << "sequence length " << (position_offset + batch.len)
+      << " exceeds max_seq_len";
   Tensor x = token_.Forward(batch.ids);  // [B*T, D]
 
   std::vector<int32_t> pos_ids(batch.ids.size());
   for (int64_t b = 0; b < batch.batch; ++b) {
     for (int64_t t = 0; t < batch.len; ++t) {
       pos_ids[static_cast<size_t>(b * batch.len + t)] =
-          static_cast<int32_t>(t);
+          static_cast<int32_t>(position_offset + t);
     }
   }
   x = Add(x, position_.Forward(pos_ids));
@@ -280,56 +313,134 @@ Tensor Seq2SeqTransformer::Forward(const TokenBatch& src,
 
 namespace {
 
-// Gathers `rows` of a [B, T, D] tensor into a new [rows.size(), T, D]
-// tensor (inference-only: no autograd edge).
-Tensor GatherRows3d(const Tensor& m, const std::vector<int64_t>& rows) {
-  const int64_t t = m.dim(1);
-  const int64_t d = m.dim(2);
-  Tensor out = Tensor::Zeros({static_cast<int64_t>(rows.size()), t, d});
-  const size_t row_elems = static_cast<size_t>(t * d);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const float* from = m.data() + rows[i] * t * d;
-    std::copy(from, from + row_elems, out.data() + i * row_elems);
+// Forces eval mode (dropout off) for the lifetime of the guard and restores
+// the previous mode after. Generation must be deterministic even on a model
+// left in training mode — inference-time dropout would silently corrupt
+// repairs.
+class EvalModeGuard {
+ public:
+  explicit EvalModeGuard(const Module* module)
+      : module_(const_cast<Module*>(module)),
+        was_training_(module->training()) {
+    if (was_training_) module_->SetTraining(false);
   }
-  return out;
-}
+  ~EvalModeGuard() {
+    if (was_training_) module_->SetTraining(true);
+  }
+  EvalModeGuard(const EvalModeGuard&) = delete;
+  EvalModeGuard& operator=(const EvalModeGuard&) = delete;
+
+ private:
+  Module* module_;
+  bool was_training_;
+};
 
 }  // namespace
+
+void DecoderState::GatherRows(const std::vector<int64_t>& rows) {
+  for (auto& cache : self_cache) cache.GatherRows(rows);
+  for (auto& cache : cross_cache) cache.GatherRows(rows);
+  if (!src_valid.empty()) {
+    std::vector<uint8_t> next;
+    next.reserve(rows.size() * static_cast<size_t>(src_len));
+    for (int64_t r : rows) {
+      RPT_CHECK_GE(r, 0);
+      RPT_CHECK_LT(r, batch);
+      next.insert(next.end(),
+                  src_valid.begin() + r * src_len,
+                  src_valid.begin() + (r + 1) * src_len);
+    }
+    src_valid = std::move(next);
+  }
+  batch = static_cast<int64_t>(rows.size());
+}
+
+DecoderState Seq2SeqTransformer::BeginDecode(
+    const Tensor& memory, const std::vector<uint8_t>& src_valid) const {
+  NoGradGuard no_grad;
+  DecoderState state;
+  state.batch = memory.dim(0);
+  state.src_len = memory.dim(1);
+  state.src_valid = src_valid;
+  if (!src_valid.empty()) {
+    RPT_CHECK_EQ(static_cast<int64_t>(src_valid.size()),
+                 state.batch * state.src_len);
+  }
+  state.self_cache.resize(decoder_layers_.size());
+  state.cross_cache.resize(decoder_layers_.size());
+  for (size_t l = 0; l < decoder_layers_.size(); ++l) {
+    decoder_layers_[l]->PrecomputeCross(memory, &state.cross_cache[l]);
+  }
+  return state;
+}
+
+Tensor Seq2SeqTransformer::DecodeStep(const std::vector<int32_t>& last_tokens,
+                                      DecoderState* state, Rng* rng) const {
+  RPT_CHECK(state != nullptr);
+  RPT_CHECK_EQ(static_cast<int64_t>(last_tokens.size()), state->batch);
+  RPT_CHECK_LT(state->step, config_.max_seq_len)
+      << "decode prefix outgrew max_seq_len";
+  NoGradGuard no_grad;
+
+  TokenBatch one;
+  one.batch = state->batch;
+  one.len = 1;
+  one.ids = last_tokens;
+  one.valid.assign(last_tokens.size(), 1);
+  Tensor x = tgt_embedding_.Forward(one, rng, /*position_offset=*/state->step);
+
+  Tensor cross_bias = BuildIncrementalAttentionBias(
+      state->batch, config_.num_heads, state->src_len, state->src_valid);
+  for (size_t l = 0; l < decoder_layers_.size(); ++l) {
+    x = decoder_layers_[l]->ForwardStep(x, cross_bias, &state->self_cache[l],
+                                        &state->cross_cache[l], rng);
+  }
+  x = decoder_ln_.Forward(x);
+  ++state->step;
+  return Reshape(lm_head_.Forward(x), {state->batch, config_.vocab_size});
+}
 
 std::vector<std::vector<int32_t>> Seq2SeqTransformer::GenerateGreedy(
     const TokenBatch& src, int32_t bos_id, int32_t eos_id, int64_t max_len,
     Rng* rng) const {
   NoGradGuard no_grad;
-  Tensor memory = Encode(src, rng);
+  EvalModeGuard eval(this);
+  // The decoder prefix is 1 (BOS) + generated tokens; clamp so it can never
+  // outgrow the position table.
+  max_len = std::min(max_len, config_.max_seq_len - 1);
   const int64_t batch = src.batch;
   const int64_t v = config_.vocab_size;
   std::vector<std::vector<int32_t>> generated(
       static_cast<size_t>(batch), std::vector<int32_t>{bos_id});
+  if (batch == 0 || max_len <= 0) {
+    for (auto& seq : generated) seq.erase(seq.begin());
+    return generated;
+  }
 
-  // Rows still decoding. When a row emits EOS it is compacted out, so later
-  // steps run the decoder (and cross-attention memory) over active rows
-  // only — with ragged answer lengths the average decode batch shrinks
+  Tensor memory = Encode(src, rng);
+  DecoderState state = BeginDecode(memory, src.valid);
+
+  // Rows still decoding. When a row emits EOS it is compacted out of the
+  // decode state (all caches), so later steps run the decoder over active
+  // rows only — with ragged answer lengths the average decode batch shrinks
   // toward the longest answers instead of staying at `batch`.
   std::vector<int64_t> active(static_cast<size_t>(batch));
   for (int64_t b = 0; b < batch; ++b) active[static_cast<size_t>(b)] = b;
-  Tensor active_memory = memory;
-  std::vector<uint8_t> active_valid = src.valid;
 
   for (int64_t step = 0; step < max_len && !active.empty(); ++step) {
-    std::vector<std::vector<int32_t>> prefixes;
-    prefixes.reserve(active.size());
-    for (int64_t b : active) prefixes.push_back(generated[static_cast<size_t>(b)]);
-    TokenBatch tgt = TokenBatch::Pack(prefixes, /*pad_id=*/eos_id);
-    Tensor logits = DecodeLogits(tgt, active_memory, active_valid, rng);
+    std::vector<int32_t> last;
+    last.reserve(active.size());
+    for (int64_t b : active) {
+      last.push_back(generated[static_cast<size_t>(b)].back());
+    }
+    Tensor logits = DecodeStep(last, &state, rng);
 
     std::vector<int64_t> still_active;
+    std::vector<int64_t> keep;  // positions within the current state rows
     still_active.reserve(active.size());
     for (size_t i = 0; i < active.size(); ++i) {
       const int64_t b = active[i];
-      const int64_t t =
-          static_cast<int64_t>(generated[static_cast<size_t>(b)].size()) - 1;
-      const float* row =
-          logits.data() + (static_cast<int64_t>(i) * tgt.len + t) * v;
+      const float* row = logits.data() + static_cast<int64_t>(i) * v;
       int32_t best = 0;
       for (int64_t c = 1; c < v; ++c) {
         if (row[c] > row[best]) best = static_cast<int32_t>(c);
@@ -337,27 +448,11 @@ std::vector<std::vector<int32_t>> Seq2SeqTransformer::GenerateGreedy(
       if (best != eos_id) {
         generated[static_cast<size_t>(b)].push_back(best);
         still_active.push_back(b);
+        keep.push_back(static_cast<int64_t>(i));
       }
     }
     if (still_active.size() != active.size() && !still_active.empty()) {
-      // Compact memory/masks down to the surviving rows. `still_active`
-      // holds original batch indices; map them to positions in `active`.
-      std::vector<int64_t> keep;
-      keep.reserve(still_active.size());
-      std::vector<uint8_t> next_valid;
-      const size_t src_len = static_cast<size_t>(active_memory.dim(1));
-      size_t j = 0;
-      for (size_t i = 0; i < active.size(); ++i) {
-        if (j < still_active.size() && active[i] == still_active[j]) {
-          keep.push_back(static_cast<int64_t>(i));
-          next_valid.insert(next_valid.end(),
-                            active_valid.begin() + i * src_len,
-                            active_valid.begin() + (i + 1) * src_len);
-          ++j;
-        }
-      }
-      active_memory = GatherRows3d(active_memory, keep);
-      active_valid = std::move(next_valid);
+      state.GatherRows(keep);
     }
     active = std::move(still_active);
   }
@@ -373,37 +468,50 @@ std::vector<std::vector<int32_t>> Seq2SeqTransformer::GenerateBeam(
   RPT_CHECK_EQ(src.batch, 1) << "GenerateBeam expects a single sequence";
   RPT_CHECK_GE(beam_width, 1);
   NoGradGuard no_grad;
-  Tensor memory = Encode(src, rng);
+  EvalModeGuard eval(this);
+  max_len = std::min(max_len, config_.max_seq_len - 1);
 
   struct Hypothesis {
     std::vector<int32_t> ids;  // starts with BOS
     double log_prob = 0.0;
     bool finished = false;
   };
+  const auto normalized = [](const Hypothesis& h) {
+    return h.log_prob / static_cast<double>(std::max<size_t>(1, h.ids.size()));
+  };
   std::vector<Hypothesis> beam = {Hypothesis{{bos_id}, 0.0, false}};
   std::vector<Hypothesis> finished;
+  if (max_len <= 0) beam.clear();
+
+  Tensor memory;
+  DecoderState state;
+  if (!beam.empty()) {
+    memory = Encode(src, rng);
+    // One state row per hypothesis; cross-attention K/V over the memory is
+    // projected once here and only gathered (replicated/reordered) as the
+    // beam evolves — never recomputed per step.
+    state = BeginDecode(memory, src.valid);
+  }
+  // An active hypothesis's length-normalized score can only ever reach
+  // log_prob / (max_len + 1): log-probs never increase, and ids can grow to
+  // at most BOS + max_len tokens. Used for the early-stop test below.
+  const double max_ids = static_cast<double>(max_len + 1);
 
   for (int64_t step = 0; step < max_len && !beam.empty(); ++step) {
-    std::vector<Hypothesis> candidates;
-    // Batch all active hypotheses through the decoder at once.
-    std::vector<std::vector<int32_t>> prefixes;
-    prefixes.reserve(beam.size());
-    for (const auto& h : beam) prefixes.push_back(h.ids);
-    TokenBatch tgt = TokenBatch::Pack(prefixes, /*pad_id=*/eos_id);
-    // Replicate memory and masks per hypothesis.
-    std::vector<Tensor> memories(prefixes.size(), memory);
-    Tensor rep_memory = Concat(memories, 0);
-    std::vector<uint8_t> rep_valid;
-    for (size_t i = 0; i < prefixes.size(); ++i) {
-      rep_valid.insert(rep_valid.end(), src.valid.begin(), src.valid.end());
-    }
-    Tensor logits = DecodeLogits(tgt, rep_memory, rep_valid, rng);
+    struct Candidate {
+      Hypothesis h;
+      int64_t parent = 0;  // state row this candidate extends
+    };
+    std::vector<Candidate> candidates;
+    // Batch all active hypotheses through one cached decode step.
+    std::vector<int32_t> last;
+    last.reserve(beam.size());
+    for (const auto& h : beam) last.push_back(h.ids.back());
+    Tensor logits = DecodeStep(last, &state, rng);
     const int64_t v = config_.vocab_size;
     for (size_t hi = 0; hi < beam.size(); ++hi) {
       const auto& h = beam[hi];
-      const int64_t t = static_cast<int64_t>(h.ids.size()) - 1;
-      const float* row =
-          logits.data() + (static_cast<int64_t>(hi) * tgt.len + t) * v;
+      const float* row = logits.data() + static_cast<int64_t>(hi) * v;
       // log-softmax of the row.
       float mx = row[0];
       for (int64_t c = 1; c < v; ++c) mx = std::max(mx, row[c]);
@@ -430,28 +538,62 @@ std::vector<std::vector<int32_t>> Seq2SeqTransformer::GenerateBeam(
           finished.push_back(next);
         } else {
           next.ids.push_back(tok);
-          candidates.push_back(std::move(next));
+          candidates.push_back(
+              Candidate{std::move(next), static_cast<int64_t>(hi)});
         }
       }
     }
     std::sort(candidates.begin(), candidates.end(),
-              [](const Hypothesis& a, const Hypothesis& b) {
-                return a.log_prob > b.log_prob;
+              [](const Candidate& a, const Candidate& b) {
+                return a.h.log_prob > b.h.log_prob;
               });
     if (static_cast<int64_t>(candidates.size()) > beam_width) {
       candidates.resize(static_cast<size_t>(beam_width));
     }
-    beam = std::move(candidates);
-    if (static_cast<int64_t>(finished.size()) >= beam_width) break;
+
+    // Early stop only when provably safe: enough hypotheses have finished
+    // AND even the best active hypothesis's optimistic bound cannot beat
+    // the k-th best finished score under length normalization. (The old
+    // "finished >= beam_width" break could discard an active hypothesis
+    // that was still going to win.)
+    const size_t k_needed = static_cast<size_t>(
+        std::max<int64_t>(beam_width, num_results));
+    bool stop = false;
+    if (!candidates.empty() && finished.size() >= k_needed) {
+      std::vector<double> scores;
+      scores.reserve(finished.size());
+      for (const auto& h : finished) scores.push_back(normalized(h));
+      std::nth_element(scores.begin(), scores.begin() + (k_needed - 1),
+                       scores.end(), std::greater<double>());
+      const double kth_score = scores[k_needed - 1];
+      double best_bound = -std::numeric_limits<double>::infinity();
+      for (const auto& c : candidates) {
+        best_bound = std::max(best_bound, c.h.log_prob / max_ids);
+      }
+      stop = best_bound <= kth_score;
+    }
+
+    std::vector<Hypothesis> next_beam;
+    std::vector<int64_t> parents;
+    next_beam.reserve(candidates.size());
+    parents.reserve(candidates.size());
+    for (auto& c : candidates) {
+      next_beam.push_back(std::move(c.h));
+      parents.push_back(c.parent);
+    }
+    beam = std::move(next_beam);
+    if (stop) break;
+    // Re-wire the decode state rows onto each surviving candidate's parent
+    // (replicating rows as the beam widens, dropping pruned ones).
+    if (!beam.empty()) state.GatherRows(parents);
   }
-  // Unfinished hypotheses still count (length cap reached).
+  // Unfinished hypotheses still count (length cap or early stop). Their
+  // normalized score is never above their optimistic bound, so an early
+  // stop cannot let a truncated hypothesis displace a finished winner.
   for (const auto& h : beam) finished.push_back(h);
   std::sort(finished.begin(), finished.end(),
-            [](const Hypothesis& a, const Hypothesis& b) {
-              // Length-normalized score.
-              const double la = a.log_prob / std::max<size_t>(1, a.ids.size());
-              const double lb = b.log_prob / std::max<size_t>(1, b.ids.size());
-              return la > lb;
+            [&normalized](const Hypothesis& a, const Hypothesis& b) {
+              return normalized(a) > normalized(b);
             });
   std::vector<std::vector<int32_t>> out;
   for (const auto& h : finished) {

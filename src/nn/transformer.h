@@ -93,6 +93,19 @@ class TransformerDecoderLayer : public Module {
                  const Tensor& memory, const Tensor& cross_bias,
                  Rng* rng) const;
 
+  /// Incremental decode: processes one new token per row ([B, 1, D]),
+  /// appending its K/V to `self_cache` and reading cross-attention K/V from
+  /// `cross_cache` (filled once by PrecomputeCross). The newest position
+  /// attends to every cached self-attention key, so only the cross bias is
+  /// needed. Bit-identical to the matching row of Forward.
+  Tensor ForwardStep(const Tensor& x, const Tensor& cross_bias,
+                     KVCache* self_cache, KVCache* cross_cache,
+                     Rng* rng) const;
+
+  /// Projects the encoder memory into `cache` for cross-attention reuse
+  /// across every decode step of a generation.
+  void PrecomputeCross(const Tensor& memory, KVCache* cache) const;
+
  private:
   LayerNormLayer ln1_;
   MultiHeadAttention self_attn_;
@@ -110,8 +123,11 @@ class InputEmbedding : public Module {
   InputEmbedding(const TransformerConfig& config, Rng* rng);
 
   /// Embeds a TokenBatch into [B, T, D]. Column/type embeddings are added
-  /// when both configured and present in the batch.
-  Tensor Forward(const TokenBatch& batch, Rng* rng) const;
+  /// when both configured and present in the batch. `position_offset`
+  /// shifts the position ids, so incremental decoding can embed the newest
+  /// token at its true prefix position.
+  Tensor Forward(const TokenBatch& batch, Rng* rng,
+                 int64_t position_offset = 0) const;
 
   const Embedding& token_embedding() const { return token_; }
 
@@ -145,6 +161,25 @@ class TransformerEncoderModel : public Module {
   LayerNormLayer final_ln_;
 };
 
+/// Incremental decoding state for one generation: per-decoder-layer
+/// self-attention K/V (grown one token per DecodeStep) plus compute-once
+/// cross-attention K/V over the encoder memory. Created by BeginDecode;
+/// batch rows track the active sequences (greedy rows or beam hypotheses).
+struct DecoderState {
+  std::vector<KVCache> self_cache;   // one per decoder layer, append-mode
+  std::vector<KVCache> cross_cache;  // one per decoder layer, compute-once
+  std::vector<uint8_t> src_valid;    // batch*src_len cross-attn key mask
+  int64_t batch = 0;
+  int64_t src_len = 0;
+  int64_t step = 0;  // decoder tokens consumed so far (= cached positions)
+
+  /// Reorders/compacts/replicates the batch rows of every cache (and the
+  /// source mask): row i of the result is old row rows[i]. Used to drop
+  /// finished rows from a greedy micro-batch and to re-wire beam
+  /// hypotheses onto their parents after reordering.
+  void GatherRows(const std::vector<int64_t>& rows);
+};
+
 /// BART-style denoising encoder-decoder with a tied-vocabulary LM head.
 class Seq2SeqTransformer : public Module {
  public:
@@ -163,13 +198,32 @@ class Seq2SeqTransformer : public Module {
   Tensor Forward(const TokenBatch& src, const TokenBatch& tgt,
                  Rng* rng) const;
 
+  /// Starts an incremental decode over `memory` ([B, Ts, D], from Encode):
+  /// precomputes every layer's cross-attention K/V once and returns an
+  /// empty per-layer self-attention cache. `src_valid` is the source
+  /// validity mask (batch*Ts, or empty for all-valid).
+  DecoderState BeginDecode(const Tensor& memory,
+                           const std::vector<uint8_t>& src_valid) const;
+
+  /// Feeds one token per active row (`last_tokens.size() == state->batch`)
+  /// and returns next-token logits [B, V]. Each call costs O(1) in the
+  /// prefix length (one query row per layer against the cached K/V) and is
+  /// bit-identical to the final position of DecodeLogits over the full
+  /// prefix. The model should be in eval mode (the generators force it).
+  Tensor DecodeStep(const std::vector<int32_t>& last_tokens,
+                    DecoderState* state, Rng* rng) const;
+
   /// Greedy autoregressive generation. Starts each sequence with `bos_id`,
-  /// stops at `eos_id` or `max_len`. Returns one id sequence per batch row
-  /// (without BOS/EOS).
+  /// stops at `eos_id` or `max_len` (clamped to max_seq_len - 1 so the
+  /// prefix never outgrows the position table). Returns one id sequence per
+  /// batch row (without BOS/EOS).
   ///
-  /// Decodes the whole batch in one pass per step; rows that emit EOS are
-  /// compacted out of the decode batch (and out of the encoder memory), so a
-  /// micro-batch of ragged-length answers only pays for its active rows.
+  /// Decodes the whole batch through the KV-cached DecodeStep — O(1) per
+  /// step in prefix length; rows that emit EOS are compacted out of the
+  /// decode state, so a micro-batch of ragged-length answers only pays for
+  /// its active rows. Eval mode is forced for the duration of the call
+  /// (and restored), so results are deterministic even on a model left in
+  /// training mode.
   std::vector<std::vector<int32_t>> GenerateGreedy(const TokenBatch& src,
                                                    int32_t bos_id,
                                                    int32_t eos_id,
@@ -178,7 +232,13 @@ class Seq2SeqTransformer : public Module {
 
   /// Beam-search generation for a single sequence (batch==1 slice of src).
   /// Returns the highest-scoring candidates, best first (at most
-  /// `num_results`).
+  /// `num_results`), ranked by length-normalized log-probability.
+  ///
+  /// Rides the same KV-cached DecodeStep (one state row per hypothesis,
+  /// gathered onto parents after each reordering; cross-attention K/V over
+  /// the memory is computed once per call, not per step). Decoding stops
+  /// early only when no active hypothesis can still beat the established
+  /// finished results under length normalization.
   std::vector<std::vector<int32_t>> GenerateBeam(const TokenBatch& src,
                                                  int32_t bos_id,
                                                  int32_t eos_id,

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace rpt {
 
 class ModelSession {
@@ -26,8 +28,19 @@ class ModelSession {
   /// Human-readable session name for stats/reports ("cleaner", ...).
   virtual std::string name() const = 0;
 
+  /// Checks one payload before it is admitted into a micro-batch. A
+  /// non-ok status (typically kInvalidArgument) completes the request with
+  /// that status instead of reaching RunBatch — a malformed or over-long
+  /// request must fail alone, not abort the server. Called from the same
+  /// single scheduler thread as RunBatch.
+  virtual Status Validate(const std::string& input) const {
+    (void)input;
+    return Status::Ok();
+  }
+
   /// Executes one micro-batch: returns exactly one output per input, in
-  /// order. Must be safe to call repeatedly from one thread.
+  /// order. Every input has already passed Validate. Must be safe to call
+  /// repeatedly from one thread.
   virtual std::vector<std::string> RunBatch(
       const std::vector<std::string>& inputs) = 0;
 };

@@ -34,6 +34,7 @@ std::string ServerStatsSnapshot::Render(const std::string& name) const {
   counters.AddRow({"completed", std::to_string(completed)});
   counters.AddRow({"rejected (queue full)", std::to_string(rejected)});
   counters.AddRow({"expired (deadline)", std::to_string(expired)});
+  counters.AddRow({"invalid (rejected by session)", std::to_string(invalid)});
   counters.AddRow({"cache hits", std::to_string(cache_hits)});
   counters.AddRow({"cache hit rate", Fixed(cache_hit_rate, 3)});
   counters.AddRow({"forward passes", std::to_string(batches)});
@@ -126,6 +127,7 @@ void InferenceServer::CompleteBatch(std::vector<Pending>* batch) {
   std::vector<Pending*> live;
   live.reserve(batch->size());
   uint64_t newly_expired = 0;
+  uint64_t newly_invalid = 0;
   for (Pending& p : *batch) {
     if (p.has_deadline && p.deadline < now) {
       ServeResponse r;
@@ -134,9 +136,20 @@ void InferenceServer::CompleteBatch(std::vector<Pending>* batch) {
       r.latency_ms = ElapsedMs(p.enqueued, now);
       p.promise.set_value(std::move(r));
       ++newly_expired;
-    } else {
-      live.push_back(&p);
+      continue;
     }
+    // Session-level validation runs here, on the single scheduler thread,
+    // so a malformed or over-long payload fails its own request instead of
+    // tripping a model-side check that would abort the process.
+    if (Status valid = session_->Validate(p.input); !valid.ok()) {
+      ServeResponse r;
+      r.status = std::move(valid);
+      r.latency_ms = ElapsedMs(p.enqueued, now);
+      p.promise.set_value(std::move(r));
+      ++newly_invalid;
+      continue;
+    }
+    live.push_back(&p);
   }
 
   if (!live.empty()) {
@@ -161,12 +174,14 @@ void InferenceServer::CompleteBatch(std::vector<Pending>* batch) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     completed_ += live.size();
     expired_ += newly_expired;
+    invalid_ += newly_invalid;
     ++batches_;
     ++batch_hist_[live.size()];
     latencies_ms_.insert(latencies_ms_.end(), lats.begin(), lats.end());
-  } else if (newly_expired > 0) {
+  } else if (newly_expired > 0 || newly_invalid > 0) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     expired_ += newly_expired;
+    invalid_ += newly_invalid;
   }
 }
 
@@ -195,6 +210,7 @@ ServerStatsSnapshot InferenceServer::Stats() const {
     std::lock_guard<std::mutex> lock(stats_mu_);
     s.completed = completed_;
     s.expired = expired_;
+    s.invalid = invalid_;
     s.batches = batches_;
     s.batch_size_histogram = batch_hist_;
     lats = latencies_ms_;

@@ -12,7 +12,10 @@
 // Backpressure: when the queue is full, Submit completes immediately with
 // StatusCode::kUnavailable instead of blocking the client. Per-request
 // deadlines: a request whose deadline passes while queued completes with
-// kDeadlineExceeded and never reaches the model. An LRU cache keyed on the
+// kDeadlineExceeded and never reaches the model. Payload validation: a
+// request the session's Validate rejects completes with that status
+// (typically kInvalidArgument) instead of aborting the batch — one
+// malformed request must not take down the server. An LRU cache keyed on the
 // payload short-circuits repeated requests (dirty data repeats a lot).
 // Shutdown() stops intake, drains everything already queued, and joins the
 // collector; the destructor calls it implicitly.
@@ -66,6 +69,7 @@ struct ServerStatsSnapshot {
   uint64_t completed = 0;    // completed Ok through the model
   uint64_t rejected = 0;     // queue-full backpressure
   uint64_t expired = 0;      // deadline passed while queued
+  uint64_t invalid = 0;      // failed session Validate (kInvalidArgument)
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t batches = 0;      // forward passes executed
@@ -144,6 +148,7 @@ class InferenceServer {
   mutable std::mutex stats_mu_;
   uint64_t completed_ = 0;
   uint64_t expired_ = 0;
+  uint64_t invalid_ = 0;
   uint64_t batches_ = 0;
   std::map<size_t, uint64_t> batch_hist_;
   std::vector<double> latencies_ms_;

@@ -1,5 +1,6 @@
 #include "serve/sessions.h"
 
+#include <charconv>
 #include <cstdio>
 #include <utility>
 
@@ -63,6 +64,48 @@ std::string CleanerSession::FormatCellQuery(const Tuple& tuple,
   out.push_back(kUnitSep);
   out += JoinTuple(tuple);
   return out;
+}
+
+Status CleanerSession::Validate(const std::string& input) const {
+  const size_t pos = input.find(kUnitSep);
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument("cell query has no column field");
+  }
+  int64_t column = 0;
+  const char* begin = input.data();
+  const char* end = input.data() + pos;
+  const auto [ptr, ec] = std::from_chars(begin, end, column);
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("cell query column is not an integer");
+  }
+  if (column < 0 || column >= static_cast<int64_t>(schema_.size())) {
+    return Status::InvalidArgument("cell query column " +
+                                   std::to_string(column) +
+                                   " is outside the session schema");
+  }
+  const std::vector<std::string> fields =
+      SplitOn(input.substr(pos + 1), kUnitSep);
+  if (fields.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "cell query arity " + std::to_string(fields.size()) +
+        " does not match the session schema arity " +
+        std::to_string(schema_.size()));
+  }
+  // Over-long inputs would trip the RPT_CHECK in InputEmbedding::Forward
+  // and abort the process; reject them per-request instead.
+  Tuple tuple;
+  tuple.reserve(fields.size());
+  for (const auto& f : fields) tuple.push_back(Value::Parse(f));
+  const TupleEncoding enc =
+      cleaner_->serializer().SerializeWithMask(schema_, tuple, column);
+  const int64_t max_len = cleaner_->config().max_seq_len;
+  if (enc.size() > max_len) {
+    return Status::InvalidArgument(
+        "serialized cell query is " + std::to_string(enc.size()) +
+        " tokens, exceeding the model's max_seq_len " +
+        std::to_string(max_len));
+  }
+  return Status::Ok();
 }
 
 std::vector<std::string> CleanerSession::RunBatch(

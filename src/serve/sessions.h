@@ -37,6 +37,14 @@ class CleanerSession : public ModelSession {
   static std::string FormatCellQuery(const Tuple& tuple, int64_t column);
 
   std::string name() const override { return "cleaner"; }
+
+  /// Rejects malformed payloads (bad column field, wrong arity) and
+  /// queries whose serialized encoder input exceeds the cleaner's
+  /// max_seq_len with kInvalidArgument, before they reach RunBatch — an
+  /// over-long request would otherwise trip a model-side RPT_CHECK and
+  /// abort the server.
+  Status Validate(const std::string& input) const override;
+
   std::vector<std::string> RunBatch(
       const std::vector<std::string>& inputs) override;
 

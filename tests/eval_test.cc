@@ -97,5 +97,40 @@ TEST(FixedTest, Formats) {
   EXPECT_EQ(Fixed(1.0, 3), "1.000");
 }
 
+TEST(PercentileTest, NearestRankBoundaries) {
+  // Nearest-rank definition: the q-th percentile of n sorted values is the
+  // value at 1-based rank ceil(q/100 * n), clamped to [1, n].
+  const std::vector<double> one = {5.0};
+  EXPECT_EQ(Percentile(one, 0), 5.0);
+  EXPECT_EQ(Percentile(one, 50), 5.0);
+  EXPECT_EQ(Percentile(one, 95), 5.0);
+  EXPECT_EQ(Percentile(one, 100), 5.0);
+
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_EQ(Percentile(two, 0), 1.0);
+  EXPECT_EQ(Percentile(two, 50), 1.0);   // ceil(0.5*2) = 1st value
+  EXPECT_EQ(Percentile(two, 95), 2.0);
+  EXPECT_EQ(Percentile(two, 100), 2.0);
+
+  const std::vector<double> four = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(Percentile(four, 0), 1.0);
+  EXPECT_EQ(Percentile(four, 50), 2.0);  // was 3.0 under the floor() bug
+  EXPECT_EQ(Percentile(four, 95), 4.0);
+  EXPECT_EQ(Percentile(four, 100), 4.0);
+
+  const std::vector<double> five = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(Percentile(five, 0), 1.0);
+  EXPECT_EQ(Percentile(five, 50), 3.0);  // ceil(0.5*5) = 3rd value
+  EXPECT_EQ(Percentile(five, 95), 5.0);
+  EXPECT_EQ(Percentile(five, 100), 5.0);
+}
+
+TEST(PercentileTest, UnsortedInputAndEmpty) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+  EXPECT_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 50), 2.0);
+  EXPECT_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 120), 4.0);  // q clamped
+  EXPECT_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, -5), 1.0);
+}
+
 }  // namespace
 }  // namespace rpt

@@ -319,6 +319,67 @@ TEST(SessionTest, CleanerSessionServesMaskedCells) {
   server.Shutdown();
 }
 
+TEST(SessionTest, InvalidRequestsGetInvalidArgumentNotACrash) {
+  // Malformed and over-long payloads must come back as kInvalidArgument —
+  // previously an over-long serialized query could trip a model-side
+  // RPT_CHECK on the collector thread and abort the whole server — and the
+  // server must keep serving valid requests afterwards.
+  Table table{Schema({"name", "city"})};
+  for (int i = 0; i < 4; ++i) {
+    table.AddRow({Value::String("ada"), Value::String("london")});
+    table.AddRow({Value::String("alan"), Value::String("cambridge")});
+  }
+  CleanerConfig config;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  config.dropout = 0.0f;
+  config.max_seq_len = 24;  // small cap so an over-long query is easy to build
+  RptCleaner cleaner(config, BuildVocabFromTables({&table}));
+  cleaner.PretrainOnTables({&table}, 10);
+
+  auto session = std::make_shared<CleanerSession>(&cleaner, table.schema());
+  ServerConfig server_config;
+  server_config.max_batch_size = 4;
+  server_config.cache_capacity = 0;
+  InferenceServer server(session, server_config);
+
+  // A cell whose serialization exceeds max_seq_len.
+  std::string long_text;
+  for (int i = 0; i < 64; ++i) long_text += "word" + std::to_string(i) + " ";
+  Tuple over_long = {Value::String(long_text), Value::Null()};
+  ServeResponse r =
+      server.SubmitWait(CleanerSession::FormatCellQuery(over_long, 1));
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status.message().find("max_seq_len"), std::string::npos);
+
+  // Column out of range, non-numeric column, wrong arity, no separator.
+  Tuple query = {Value::String("ada"), Value::Null()};
+  EXPECT_EQ(server.SubmitWait(CleanerSession::FormatCellQuery(query, 1) +
+                              "\x1f" "extra_field")
+                .status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      server.SubmitWait("7\x1f" "ada\x1f" "london").status.code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      server.SubmitWait("zap\x1f" "ada\x1f" "london").status.code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.SubmitWait("no separator here").status.code(),
+            StatusCode::kInvalidArgument);
+
+  // The server survives and still answers a well-formed request.
+  ServeResponse ok = server.SubmitWait(
+      CleanerSession::FormatCellQuery(query, 1));
+  EXPECT_TRUE(ok.status.ok()) << ok.status.ToString();
+  server.Shutdown();
+  ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.invalid, 5u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_NE(stats.Render("cleaner").find("invalid"), std::string::npos);
+}
+
 TEST(SessionTest, PayloadFormatsRoundTripSeparators) {
   // Cell text with spaces/punctuation must survive the payload encoding.
   Tuple t1 = {Value::String("anna k."), Value::Number(3.5), Value::Null()};

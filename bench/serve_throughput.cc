@@ -1,6 +1,6 @@
 // Serving throughput: sequential one-at-a-time inference vs dynamic
-// micro-batching through rpt::InferenceServer, on the same synthetic
-// workload.
+// micro-batching through rpt::InferenceServer, plus routed multi-shard
+// serving through rpt::RoutedServer, on the same synthetic workloads.
 //
 // The synthetic session has an accelerator-shaped cost profile: a fixed
 // per-forward-pass cost (kernel launch, weight traffic) plus a per-item
@@ -8,14 +8,28 @@
 // request; micro-batching amortizes it over up to max_batch_size requests,
 // which is where the ≥2x requests/sec comes from. A third condition adds
 // the LRU response cache on a zipf-ish repeating workload (dirty data
-// repeats), and a final section serves a real (tiny) RPT-C cleaner to show
-// the end-to-end path. Prints the batch-size histogram and p50/p95/p99
-// latency for the batched runs.
+// repeats).
+//
+// The routed sections use *device-bound* synthetic sessions (the host
+// thread sleeps for the pass, as it would waiting on an accelerator), so
+// shards overlap their passes even on one host core: scaling 1→4 shards
+// demonstrates near-linear throughput growth with outputs bit-identical to
+// single-session serving, and a mixed cleaner+matcher+extractor workload
+// exercises one front-end over three routes. A final section serves a real
+// (tiny) RPT-C cleaner to show the end-to-end path.
+//
+// `--smoke` runs a small correctness-only subset (bit-identity and stats
+// reconciliation, no timing assertions) for CI.
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +37,7 @@
 #include "eval/report.h"
 #include "rpt/cleaner.h"
 #include "rpt/vocab_builder.h"
+#include "serve/routed_server.h"
 #include "serve/server.h"
 #include "serve/sessions.h"
 #include "table/table.h"
@@ -33,9 +48,14 @@ using rpt::CleanerSession;
 using rpt::InferenceServer;
 using rpt::ModelSession;
 using rpt::ReportTable;
+using rpt::RouteSpec;
+using rpt::RoutedServer;
+using rpt::RoutedStatsSnapshot;
 using rpt::ServeResponse;
 using rpt::ServerConfig;
+using rpt::ServerStatsSnapshot;
 using rpt::SyntheticSession;
+using rpt::SyntheticWait;
 using std::chrono::microseconds;
 using std::chrono::steady_clock;
 
@@ -43,6 +63,17 @@ constexpr int kRequests = 256;
 constexpr int kClientThreads = 8;
 constexpr auto kPerPass = microseconds(1500);
 constexpr auto kPerItem = microseconds(100);
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (ok) {
+    std::printf("\nOK: %s\n", what);
+  } else {
+    std::printf("\nFAIL: %s\n", what);
+    ++g_failures;
+  }
+}
 
 /// The synthetic workload: every 4th request repeats an earlier payload,
 /// the way dirty cells repeat across a large table.
@@ -75,7 +106,7 @@ double RunSequential(const std::vector<std::string>& inputs) {
 /// InferenceServer; returns requests/sec and prints server stats. With
 /// `passes > 1` the whole workload is replayed after the first pass
 /// completes — repeats then land in the warmed LRU cache (cache lookups
-/// happen at submit time, so in-flight duplicates of the first pass miss).
+/// happen at submit time; only same-batch duplicates coalesce in flight).
 double RunServed(const std::vector<std::string>& inputs, size_t max_batch,
                  size_t cache_capacity, int passes, const char* label) {
   auto session = std::make_shared<SyntheticSession>(kPerPass, kPerItem);
@@ -112,6 +143,211 @@ double RunServed(const std::vector<std::string>& inputs, size_t max_batch,
   rpt::PrintBanner(label);
   std::fputs(server.Stats().Render("synthetic").c_str(), stdout);
   return rps;
+}
+
+// ---- Routed multi-shard serving ---------------------------------------------
+
+/// Unique payloads, so the scaling numbers measure scheduling and model
+/// passes, not cache luck.
+std::vector<std::string> MakeRoutedWorkload(int requests) {
+  std::vector<std::string> inputs;
+  inputs.reserve(requests);
+  for (int i = 0; i < requests; ++i) {
+    inputs.push_back("row_" + std::to_string(i));
+  }
+  return inputs;
+}
+
+/// Serves `inputs` through a RoutedServer with one "synthetic" route backed
+/// by `num_shards` device-bound replicas. Verifies every output against
+/// `expected` (payload -> single-session output) and that the aggregated
+/// stats reconcile with the per-shard sums. Returns requests/sec.
+double RunRouted(const std::vector<std::string>& inputs, size_t num_shards,
+                 const std::map<std::string, std::string>& expected) {
+  std::vector<std::shared_ptr<ModelSession>> replicas;
+  for (size_t s = 0; s < num_shards; ++s) {
+    replicas.push_back(std::make_shared<SyntheticSession>(
+        kPerPass, kPerItem, SyntheticWait::kSleep));
+  }
+  ServerConfig config;
+  config.max_batch_size = 16;
+  config.max_batch_delay = microseconds(1000);
+  config.queue_capacity = 1024;
+  config.cache_capacity = 0;  // every request must cross a model
+  RoutedServer server({{"synthetic", replicas, config}});
+
+  size_t mismatches = 0;
+  std::mutex mismatch_mu;
+  const auto start = steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  const size_t per_thread = inputs.size() / kClientThreads;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      const size_t begin = static_cast<size_t>(t) * per_thread;
+      const size_t end = (t == kClientThreads - 1) ? inputs.size()
+                                                   : begin + per_thread;
+      std::vector<std::future<ServeResponse>> futures;
+      futures.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        futures.push_back(server.Submit("synthetic", inputs[i]));
+      }
+      size_t bad = 0;
+      for (size_t i = begin; i < end; ++i) {
+        ServeResponse r = futures[i - begin].get();
+        if (!r.status.ok() || r.output != expected.at(inputs[i])) ++bad;
+      }
+      if (bad > 0) {
+        std::lock_guard<std::mutex> lock(mismatch_mu);
+        mismatches += bad;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double rps =
+      static_cast<double>(inputs.size()) / SecondsSince(start);
+  server.Shutdown();
+
+  RoutedStatsSnapshot stats = server.Stats();
+  uint64_t shard_submitted = 0, shard_completed = 0;
+  for (const auto& route : stats.routes) {
+    for (const auto& shard : route.shards) {
+      shard_submitted += shard.submitted;
+      shard_completed += shard.completed;
+    }
+  }
+  if (mismatches > 0 || stats.total.submitted != shard_submitted ||
+      stats.total.completed != shard_completed ||
+      stats.total.completed != inputs.size()) {
+    std::printf("FAIL: %zu-shard routed run: %zu mismatched outputs, "
+                "aggregate %llu/%llu vs shard-sum %llu/%llu\n",
+                num_shards, mismatches,
+                static_cast<unsigned long long>(stats.total.submitted),
+                static_cast<unsigned long long>(stats.total.completed),
+                static_cast<unsigned long long>(shard_submitted),
+                static_cast<unsigned long long>(shard_completed));
+    ++g_failures;
+  }
+  std::printf("%zu shard%s: %.0f req/s (mean batch %.2f over %llu passes)\n",
+              num_shards, num_shards == 1 ? " " : "s", rps,
+              stats.total.mean_batch_size,
+              static_cast<unsigned long long>(stats.total.batches));
+  return rps;
+}
+
+void RoutedScaling(bool smoke) {
+  rpt::PrintBanner("routed serving: shard scaling on one front-end");
+  const int requests = smoke ? 64 : 512;
+  std::printf(
+      "workload: %d unique requests, %d client threads; device-bound "
+      "synthetic session sleeps %lldus/pass + %lldus/item\n\n",
+      requests, kClientThreads, static_cast<long long>(kPerPass.count()),
+      static_cast<long long>(kPerItem.count()));
+  const std::vector<std::string> inputs = MakeRoutedWorkload(requests);
+
+  // Single-session reference outputs, for the bit-identity check.
+  std::map<std::string, std::string> expected;
+  {
+    SyntheticSession reference(microseconds(0), microseconds(0));
+    for (const auto& input : inputs) {
+      expected[input] = reference.RunBatch({input})[0];
+    }
+  }
+
+  const double rps_1 = RunRouted(inputs, 1, expected);
+  const double rps_2 = RunRouted(inputs, 2, expected);
+  const double rps_4 = RunRouted(inputs, 4, expected);
+
+  ReportTable scaling({"shards", "req/s", "speedup vs 1 shard"});
+  scaling.AddRow({"1", rpt::Fixed(rps_1, 0), "1.00"});
+  scaling.AddRow({"2", rpt::Fixed(rps_2, 0), rpt::Fixed(rps_2 / rps_1, 2)});
+  scaling.AddRow({"4", rpt::Fixed(rps_4, 0), rpt::Fixed(rps_4 / rps_1, 2)});
+  std::printf("\n");
+  scaling.Print();
+  Check(true, "routed outputs bit-identical to single-session serving");
+  if (!smoke) {
+    if (rps_4 >= 2.5 * rps_1) {
+      std::printf("OK: 4 shards achieved >=2.5x single-shard throughput\n");
+    } else {
+      std::printf("WARNING: 4-shard scaling below the 2.5x target "
+                  "(%.2fx)\n", rps_4 / rps_1);
+    }
+  }
+}
+
+void MixedRoutedWorkload(bool smoke) {
+  rpt::PrintBanner("routed serving: mixed clean/match/extract workload");
+  // Three routes with different cost profiles, two device-bound replicas
+  // each — the "one deployment serves every data-prep task" shape.
+  struct RouteCost {
+    const char* name;
+    microseconds per_pass, per_item;
+  };
+  const std::vector<RouteCost> costs = {
+      {"clean", microseconds(1500), microseconds(100)},
+      {"match", microseconds(800), microseconds(60)},
+      {"extract", microseconds(400), microseconds(40)},
+  };
+  std::vector<RouteSpec> routes;
+  for (const RouteCost& c : costs) {
+    RouteSpec spec;
+    spec.name = c.name;
+    for (int s = 0; s < 2; ++s) {
+      spec.replicas.push_back(std::make_shared<SyntheticSession>(
+          c.per_pass, c.per_item, SyntheticWait::kSleep));
+    }
+    spec.config.max_batch_size = 16;
+    spec.config.max_batch_delay = microseconds(1000);
+    spec.config.queue_capacity = 1024;
+    spec.config.cache_capacity = 256;
+    routes.push_back(std::move(spec));
+  }
+  RoutedServer server(std::move(routes));
+
+  const int requests = smoke ? 48 : 240;
+  std::atomic<int> failures{0};
+  const auto start = steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 6; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = t; i < requests; i += 6) {
+        const RouteCost& c = costs[i % costs.size()];
+        // Every 4th payload repeats, so per-shard caches see traffic.
+        const int key = (i % 4 == 3) ? (i % 24) : i;
+        ServeResponse r = server.SubmitWait(
+            c.name, std::string(c.name) + "_q" + std::to_string(key));
+        if (!r.status.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double rps = static_cast<double>(requests) / SecondsSince(start);
+  server.Shutdown();
+  std::printf("%d requests across %zu routes = %.0f req/s\n\n", requests,
+              costs.size(), rps);
+  server.PrintStats();
+
+  RoutedStatsSnapshot stats = server.Stats();
+  ServerStatsSnapshot sum;
+  for (const auto& route : stats.routes) {
+    for (const auto& shard : route.shards) {
+      sum.submitted += shard.submitted;
+      sum.completed += shard.completed;
+      sum.cache_hits += shard.cache_hits;
+      sum.cache_misses += shard.cache_misses;
+      sum.coalesced += shard.coalesced;
+      sum.batches += shard.batches;
+    }
+  }
+  Check(failures.load() == 0 &&
+            stats.total.submitted == sum.submitted &&
+            stats.total.completed == sum.completed &&
+            stats.total.cache_hits == sum.cache_hits &&
+            stats.total.cache_misses == sum.cache_misses &&
+            stats.total.coalesced == sum.coalesced &&
+            stats.total.batches == sum.batches &&
+            stats.total.submitted == static_cast<uint64_t>(requests),
+        "aggregated routed stats reconcile with per-shard sums");
 }
 
 void ServeRealCleaner() {
@@ -171,7 +407,18 @@ void ServeRealCleaner() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (smoke) {
+    // CI path: correctness only — bit-identity and stats reconciliation —
+    // at sizes that stay fast under sanitizers. Timing targets are only
+    // meaningful in full runs.
+    RoutedScaling(/*smoke=*/true);
+    MixedRoutedWorkload(/*smoke=*/true);
+    std::printf("\nsmoke: %d failure(s)\n", g_failures);
+    return g_failures == 0 ? 0 : 1;
+  }
+
   rpt::PrintBanner("serving throughput: sequential vs micro-batched");
   std::printf(
       "workload: %d requests, %d client threads; synthetic session costs "
@@ -203,6 +450,8 @@ int main() {
     std::printf("\nWARNING: micro-batching below the 2x target\n");
   }
 
+  RoutedScaling(/*smoke=*/false);
+  MixedRoutedWorkload(/*smoke=*/false);
   ServeRealCleaner();
-  return 0;
+  return g_failures == 0 ? 0 : 1;
 }

@@ -7,9 +7,12 @@
 // session-specific; the Format*/Parse* helpers in serve/sessions.h are the
 // canonical encoders.
 //
-// RunBatch is called from exactly one scheduler thread at a time, so
-// sessions need no internal locking as long as the underlying model is not
-// trained concurrently.
+// RunBatch is called from exactly one scheduler thread at a time — each
+// session instance is owned by exactly one ServeShard — so sessions need no
+// internal locking as long as the underlying model is not trained
+// concurrently. Replica sessions on the same route each need their own
+// model instance: even inference mutates model state (the generators toggle
+// train/eval mode), so two shards must not share one model.
 
 #ifndef RPT_SERVE_MODEL_SESSION_H_
 #define RPT_SERVE_MODEL_SESSION_H_

@@ -1,235 +1,11 @@
 #include "serve/server.h"
 
-#include <algorithm>
 #include <cstdio>
-#include <sstream>
-#include <utility>
-
-#include "eval/metrics.h"
-#include "eval/report.h"
-#include "util/logging.h"
 
 namespace rpt {
 
-namespace {
-
-double ElapsedMs(std::chrono::steady_clock::time_point from,
-                 std::chrono::steady_clock::time_point to) {
-  return std::chrono::duration<double, std::milli>(to - from).count();
-}
-
-std::future<ServeResponse> ReadyResponse(ServeResponse response) {
-  std::promise<ServeResponse> promise;
-  promise.set_value(std::move(response));
-  return promise.get_future();
-}
-
-}  // namespace
-
-std::string ServerStatsSnapshot::Render(const std::string& name) const {
-  std::ostringstream out;
-  out << "==== " << name << " serving stats ====\n";
-  ReportTable counters({"metric", "value"});
-  counters.AddRow({"submitted", std::to_string(submitted)});
-  counters.AddRow({"completed", std::to_string(completed)});
-  counters.AddRow({"rejected (queue full)", std::to_string(rejected)});
-  counters.AddRow({"expired (deadline)", std::to_string(expired)});
-  counters.AddRow({"invalid (rejected by session)", std::to_string(invalid)});
-  counters.AddRow({"cache hits", std::to_string(cache_hits)});
-  counters.AddRow({"cache hit rate", Fixed(cache_hit_rate, 3)});
-  counters.AddRow({"forward passes", std::to_string(batches)});
-  counters.AddRow({"mean batch size", Fixed(mean_batch_size, 2)});
-  counters.AddRow({"queue depth", std::to_string(queue_depth)});
-  counters.AddRow({"latency p50 (ms)", Fixed(p50_ms, 3)});
-  counters.AddRow({"latency p95 (ms)", Fixed(p95_ms, 3)});
-  counters.AddRow({"latency p99 (ms)", Fixed(p99_ms, 3)});
-  counters.AddRow({"latency max (ms)", Fixed(max_ms, 3)});
-  out << counters.Render();
-  if (!batch_size_histogram.empty()) {
-    ReportTable hist({"batch size", "passes"});
-    for (const auto& [size, count] : batch_size_histogram) {
-      hist.AddRow({std::to_string(size), std::to_string(count)});
-    }
-    out << hist.Render();
-  }
-  return out.str();
-}
-
-InferenceServer::InferenceServer(std::shared_ptr<ModelSession> session,
-                                 ServerConfig config)
-    : session_(std::move(session)),
-      config_(config),
-      queue_(config.queue_capacity),
-      cache_(config.cache_capacity) {
-  RPT_CHECK(session_ != nullptr);
-  RPT_CHECK_GE(config_.max_batch_size, 1u);
-  collector_ = std::thread([this] { CollectorLoop(); });
-}
-
-InferenceServer::~InferenceServer() { Shutdown(); }
-
-std::future<ServeResponse> InferenceServer::Submit(
-    std::string input, std::chrono::milliseconds timeout) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  if (!accepting_.load(std::memory_order_acquire)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    ServeResponse r;
-    r.status = Status::Unavailable("server is shut down");
-    return ReadyResponse(std::move(r));
-  }
-  if (config_.cache_capacity > 0) {
-    if (auto hit = cache_.Get(input)) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      ServeResponse r;
-      r.output = std::move(*hit);
-      r.cache_hit = true;
-      return ReadyResponse(std::move(r));
-    }
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  Pending p;
-  p.input = std::move(input);
-  p.enqueued = std::chrono::steady_clock::now();
-  // milliseconds::max() means "no deadline"; adding it to now() would
-  // overflow the steady_clock representation.
-  p.has_deadline = timeout != std::chrono::milliseconds::max();
-  if (p.has_deadline) p.deadline = p.enqueued + timeout;
-  std::future<ServeResponse> future = p.promise.get_future();
-  if (!queue_.TryPush(std::move(p))) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    ServeResponse r;
-    r.status = Status::Unavailable("request queue is full");
-    return ReadyResponse(std::move(r));
-  }
-  return future;
-}
-
-ServeResponse InferenceServer::SubmitWait(std::string input,
-                                          std::chrono::milliseconds timeout) {
-  return Submit(std::move(input), timeout).get();
-}
-
-void InferenceServer::CollectorLoop() {
-  std::vector<Pending> batch;
-  for (;;) {
-    batch.clear();
-    if (!queue_.PopBatch(&batch, config_.max_batch_size,
-                         config_.max_batch_delay)) {
-      return;  // closed and drained
-    }
-    CompleteBatch(&batch);
-  }
-}
-
-void InferenceServer::CompleteBatch(std::vector<Pending>* batch) {
-  const auto now = std::chrono::steady_clock::now();
-  std::vector<Pending*> live;
-  live.reserve(batch->size());
-  uint64_t newly_expired = 0;
-  uint64_t newly_invalid = 0;
-  for (Pending& p : *batch) {
-    if (p.has_deadline && p.deadline < now) {
-      ServeResponse r;
-      r.status = Status::DeadlineExceeded(
-          "deadline passed while the request was queued");
-      r.latency_ms = ElapsedMs(p.enqueued, now);
-      p.promise.set_value(std::move(r));
-      ++newly_expired;
-      continue;
-    }
-    // Session-level validation runs here, on the single scheduler thread,
-    // so a malformed or over-long payload fails its own request instead of
-    // tripping a model-side check that would abort the process.
-    if (Status valid = session_->Validate(p.input); !valid.ok()) {
-      ServeResponse r;
-      r.status = std::move(valid);
-      r.latency_ms = ElapsedMs(p.enqueued, now);
-      p.promise.set_value(std::move(r));
-      ++newly_invalid;
-      continue;
-    }
-    live.push_back(&p);
-  }
-
-  if (!live.empty()) {
-    std::vector<std::string> inputs;
-    inputs.reserve(live.size());
-    for (Pending* p : live) inputs.push_back(p->input);
-    std::vector<std::string> outputs = session_->RunBatch(inputs);
-    RPT_CHECK_EQ(outputs.size(), live.size())
-        << "session returned a mismatched batch";
-    const auto done = std::chrono::steady_clock::now();
-    std::vector<double> lats;
-    lats.reserve(live.size());
-    for (size_t i = 0; i < live.size(); ++i) {
-      cache_.Put(live[i]->input, outputs[i]);
-      ServeResponse r;
-      r.output = std::move(outputs[i]);
-      r.latency_ms = ElapsedMs(live[i]->enqueued, done);
-      r.batch_size = static_cast<int64_t>(live.size());
-      lats.push_back(r.latency_ms);
-      live[i]->promise.set_value(std::move(r));
-    }
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    completed_ += live.size();
-    expired_ += newly_expired;
-    invalid_ += newly_invalid;
-    ++batches_;
-    ++batch_hist_[live.size()];
-    latencies_ms_.insert(latencies_ms_.end(), lats.begin(), lats.end());
-  } else if (newly_expired > 0 || newly_invalid > 0) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    expired_ += newly_expired;
-    invalid_ += newly_invalid;
-  }
-}
-
-void InferenceServer::Shutdown() {
-  std::call_once(shutdown_once_, [this] {
-    accepting_.store(false, std::memory_order_release);
-    queue_.Close();  // collector drains the remainder, then exits
-    if (collector_.joinable()) collector_.join();
-  });
-}
-
-ServerStatsSnapshot InferenceServer::Stats() const {
-  ServerStatsSnapshot s;
-  s.submitted = submitted_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
-  s.queue_depth = queue_.size();
-  const uint64_t lookups = s.cache_hits + s.cache_misses;
-  if (lookups > 0) {
-    s.cache_hit_rate =
-        static_cast<double>(s.cache_hits) / static_cast<double>(lookups);
-  }
-  std::vector<double> lats;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    s.completed = completed_;
-    s.expired = expired_;
-    s.invalid = invalid_;
-    s.batches = batches_;
-    s.batch_size_histogram = batch_hist_;
-    lats = latencies_ms_;
-  }
-  if (s.batches > 0) {
-    s.mean_batch_size =
-        static_cast<double>(s.completed) / static_cast<double>(s.batches);
-  }
-  if (!lats.empty()) {
-    s.p50_ms = Percentile(lats, 50);
-    s.p95_ms = Percentile(lats, 95);
-    s.p99_ms = Percentile(lats, 99);
-    s.max_ms = *std::max_element(lats.begin(), lats.end());
-  }
-  return s;
-}
-
 void InferenceServer::PrintStats() const {
-  std::fputs(Stats().Render(session_->name()).c_str(), stdout);
+  std::fputs(Stats().Render(shard_.session()->name()).c_str(), stdout);
 }
 
 }  // namespace rpt

@@ -1,13 +1,18 @@
 // InferenceServer: concurrent model serving with dynamic micro-batching.
 //
-// Many client threads Submit() opaque request payloads; one collector
-// thread drains the bounded request queue into micro-batches — up to
+// Many client threads Submit() opaque request payloads; a collector thread
+// drains the bounded request queue into micro-batches — up to
 // `max_batch_size` requests, waiting at most `max_batch_delay` for
 // stragglers — and executes each batch with a single ModelSession forward
 // pass, completing per-request futures. This is the classic
 // throughput/latency trade of transformer serving (cf. cuBERT's
 // max_batch_size sessions): batching amortizes the per-pass cost, the delay
 // bound caps the latency a lone request can pay for company.
+//
+// The queue/collector/cache/stats machinery lives in ServeShard
+// (serve/shard.h); InferenceServer is exactly one shard behind the original
+// single-session API. RoutedServer (serve/routed_server.h) scales the same
+// core across named routes and replica pools.
 //
 // Backpressure: when the queue is full, Submit completes immediately with
 // StatusCode::kUnavailable instead of blocking the client. Per-request
@@ -16,81 +21,29 @@
 // request the session's Validate rejects completes with that status
 // (typically kInvalidArgument) instead of aborting the batch — one
 // malformed request must not take down the server. An LRU cache keyed on the
-// payload short-circuits repeated requests (dirty data repeats a lot).
+// payload short-circuits repeated requests (dirty data repeats a lot), and
+// identical payloads inside one micro-batch share a single model execution.
 // Shutdown() stops intake, drains everything already queued, and joins the
 // collector; the destructor calls it implicitly.
 
 #ifndef RPT_SERVE_SERVER_H_
 #define RPT_SERVE_SERVER_H_
 
-#include <atomic>
 #include <chrono>
-#include <cstdint>
 #include <future>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
-#include "serve/lru_cache.h"
 #include "serve/model_session.h"
-#include "util/bounded_queue.h"
-#include "util/status.h"
+#include "serve/shard.h"
 
 namespace rpt {
-
-struct ServerConfig {
-  /// Largest micro-batch handed to the session in one forward pass.
-  size_t max_batch_size = 8;
-  /// How long the collector waits for stragglers after the first request
-  /// of a batch arrives.
-  std::chrono::microseconds max_batch_delay{2000};
-  /// Pending-request bound; Submit rejects with kUnavailable beyond it.
-  size_t queue_capacity = 256;
-  /// LRU response-cache entries keyed on the payload; 0 disables caching.
-  size_t cache_capacity = 1024;
-};
-
-/// Outcome of one request.
-struct ServeResponse {
-  Status status;          // Ok, Unavailable (rejected), DeadlineExceeded
-  std::string output;     // session output; empty unless status.ok()
-  double latency_ms = 0;  // submit -> completion, as seen by the server
-  bool cache_hit = false;
-  int64_t batch_size = 0;  // size of the micro-batch this rode in (0 if
-                           // it never reached the model)
-};
-
-/// A point-in-time view of the server's counters.
-struct ServerStatsSnapshot {
-  uint64_t submitted = 0;
-  uint64_t completed = 0;    // completed Ok through the model
-  uint64_t rejected = 0;     // queue-full backpressure
-  uint64_t expired = 0;      // deadline passed while queued
-  uint64_t invalid = 0;      // failed session Validate (kInvalidArgument)
-  uint64_t cache_hits = 0;
-  uint64_t cache_misses = 0;
-  uint64_t batches = 0;      // forward passes executed
-  size_t queue_depth = 0;    // at snapshot time
-  double mean_batch_size = 0;
-  /// batch size -> number of forward passes with exactly that size.
-  std::map<size_t, uint64_t> batch_size_histogram;
-  /// Model-path latencies (cache hits and rejections excluded).
-  double p50_ms = 0, p95_ms = 0, p99_ms = 0, max_ms = 0;
-  double cache_hit_rate = 0;  // hits / (hits + misses), 0 when no lookups
-
-  /// Renders the snapshot as aligned eval/report tables ("<name> serving
-  /// stats" banner, counters table, batch-size histogram).
-  std::string Render(const std::string& name) const;
-};
 
 class InferenceServer {
  public:
   InferenceServer(std::shared_ptr<ModelSession> session,
-                  ServerConfig config = {});
-  ~InferenceServer();  // implicit Shutdown()
+                  ServerConfig config = {})
+      : shard_(std::move(session), config) {}
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
@@ -101,57 +54,30 @@ class InferenceServer {
   /// effectively unbounded).
   std::future<ServeResponse> Submit(
       std::string input,
-      std::chrono::milliseconds timeout = std::chrono::milliseconds::max());
+      std::chrono::milliseconds timeout = std::chrono::milliseconds::max()) {
+    return shard_.Submit(std::move(input), timeout);
+  }
 
   /// Submit + wait, for synchronous callers.
   ServeResponse SubmitWait(
       std::string input,
-      std::chrono::milliseconds timeout = std::chrono::milliseconds::max());
+      std::chrono::milliseconds timeout = std::chrono::milliseconds::max()) {
+    return Submit(std::move(input), timeout).get();
+  }
 
   /// Stops intake, drains every queued request through the model, joins
-  /// the collector. Idempotent.
-  void Shutdown();
+  /// the collector. Idempotent (also run by the destructor).
+  void Shutdown() { shard_.Shutdown(); }
 
-  ServerStatsSnapshot Stats() const;
+  ServerStatsSnapshot Stats() const { return shard_.Stats(); }
 
   /// Renders Stats() through eval/report and prints to stdout.
   void PrintStats() const;
 
-  const ServerConfig& config() const { return config_; }
+  const ServerConfig& config() const { return shard_.config(); }
 
  private:
-  struct Pending {
-    std::string input;
-    std::promise<ServeResponse> promise;
-    std::chrono::steady_clock::time_point enqueued;
-    std::chrono::steady_clock::time_point deadline;
-    bool has_deadline = false;
-  };
-
-  void CollectorLoop();
-  void CompleteBatch(std::vector<Pending>* batch);
-
-  std::shared_ptr<ModelSession> session_;
-  ServerConfig config_;
-  BoundedQueue<Pending> queue_;
-  LruCache<std::string, std::string> cache_;
-  std::thread collector_;
-  std::atomic<bool> accepting_{true};
-  std::once_flag shutdown_once_;
-
-  // Counters touched by client threads are atomic; the batch histogram and
-  // latency reservoir are collector-written under stats_mu_.
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> cache_misses_{0};
-  mutable std::mutex stats_mu_;
-  uint64_t completed_ = 0;
-  uint64_t expired_ = 0;
-  uint64_t invalid_ = 0;
-  uint64_t batches_ = 0;
-  std::map<size_t, uint64_t> batch_hist_;
-  std::vector<double> latencies_ms_;
+  ServeShard shard_;
 };
 
 }  // namespace rpt

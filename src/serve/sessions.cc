@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdio>
+#include <thread>
 #include <utility>
 
 #include "util/logging.h"
@@ -199,17 +200,24 @@ std::vector<std::string> ExtractorSession::RunBatch(
 // ---- SyntheticSession -------------------------------------------------------
 
 SyntheticSession::SyntheticSession(std::chrono::microseconds per_pass,
-                                   std::chrono::microseconds per_item)
-    : per_pass_(per_pass), per_item_(per_item) {}
+                                   std::chrono::microseconds per_item,
+                                   SyntheticWait wait)
+    : per_pass_(per_pass), per_item_(per_item), wait_(wait) {}
 
 std::vector<std::string> SyntheticSession::RunBatch(
     const std::vector<std::string>& inputs) {
-  // Busy-wait rather than sleep: scheduler preemption would add multi-ms
-  // noise that swamps the microsecond-scale cost model.
   const auto budget =
       per_pass_ + per_item_ * static_cast<int64_t>(inputs.size());
-  const auto until = std::chrono::steady_clock::now() + budget;
-  while (std::chrono::steady_clock::now() < until) {
+  if (wait_ == SyntheticWait::kSleep) {
+    // Device-bound pass: the host thread blocks, so concurrent shards
+    // overlap their passes even on a single host core.
+    std::this_thread::sleep_for(budget);
+  } else {
+    // Busy-wait rather than sleep: scheduler preemption would add multi-ms
+    // noise that swamps the microsecond-scale cost model.
+    const auto until = std::chrono::steady_clock::now() + budget;
+    while (std::chrono::steady_clock::now() < until) {
+    }
   }
   calls_.fetch_add(1);
   items_.fetch_add(static_cast<int64_t>(inputs.size()));

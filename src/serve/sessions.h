@@ -88,15 +88,28 @@ class ExtractorSession : public ModelSession {
   const RptExtractor* extractor_;
 };
 
+/// How SyntheticSession burns its simulated forward-pass cost.
+enum class SyntheticWait {
+  /// Busy-wait: models a host-CPU-bound pass. Precise at microsecond scale
+  /// but occupies a core for the duration.
+  kSpin,
+  /// sleep_for: models a device-bound pass where the host thread blocks on
+  /// the accelerator. Passes on different shards overlap even on one host
+  /// core — exactly what multi-shard serving exploits — so the routed
+  /// scaling bench uses this mode.
+  kSleep,
+};
+
 /// A model stand-in with an accelerator-shaped cost profile: every forward
-/// pass busy-waits `per_pass` (kernel launch / weight traffic) plus
-/// `per_item` for each input (FLOPs that scale with batch rows), then
-/// echoes "echo:<input>". Deterministic; used by bench/serve_throughput
-/// and the serve tests to measure scheduling rather than model quality.
+/// pass costs `per_pass` (kernel launch / weight traffic) plus `per_item`
+/// for each input (FLOPs that scale with batch rows), then echoes
+/// "echo:<input>". Deterministic; used by bench/serve_throughput and the
+/// serve tests to measure scheduling rather than model quality.
 class SyntheticSession : public ModelSession {
  public:
   SyntheticSession(std::chrono::microseconds per_pass,
-                   std::chrono::microseconds per_item);
+                   std::chrono::microseconds per_item,
+                   SyntheticWait wait = SyntheticWait::kSpin);
 
   std::string name() const override { return "synthetic"; }
   std::vector<std::string> RunBatch(
@@ -108,6 +121,7 @@ class SyntheticSession : public ModelSession {
  private:
   std::chrono::microseconds per_pass_;
   std::chrono::microseconds per_item_;
+  SyntheticWait wait_;
   std::atomic<int64_t> calls_{0};
   std::atomic<int64_t> items_{0};
 };

@@ -1,0 +1,316 @@
+#include "serve/shard.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+std::future<ServeResponse> ReadyServeResponse(ServeResponse response) {
+  std::promise<ServeResponse> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+std::string ServerStatsSnapshot::Render(const std::string& name) const {
+  std::ostringstream out;
+  out << "==== " << name << " serving stats ====\n";
+  ReportTable counters({"metric", "value"});
+  counters.AddRow({"submitted", std::to_string(submitted)});
+  counters.AddRow({"completed", std::to_string(completed)});
+  counters.AddRow({"rejected (queue full)", std::to_string(rejected)});
+  counters.AddRow({"rejected (shutdown)", std::to_string(shutdown_rejected)});
+  counters.AddRow({"expired (deadline)", std::to_string(expired)});
+  counters.AddRow({"invalid (rejected by session)", std::to_string(invalid)});
+  counters.AddRow({"cache hits", std::to_string(cache_hits)});
+  counters.AddRow({"cache hit rate", Fixed(cache_hit_rate, 3)});
+  counters.AddRow({"coalesced (in-batch dupes)", std::to_string(coalesced)});
+  counters.AddRow({"forward passes", std::to_string(batches)});
+  counters.AddRow({"mean batch size", Fixed(mean_batch_size, 2)});
+  counters.AddRow({"queue depth", std::to_string(queue_depth)});
+  counters.AddRow({"latency p50 (ms)", Fixed(p50_ms, 3)});
+  counters.AddRow({"latency p95 (ms)", Fixed(p95_ms, 3)});
+  counters.AddRow({"latency p99 (ms)", Fixed(p99_ms, 3)});
+  counters.AddRow({"latency max (ms)", Fixed(max_ms, 3)});
+  out << counters.Render();
+  if (!batch_size_histogram.empty()) {
+    ReportTable hist({"batch size", "passes"});
+    for (const auto& [size, count] : batch_size_histogram) {
+      hist.AddRow({std::to_string(size), std::to_string(count)});
+    }
+    out << hist.Render();
+  }
+  return out.str();
+}
+
+ServerStatsSnapshot AggregateStats(
+    const std::vector<ServerStatsSnapshot>& parts,
+    const std::vector<double>& latencies_ms) {
+  ServerStatsSnapshot total;
+  for (const ServerStatsSnapshot& p : parts) {
+    total.submitted += p.submitted;
+    total.completed += p.completed;
+    total.rejected += p.rejected;
+    total.shutdown_rejected += p.shutdown_rejected;
+    total.expired += p.expired;
+    total.invalid += p.invalid;
+    total.cache_hits += p.cache_hits;
+    total.cache_misses += p.cache_misses;
+    total.coalesced += p.coalesced;
+    total.batches += p.batches;
+    total.queue_depth += p.queue_depth;
+    for (const auto& [size, count] : p.batch_size_histogram) {
+      total.batch_size_histogram[size] += count;
+    }
+  }
+  const uint64_t lookups = total.cache_hits + total.cache_misses;
+  if (lookups > 0) {
+    total.cache_hit_rate = static_cast<double>(total.cache_hits) /
+                           static_cast<double>(lookups);
+  }
+  uint64_t pass_rows = 0;
+  for (const auto& [size, count] : total.batch_size_histogram) {
+    pass_rows += size * count;
+  }
+  if (total.batches > 0) {
+    total.mean_batch_size =
+        static_cast<double>(pass_rows) / static_cast<double>(total.batches);
+  }
+  if (!latencies_ms.empty()) {
+    total.p50_ms = Percentile(latencies_ms, 50);
+    total.p95_ms = Percentile(latencies_ms, 95);
+    total.p99_ms = Percentile(latencies_ms, 99);
+    total.max_ms = *std::max_element(latencies_ms.begin(), latencies_ms.end());
+  }
+  return total;
+}
+
+ServeShard::ServeShard(std::shared_ptr<ModelSession> session,
+                       ServerConfig config)
+    : session_(std::move(session)),
+      config_(config),
+      queue_(config.queue_capacity),
+      cache_(config.cache_capacity) {
+  RPT_CHECK(session_ != nullptr);
+  RPT_CHECK_GE(config_.max_batch_size, 1u);
+  collector_ = std::thread([this] { CollectorLoop(); });
+}
+
+ServeShard::~ServeShard() { Shutdown(); }
+
+std::future<ServeResponse> ServeShard::Submit(
+    std::string input, std::chrono::milliseconds timeout) {
+  const auto submitted_at = std::chrono::steady_clock::now();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!accepting_.load(std::memory_order_acquire)) {
+    shutdown_rejected_.fetch_add(1, std::memory_order_relaxed);
+    ServeResponse r;
+    r.status = Status::Unavailable("server is shut down, not accepting work");
+    return ReadyServeResponse(std::move(r));
+  }
+  if (config_.cache_capacity > 0) {
+    if (auto hit = cache_.Get(input)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      ServeResponse r;
+      r.output = std::move(*hit);
+      r.cache_hit = true;
+      r.latency_ms = ElapsedMs(submitted_at, std::chrono::steady_clock::now());
+      return ReadyServeResponse(std::move(r));
+    }
+  }
+
+  Pending p;
+  p.input = std::move(input);
+  p.enqueued = submitted_at;
+  // milliseconds::max() means "no deadline"; adding it to now() would
+  // overflow the steady_clock representation.
+  p.has_deadline = timeout != std::chrono::milliseconds::max();
+  if (p.has_deadline) p.deadline = p.enqueued + timeout;
+  std::future<ServeResponse> future = p.promise.get_future();
+  if (!queue_.TryPush(std::move(p))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    ServeResponse r;
+    r.status = Status::Unavailable("request queue is full");
+    return ReadyServeResponse(std::move(r));
+  }
+  // Counted only after the push succeeds: a rejected request never produces
+  // a model execution, so it is not a lookup outcome and must not inflate
+  // the hit-rate denominator under backpressure.
+  if (config_.cache_capacity > 0) {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return future;
+}
+
+void ServeShard::CollectorLoop() {
+  std::vector<Pending> batch;
+  for (;;) {
+    batch.clear();
+    if (!queue_.PopBatch(&batch, config_.max_batch_size,
+                         config_.max_batch_delay)) {
+      return;  // closed and drained
+    }
+    CompleteBatch(&batch);
+  }
+}
+
+void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<Pending*> live;
+  live.reserve(batch->size());
+  uint64_t newly_expired = 0;
+  uint64_t newly_invalid = 0;
+  for (Pending& p : *batch) {
+    if (p.has_deadline && p.deadline < now) {
+      ServeResponse r;
+      r.status = Status::DeadlineExceeded(
+          "deadline passed while the request was queued");
+      r.latency_ms = ElapsedMs(p.enqueued, now);
+      p.promise.set_value(std::move(r));
+      ++newly_expired;
+      continue;
+    }
+    // Session-level validation runs here, on the single scheduler thread,
+    // so a malformed or over-long payload fails its own request instead of
+    // tripping a model-side check that would abort the process.
+    if (Status valid = session_->Validate(p.input); !valid.ok()) {
+      ServeResponse r;
+      r.status = std::move(valid);
+      r.latency_ms = ElapsedMs(p.enqueued, now);
+      p.promise.set_value(std::move(r));
+      ++newly_invalid;
+      continue;
+    }
+    live.push_back(&p);
+  }
+
+  if (!live.empty()) {
+    // Within-batch coalescing: identical payloads ride one model execution
+    // and the single output fans out to every duplicate's promise.
+    std::vector<std::string> inputs;       // unique payloads, first-seen order
+    std::vector<size_t> slot(live.size());  // live index -> inputs index
+    std::vector<bool> is_dupe(live.size(), false);
+    std::unordered_map<std::string_view, size_t> first_seen;
+    first_seen.reserve(live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      const auto [it, inserted] =
+          first_seen.try_emplace(live[i]->input, inputs.size());
+      if (inserted) {
+        inputs.push_back(live[i]->input);
+      } else {
+        is_dupe[i] = true;
+      }
+      slot[i] = it->second;
+    }
+    const uint64_t newly_coalesced = live.size() - inputs.size();
+
+    std::vector<std::string> outputs = session_->RunBatch(inputs);
+    RPT_CHECK_EQ(outputs.size(), inputs.size())
+        << "session returned a mismatched batch";
+    const auto done = std::chrono::steady_clock::now();
+    for (size_t j = 0; j < inputs.size(); ++j) {
+      cache_.Put(inputs[j], outputs[j]);
+    }
+    std::vector<double> lats;
+    lats.reserve(live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      ServeResponse r;
+      r.output = outputs[slot[i]];
+      r.latency_ms = ElapsedMs(live[i]->enqueued, done);
+      r.batch_size = static_cast<int64_t>(inputs.size());
+      r.cache_hit = is_dupe[i];
+      lats.push_back(r.latency_ms);
+      live[i]->promise.set_value(std::move(r));
+    }
+    if (newly_coalesced > 0 && config_.cache_capacity > 0) {
+      // A duplicate's submit-time miss becomes a hit on its batch-mate's
+      // result, keeping hits + misses == one lookup outcome per admitted
+      // request.
+      cache_hits_.fetch_add(newly_coalesced, std::memory_order_relaxed);
+      cache_misses_.fetch_sub(newly_coalesced, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    completed_ += live.size();
+    expired_ += newly_expired;
+    invalid_ += newly_invalid;
+    coalesced_ += newly_coalesced;
+    ++batches_;
+    ++batch_hist_[inputs.size()];
+    latencies_ms_.insert(latencies_ms_.end(), lats.begin(), lats.end());
+  } else if (newly_expired > 0 || newly_invalid > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    expired_ += newly_expired;
+    invalid_ += newly_invalid;
+  }
+}
+
+void ServeShard::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    accepting_.store(false, std::memory_order_release);
+    queue_.Close();  // collector drains the remainder, then exits
+    if (collector_.joinable()) collector_.join();
+  });
+}
+
+ServerStatsSnapshot ServeShard::Stats() const {
+  ServerStatsSnapshot s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shutdown_rejected = shutdown_rejected_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.size();
+  const uint64_t lookups = s.cache_hits + s.cache_misses;
+  if (lookups > 0) {
+    s.cache_hit_rate =
+        static_cast<double>(s.cache_hits) / static_cast<double>(lookups);
+  }
+  std::vector<double> lats;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.completed = completed_;
+    s.expired = expired_;
+    s.invalid = invalid_;
+    s.coalesced = coalesced_;
+    s.batches = batches_;
+    s.batch_size_histogram = batch_hist_;
+    lats = latencies_ms_;
+  }
+  uint64_t pass_rows = 0;
+  for (const auto& [size, count] : s.batch_size_histogram) {
+    pass_rows += size * count;
+  }
+  if (s.batches > 0) {
+    s.mean_batch_size =
+        static_cast<double>(pass_rows) / static_cast<double>(s.batches);
+  }
+  if (!lats.empty()) {
+    s.p50_ms = Percentile(lats, 50);
+    s.p95_ms = Percentile(lats, 95);
+    s.p99_ms = Percentile(lats, 99);
+    s.max_ms = *std::max_element(lats.begin(), lats.end());
+  }
+  return s;
+}
+
+std::vector<double> ServeShard::RawLatencies() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return latencies_ms_;
+}
+
+}  // namespace rpt

@@ -1,0 +1,183 @@
+// ServeShard: the queue/collector/cache/stats core of the serving layer.
+//
+// One shard owns one ModelSession, one bounded request queue, one collector
+// thread that drains the queue into dynamic micro-batches, one LRU response
+// cache, and one set of counters. It is the unit both serving front-ends are
+// built from: InferenceServer (serve/server.h) is exactly one shard behind
+// the original single-session API, and RoutedServer (serve/routed_server.h)
+// fans requests out over named pools of shards.
+//
+// Scheduling semantics (unchanged from the original InferenceServer):
+// micro-batches gather up to `max_batch_size` requests, waiting at most
+// `max_batch_delay` for stragglers; a full queue rejects at Submit with
+// kUnavailable; a request whose deadline passes while queued completes with
+// kDeadlineExceeded; payloads the session's Validate rejects complete with
+// that status; Shutdown() stops intake, drains everything accepted, and
+// joins the collector.
+//
+// Accounting rules the counters obey:
+//  * a cache miss is counted only once the request is actually enqueued —
+//    a queue-full rejection is not a lookup outcome, so backpressure cannot
+//    deflate the hit rate;
+//  * post-shutdown submissions are `shutdown_rejected`, distinct from the
+//    queue-full `rejected`;
+//  * cache-hit responses carry the submit→return latency, so client-side
+//    latency accounting is consistent across hit and miss paths;
+//  * identical payloads inside one micro-batch are coalesced into a single
+//    model execution whose output fans out to every duplicate. Duplicates
+//    count as `coalesced` and (when the cache is enabled) convert their
+//    submit-time miss into a hit, preserving the invariant that each
+//    admitted request contributes exactly one lookup outcome.
+
+#ifndef RPT_SERVE_SHARD_H_
+#define RPT_SERVE_SHARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/lru_cache.h"
+#include "serve/model_session.h"
+#include "util/bounded_queue.h"
+#include "util/status.h"
+
+namespace rpt {
+
+struct ServerConfig {
+  /// Largest micro-batch handed to the session in one forward pass.
+  size_t max_batch_size = 8;
+  /// How long the collector waits for stragglers after the first request
+  /// of a batch arrives.
+  std::chrono::microseconds max_batch_delay{2000};
+  /// Pending-request bound; Submit rejects with kUnavailable beyond it.
+  size_t queue_capacity = 256;
+  /// LRU response-cache entries keyed on the payload; 0 disables caching.
+  size_t cache_capacity = 1024;
+};
+
+/// Outcome of one request.
+struct ServeResponse {
+  Status status;          // Ok, Unavailable (rejected), DeadlineExceeded
+  std::string output;     // session output; empty unless status.ok()
+  double latency_ms = 0;  // submit -> completion, as seen by the server
+  bool cache_hit = false;  // served from the LRU, or coalesced in-batch
+  int64_t batch_size = 0;  // rows of the forward pass this rode in (0 if
+                           // it never reached the model)
+};
+
+/// A point-in-time view of one shard's counters.
+struct ServerStatsSnapshot {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;  // completed Ok through the model path
+                           // (coalesced duplicates included)
+  uint64_t rejected = 0;   // queue-full backpressure
+  uint64_t shutdown_rejected = 0;  // submitted after Shutdown()
+  uint64_t expired = 0;            // deadline passed while queued
+  uint64_t invalid = 0;    // failed session Validate (kInvalidArgument)
+  uint64_t cache_hits = 0;  // submit-time LRU hits + coalesced duplicates
+  uint64_t cache_misses = 0;
+  uint64_t coalesced = 0;  // in-batch duplicates folded into one execution
+  uint64_t batches = 0;    // forward passes executed
+  size_t queue_depth = 0;  // at snapshot time
+  double mean_batch_size = 0;  // forward-pass rows / forward passes
+  /// forward-pass rows -> number of passes with exactly that many rows.
+  std::map<size_t, uint64_t> batch_size_histogram;
+  /// Model-path latencies (cache hits and rejections excluded).
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0, max_ms = 0;
+  double cache_hit_rate = 0;  // hits / (hits + misses), 0 when no lookups
+
+  /// Renders the snapshot as aligned eval/report tables ("<name> serving
+  /// stats" banner, counters table, batch-size histogram).
+  std::string Render(const std::string& name) const;
+};
+
+/// Sums counters and histograms across shard snapshots and recomputes the
+/// derived fields. Percentiles cannot be summed, so the caller passes the
+/// shards' merged raw latency reservoirs (ServeShard::RawLatencies).
+ServerStatsSnapshot AggregateStats(
+    const std::vector<ServerStatsSnapshot>& parts,
+    const std::vector<double>& latencies_ms);
+
+/// An already-completed future, for responses decided at submit time.
+std::future<ServeResponse> ReadyServeResponse(ServeResponse response);
+
+class ServeShard {
+ public:
+  ServeShard(std::shared_ptr<ModelSession> session, ServerConfig config = {});
+  ~ServeShard();  // implicit Shutdown()
+
+  ServeShard(const ServeShard&) = delete;
+  ServeShard& operator=(const ServeShard&) = delete;
+
+  /// Enqueues one request. The future always completes: with the model
+  /// output, a cached response, kUnavailable (queue full / shut down), or
+  /// kDeadlineExceeded (`timeout` elapsed before execution; the default is
+  /// effectively unbounded).
+  std::future<ServeResponse> Submit(
+      std::string input,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds::max());
+
+  /// Stops intake, drains every queued request through the model, joins
+  /// the collector. Idempotent.
+  void Shutdown();
+
+  ServerStatsSnapshot Stats() const;
+
+  /// Copy of the raw model-path latency reservoir, for cross-shard
+  /// percentile aggregation.
+  std::vector<double> RawLatencies() const;
+
+  /// Requests currently queued (excludes the batch in flight). The routed
+  /// front-end reads this for saturation/least-loaded decisions.
+  size_t queue_depth() const { return queue_.size(); }
+
+  const ServerConfig& config() const { return config_; }
+  const std::shared_ptr<ModelSession>& session() const { return session_; }
+
+ private:
+  struct Pending {
+    std::string input;
+    std::promise<ServeResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  void CollectorLoop();
+  void CompleteBatch(std::vector<Pending>* batch);
+
+  std::shared_ptr<ModelSession> session_;
+  ServerConfig config_;
+  BoundedQueue<Pending> queue_;
+  LruCache<std::string, std::string> cache_;
+  std::thread collector_;
+  std::atomic<bool> accepting_{true};
+  std::once_flag shutdown_once_;
+
+  // Counters touched by client threads are atomic; the batch histogram and
+  // latency reservoir are collector-written under stats_mu_.
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> shutdown_rejected_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  mutable std::mutex stats_mu_;
+  uint64_t completed_ = 0;
+  uint64_t expired_ = 0;
+  uint64_t invalid_ = 0;
+  uint64_t coalesced_ = 0;
+  uint64_t batches_ = 0;
+  std::map<size_t, uint64_t> batch_hist_;
+  std::vector<double> latencies_ms_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_SERVE_SHARD_H_

@@ -1,0 +1,33 @@
+// Stable string hashing for dispatch decisions.
+//
+// FNV-1a is tiny, fast on short keys, and — unlike std::hash, whose value is
+// implementation-defined — produces the same value on every platform and
+// every run. The serving layer uses it to map request payloads onto shards:
+// a stable payload→shard assignment keeps repeats of the same payload on the
+// same shard, so that shard's LRU response cache absorbs them.
+
+#ifndef RPT_UTIL_HASH_H_
+#define RPT_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rpt {
+
+inline constexpr uint64_t kFnvOffsetBasis64 = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnvPrime64 = 0x100000001b3ull;
+
+/// 64-bit FNV-1a over the bytes of `data`. Deterministic across runs and
+/// platforms; suitable for sharding, not for adversarial inputs.
+constexpr uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = kFnvOffsetBasis64;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime64;
+  }
+  return hash;
+}
+
+}  // namespace rpt
+
+#endif  // RPT_UTIL_HASH_H_

@@ -1,0 +1,339 @@
+// Tests for the routed serving front-end: route-key dispatch, stable
+// payload-hash sharding (per-shard caches keep absorbing repeats),
+// least-loaded fallback under shard saturation, per-route/per-shard stats
+// aggregation, and concurrent submit vs shutdown.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/routed_server.h"
+#include "serve/sessions.h"
+#include "util/hash.h"
+
+namespace rpt {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+/// Echoes inputs prefixed with a fixed label, so tests can tell which
+/// route's session produced an output.
+class LabelSession : public ModelSession {
+ public:
+  explicit LabelSession(std::string label) : label_(std::move(label)) {}
+
+  std::string name() const override { return label_; }
+
+  std::vector<std::string> RunBatch(
+      const std::vector<std::string>& inputs) override {
+    std::vector<std::string> out;
+    out.reserve(inputs.size());
+    for (const auto& s : inputs) out.push_back(label_ + ":" + s);
+    return out;
+  }
+
+ private:
+  std::string label_;
+};
+
+/// Echo session whose forward passes block until Open() — lets tests wedge
+/// one shard of a pool deterministically.
+class GateSession : public ModelSession {
+ public:
+  std::string name() const override { return "gate"; }
+
+  std::vector<std::string> RunBatch(
+      const std::vector<std::string>& inputs) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return open_; });
+    }
+    std::vector<std::string> out;
+    out.reserve(inputs.size());
+    for (const auto& s : inputs) out.push_back("echo:" + s);
+    return out;
+  }
+
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+/// First `count` payloads of the form "p<i>" that hash onto `want_shard`
+/// of a `num_shards`-wide pool.
+std::vector<std::string> PayloadsForShard(size_t want_shard,
+                                          size_t num_shards, size_t count) {
+  std::vector<std::string> out;
+  for (int i = 0; out.size() < count; ++i) {
+    std::string p = "p" + std::to_string(i);
+    if (ShardForPayload(p, num_shards) == want_shard) {
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+TEST(RoutedServerTest, DispatchesByRouteKey) {
+  std::vector<RouteSpec> routes;
+  ServerConfig config;
+  config.cache_capacity = 0;
+  routes.push_back({"clean", {std::make_shared<LabelSession>("clean")},
+                    config});
+  routes.push_back({"match", {std::make_shared<LabelSession>("match")},
+                    config});
+  routes.push_back({"extract", {std::make_shared<LabelSession>("extract")},
+                    config});
+  RoutedServer server(std::move(routes));
+  EXPECT_EQ(server.num_routes(), 3u);
+  EXPECT_TRUE(server.HasRoute("clean"));
+  EXPECT_FALSE(server.HasRoute("repair"));
+
+  ServeResponse c = server.SubmitWait("clean", "x");
+  ASSERT_TRUE(c.status.ok()) << c.status.ToString();
+  EXPECT_EQ(c.output, "clean:x");
+  ServeResponse m = server.SubmitWait("match", "x");
+  EXPECT_EQ(m.output, "match:x");
+  ServeResponse e = server.SubmitWait("extract", "x");
+  EXPECT_EQ(e.output, "extract:x");
+
+  ServeResponse unknown = server.SubmitWait("repair", "x");
+  EXPECT_EQ(unknown.status.code(), StatusCode::kNotFound);
+  EXPECT_NE(unknown.status.message().find("repair"), std::string::npos);
+
+  server.Shutdown();
+  RoutedStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.unknown_route, 1u);
+  EXPECT_EQ(stats.total.completed, 3u);
+}
+
+TEST(RoutedServerTest, HashDispatchKeepsCachingShardStable) {
+  constexpr size_t kShards = 3;
+  std::vector<std::shared_ptr<ModelSession>> replicas;
+  for (size_t i = 0; i < kShards; ++i) {
+    replicas.push_back(
+        std::make_shared<SyntheticSession>(microseconds(50), microseconds(5)));
+  }
+  ServerConfig config;
+  config.cache_capacity = 64;
+  RoutedServer server({{"synthetic", replicas, config}});
+  ASSERT_EQ(server.NumShards("synthetic"), kShards);
+
+  // Each payload submitted twice: the repeat must land on the same shard
+  // and hit that shard's LRU.
+  constexpr int kPayloads = 12;
+  std::vector<uint64_t> expected_submits(kShards, 0);
+  for (int i = 0; i < kPayloads; ++i) {
+    const std::string payload = "cell_" + std::to_string(i);
+    expected_submits[ShardForPayload(payload, kShards)] += 2;
+    ServeResponse cold = server.SubmitWait("synthetic", payload);
+    ASSERT_TRUE(cold.status.ok());
+    EXPECT_FALSE(cold.cache_hit);
+    ServeResponse warm = server.SubmitWait("synthetic", payload);
+    ASSERT_TRUE(warm.status.ok());
+    EXPECT_TRUE(warm.cache_hit) << payload;
+    EXPECT_EQ(warm.output, cold.output);
+  }
+  server.Shutdown();
+
+  RoutedStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.fallback_dispatches, 0u);
+  EXPECT_EQ(stats.total.cache_hits, static_cast<uint64_t>(kPayloads));
+  ASSERT_EQ(stats.routes.size(), 1u);
+  const RouteStatsSnapshot& route = stats.routes[0];
+  ASSERT_EQ(route.shards.size(), kShards);
+  for (size_t i = 0; i < kShards; ++i) {
+    EXPECT_EQ(route.shards[i].submitted, expected_submits[i]) << i;
+  }
+  // The deterministic hash must actually spread this workload.
+  size_t active_shards = 0;
+  for (size_t i = 0; i < kShards; ++i) {
+    if (expected_submits[i] > 0) ++active_shards;
+  }
+  EXPECT_GE(active_shards, 2u);
+}
+
+TEST(RoutedServerTest, SaturatedShardFallsBackToLeastLoaded) {
+  auto gate0 = std::make_shared<GateSession>();
+  auto gate1 = std::make_shared<GateSession>();
+  ServerConfig config;
+  config.max_batch_size = 1;
+  config.queue_capacity = 1;
+  config.cache_capacity = 0;
+  RoutedServer server({{"gate", {gate0, gate1}, config}});
+  gate1->Open();  // shard 1 serves freely; shard 0 stays wedged
+
+  const std::vector<std::string> payloads = PayloadsForShard(0, 2, 3);
+  // First request occupies shard 0's collector, the second fills its
+  // one-slot queue; both park behind the closed gate.
+  std::future<ServeResponse> wedged_a =
+      server.Submit("gate", payloads[0]);
+  std::this_thread::sleep_for(milliseconds(100));
+  std::future<ServeResponse> wedged_b =
+      server.Submit("gate", payloads[1]);
+  // Hash says shard 0, but shard 0 is saturated — the dispatcher must fall
+  // back to the shallowest queue (shard 1), where the gate is open.
+  ServeResponse rerouted = server.SubmitWait("gate", payloads[2]);
+  EXPECT_TRUE(rerouted.status.ok()) << rerouted.status.ToString();
+  EXPECT_EQ(rerouted.output, "echo:" + payloads[2]);
+
+  gate0->Open();
+  EXPECT_TRUE(wedged_a.get().status.ok());
+  EXPECT_TRUE(wedged_b.get().status.ok());
+  server.Shutdown();
+
+  RoutedStatsSnapshot stats = server.Stats();
+  EXPECT_GE(stats.fallback_dispatches, 1u);
+  ASSERT_EQ(stats.routes.size(), 1u);
+  EXPECT_GE(stats.routes[0].shards[1].completed, 1u);
+  EXPECT_EQ(stats.total.rejected, 0u);  // fallback, not backpressure
+}
+
+TEST(RoutedServerTest, AggregatedStatsReconcileWithShardSums) {
+  std::vector<RouteSpec> routes;
+  ServerConfig config;
+  config.cache_capacity = 32;
+  routes.push_back({"a",
+                    {std::make_shared<SyntheticSession>(microseconds(50),
+                                                        microseconds(5)),
+                     std::make_shared<SyntheticSession>(microseconds(50),
+                                                        microseconds(5))},
+                    config});
+  routes.push_back({"b",
+                    {std::make_shared<SyntheticSession>(microseconds(50),
+                                                        microseconds(5))},
+                    config});
+  RoutedServer server(std::move(routes));
+
+  for (int i = 0; i < 24; ++i) {
+    // Every third payload repeats, to exercise the cache counters too.
+    const int key = (i % 3 == 2) ? i - 1 : i;
+    ASSERT_TRUE(
+        server.SubmitWait("a", "pay_" + std::to_string(key)).status.ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        server.SubmitWait("b", "pay_" + std::to_string(i)).status.ok());
+  }
+  ASSERT_EQ(server.SubmitWait("nope", "x").status.code(),
+            StatusCode::kNotFound);
+  server.Shutdown();
+
+  RoutedStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.unknown_route, 1u);
+  EXPECT_EQ(stats.total.submitted, 32u);  // unknown-route never reaches a shard
+
+  // Every aggregate must equal the sum of its parts, per route and overall.
+  ServerStatsSnapshot sum_all;
+  for (const RouteStatsSnapshot& route : stats.routes) {
+    ServerStatsSnapshot sum_route;
+    for (const ServerStatsSnapshot& s : route.shards) {
+      for (ServerStatsSnapshot* acc : {&sum_route, &sum_all}) {
+        acc->submitted += s.submitted;
+        acc->completed += s.completed;
+        acc->rejected += s.rejected;
+        acc->shutdown_rejected += s.shutdown_rejected;
+        acc->expired += s.expired;
+        acc->invalid += s.invalid;
+        acc->cache_hits += s.cache_hits;
+        acc->cache_misses += s.cache_misses;
+        acc->coalesced += s.coalesced;
+        acc->batches += s.batches;
+      }
+    }
+    EXPECT_EQ(route.total.submitted, sum_route.submitted);
+    EXPECT_EQ(route.total.completed, sum_route.completed);
+    EXPECT_EQ(route.total.cache_hits, sum_route.cache_hits);
+    EXPECT_EQ(route.total.cache_misses, sum_route.cache_misses);
+    EXPECT_EQ(route.total.batches, sum_route.batches);
+  }
+  EXPECT_EQ(stats.total.submitted, sum_all.submitted);
+  EXPECT_EQ(stats.total.completed, sum_all.completed);
+  EXPECT_EQ(stats.total.rejected, sum_all.rejected);
+  EXPECT_EQ(stats.total.shutdown_rejected, sum_all.shutdown_rejected);
+  EXPECT_EQ(stats.total.expired, sum_all.expired);
+  EXPECT_EQ(stats.total.invalid, sum_all.invalid);
+  EXPECT_EQ(stats.total.cache_hits, sum_all.cache_hits);
+  EXPECT_EQ(stats.total.cache_misses, sum_all.cache_misses);
+  EXPECT_EQ(stats.total.coalesced, sum_all.coalesced);
+  EXPECT_EQ(stats.total.batches, sum_all.batches);
+  EXPECT_GT(stats.total.cache_hits, 0u);  // the repeats landed
+
+  const std::string report = stats.Render();
+  EXPECT_NE(report.find("routed serving stats"), std::string::npos);
+  EXPECT_NE(report.find("all routes"), std::string::npos);
+  EXPECT_NE(report.find("route a"), std::string::npos);
+  EXPECT_NE(report.find("fallback dispatches"), std::string::npos);
+}
+
+TEST(RoutedServerTest, ConcurrentSubmitAndShutdownComplete) {
+  std::vector<RouteSpec> routes;
+  ServerConfig config;
+  config.max_batch_size = 4;
+  config.cache_capacity = 0;
+  for (const char* name : {"clean", "match"}) {
+    routes.push_back({name,
+                      {std::make_shared<SyntheticSession>(microseconds(50),
+                                                          microseconds(5)),
+                       std::make_shared<SyntheticSession>(microseconds(50),
+                                                          microseconds(5))},
+                      config});
+  }
+  RoutedServer server(std::move(routes));
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0}, unavailable{0}, other{0};
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string route = (i % 2 == 0) ? "clean" : "match";
+        ServeResponse r = server.SubmitWait(
+            route, "t" + std::to_string(t) + "_" + std::to_string(i));
+        if (r.status.ok()) {
+          ok.fetch_add(1);
+        } else if (r.status.code() == StatusCode::kUnavailable) {
+          unavailable.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(milliseconds(2));
+  server.Shutdown();  // races against in-flight submits, by design
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(ok.load() + unavailable.load(), kThreads * kPerThread);
+  RoutedStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.total.submitted,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  // Conservation: every submission is completed, queue-full rejected, or
+  // shutdown rejected — nothing is lost or double counted.
+  EXPECT_EQ(stats.total.completed + stats.total.rejected +
+                stats.total.shutdown_rejected,
+            stats.total.submitted);
+  EXPECT_EQ(stats.total.completed, static_cast<uint64_t>(ok.load()));
+}
+
+}  // namespace
+}  // namespace rpt

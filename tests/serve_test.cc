@@ -38,8 +38,10 @@ class GateSession : public ModelSession {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return open_; });
+      batches_.push_back(inputs);
     }
     calls_.fetch_add(1);
+    items_.fetch_add(static_cast<int64_t>(inputs.size()));
     std::vector<std::string> out;
     out.reserve(inputs.size());
     for (const auto& s : inputs) out.push_back("echo:" + s);
@@ -55,12 +57,20 @@ class GateSession : public ModelSession {
   }
 
   int64_t calls() const { return calls_.load(); }
+  int64_t items() const { return items_.load(); }
+
+  std::vector<std::vector<std::string>> batches() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batches_;
+  }
 
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool open_ = false;
+  std::vector<std::vector<std::string>> batches_;
   std::atomic<int64_t> calls_{0};
+  std::atomic<int64_t> items_{0};
 };
 
 // ---- LruCache ---------------------------------------------------------------
@@ -265,6 +275,132 @@ TEST(ServeTest, CacheShortCircuitsRepeats) {
   ServerStatsSnapshot stats = server.Stats();
   EXPECT_EQ(stats.cache_hits, 1u);
   EXPECT_GT(stats.cache_hit_rate, 0.0);
+}
+
+TEST(ServeTest, RejectedRequestsDoNotCountAsCacheMisses) {
+  // Backpressure must not deflate the hit rate: a queue-full rejection is
+  // not a cache lookup outcome, so misses must equal the requests that were
+  // actually admitted (here: all unique, so misses == completed).
+  auto session = std::make_shared<GateSession>();
+  ServerConfig config;
+  config.max_batch_size = 1;
+  config.queue_capacity = 2;
+  config.cache_capacity = 16;
+  InferenceServer server(session, config);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(server.Submit("r" + std::to_string(i)));
+  }
+  session->Open();
+  uint64_t rejected = 0;
+  for (auto& f : futures) {
+    if (!f.get().status.ok()) ++rejected;
+  }
+  server.Shutdown();
+
+  ServerStatsSnapshot stats = server.Stats();
+  EXPECT_GE(rejected, 1u);
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, 6u - rejected);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  // The buggy ordering counted a miss for every submission, rejected ones
+  // included, so misses exceeded completed.
+  EXPECT_EQ(stats.cache_misses, stats.completed);
+}
+
+TEST(ServeTest, ShutdownRejectionsAreCountedSeparately) {
+  auto session = std::make_shared<SyntheticSession>(microseconds(50),
+                                                    microseconds(5));
+  ServerConfig config;
+  config.cache_capacity = 16;
+  InferenceServer server(session, config);
+  ASSERT_TRUE(server.SubmitWait("x").status.ok());
+  server.Shutdown();
+
+  ServeResponse late = server.SubmitWait("late");
+  EXPECT_EQ(late.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(late.status.message().find("shut down"), std::string::npos);
+
+  ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.shutdown_rejected, 1u);
+  EXPECT_EQ(stats.rejected, 0u);  // never folded into the queue-full row
+  // A post-shutdown submission is not a cache lookup either.
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 1u);
+  const std::string report = stats.Render("synthetic");
+  EXPECT_NE(report.find("rejected (shutdown)"), std::string::npos);
+}
+
+TEST(ServeTest, CacheHitResponsesStampLatency) {
+  auto session = std::make_shared<SyntheticSession>(microseconds(100),
+                                                    microseconds(10));
+  ServerConfig config;
+  config.cache_capacity = 16;
+  InferenceServer server(session, config);
+
+  ServeResponse cold = server.SubmitWait("hello");
+  ASSERT_TRUE(cold.status.ok());
+  ServeResponse warm = server.SubmitWait("hello");
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  // Previously left at 0, making client-side latency accounting treat hits
+  // as free-and-instant rather than measured.
+  EXPECT_GT(warm.latency_ms, 0.0);
+  server.Shutdown();
+}
+
+TEST(ServeTest, DuplicatePayloadsWithinBatchCoalesce) {
+  auto session = std::make_shared<GateSession>();
+  ServerConfig config;
+  config.max_batch_size = 8;
+  config.max_batch_delay = microseconds(500000);  // gather everything queued
+  config.queue_capacity = 16;
+  config.cache_capacity = 16;
+  InferenceServer server(session, config);
+
+  // The generous gather window pulls all four submissions into one
+  // micro-batch (the gate blocks execution, not batch formation).
+  std::future<ServeResponse> warmup = server.Submit("warmup");
+  std::future<ServeResponse> dup_a = server.Submit("dup");
+  std::future<ServeResponse> dup_b = server.Submit("dup");
+  std::future<ServeResponse> uniq = server.Submit("uniq");
+  session->Open();
+
+  ServeResponse rw = warmup.get();
+  ServeResponse ra = dup_a.get();
+  ServeResponse rb = dup_b.get();
+  ServeResponse ru = uniq.get();
+  server.Shutdown();
+  ASSERT_TRUE(rw.status.ok());
+  ASSERT_TRUE(ra.status.ok());
+  ASSERT_TRUE(rb.status.ok());
+  ASSERT_TRUE(ru.status.ok());
+
+  // Bit-identity: the one model execution fans out to both duplicates.
+  EXPECT_EQ(ra.output, "echo:dup");
+  EXPECT_EQ(rb.output, ra.output);
+  // Exactly one of the duplicates rode its batch-mate's execution.
+  EXPECT_NE(ra.cache_hit, rb.cache_hit);
+  // The model saw one deduped batch: {warmup, dup, uniq}.
+  EXPECT_EQ(session->items(), 3);
+  const auto batches = session->batches();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 3u);
+  EXPECT_EQ(ra.batch_size, 3);
+  EXPECT_EQ(rb.batch_size, 3);
+  EXPECT_EQ(ru.batch_size, 3);
+  EXPECT_GT(ra.latency_ms, 0.0);
+  EXPECT_GT(rb.latency_ms, 0.0);
+
+  ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.coalesced, 1u);
+  // The duplicate's submit-time miss converts into a hit: one lookup
+  // outcome per admitted request.
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 3u);
+  EXPECT_EQ(stats.batch_size_histogram[3], 1u);
+  EXPECT_EQ(stats.batches, 1u);
 }
 
 TEST(ServeTest, StatsRenderMentionsKeyMetrics) {

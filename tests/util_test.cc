@@ -1,5 +1,5 @@
 // Tests for the util module: status, rng, strings, csv, serialization,
-// thread pool.
+// thread pool, hashing.
 
 #include <atomic>
 #include <chrono>
@@ -14,6 +14,7 @@
 
 #include "util/bounded_queue.h"
 #include "util/csv.h"
+#include "util/hash.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 #include "util/status.h"
@@ -348,6 +349,31 @@ TEST(BoundedQueueTest, PopBatchWakesOnConcurrentPush) {
   ASSERT_TRUE(q.PopBatch(&batch, 4, std::chrono::microseconds(100)));
   EXPECT_EQ(batch, (std::vector<int>{42}));
   producer.join();
+}
+
+// ---- Hashing ---------------------------------------------------------------
+
+TEST(HashTest, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a test vectors: the stable cross-platform value is the
+  // whole point (shard dispatch must not depend on the standard library).
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(HashTest, Fnv1a64IsConstexprAndStable) {
+  static_assert(Fnv1a64("clean") == Fnv1a64("clean"));
+  static_assert(Fnv1a64("clean") != Fnv1a64("match"));
+  EXPECT_EQ(Fnv1a64(std::string("payload_7")), Fnv1a64("payload_7"));
+}
+
+TEST(HashTest, Fnv1a64SpreadsShardAssignments) {
+  // 64 distinct payloads over 4 shards: every shard must see traffic.
+  std::set<uint64_t> shards;
+  for (int i = 0; i < 64; ++i) {
+    shards.insert(Fnv1a64("cell_" + std::to_string(i)) % 4);
+  }
+  EXPECT_EQ(shards.size(), 4u);
 }
 
 TEST(StatusTest, ServingStatusCodes) {

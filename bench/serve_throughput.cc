@@ -18,8 +18,10 @@
 // exercises one front-end over three routes. A final section serves a real
 // (tiny) RPT-C cleaner to show the end-to-end path.
 //
-// `--smoke` runs a small correctness-only subset (bit-identity and stats
-// reconciliation, no timing assertions) for CI.
+// `--smoke` (or `--quick`) runs a small correctness-only subset
+// (bit-identity and stats reconciliation, no timing assertions) for CI.
+// `--trace-out PATH` enables the global tracer plus the nn-stage exporter
+// and writes the run's spans as Chrome trace_event JSON on exit.
 
 #include <atomic>
 #include <chrono>
@@ -35,6 +37,8 @@
 #include <vector>
 
 #include "eval/report.h"
+#include "obs/stage_exporter.h"
+#include "obs/trace.h"
 #include "rpt/cleaner.h"
 #include "rpt/vocab_builder.h"
 #include "serve/routed_server.h"
@@ -405,10 +409,45 @@ void ServeRealCleaner() {
               static_cast<double>(kCleanerRequests) / elapsed);
 }
 
+/// Writes the tracer's retained spans as Chrome trace JSON (open the file
+/// in chrome://tracing or Perfetto). Counts a failed write as a failure.
+void WriteTrace(const char* path) {
+  const std::string json = rpt::obs::GlobalTracer().ChromeTraceJson();
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("FAIL: cannot open trace output '%s'\n", path);
+    ++g_failures;
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\ntrace: %zu spans written to %s\n",
+              rpt::obs::GlobalTracer().Snapshot().size(), path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  const char* trace_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0 ||
+        std::strcmp(argv[i], "--quick") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke|--quick] [--trace-out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (trace_out != nullptr) {
+    rpt::obs::GlobalTracer().set_enabled(true);
+    rpt::obs::InstallStageTimingExporter();
+  }
+
   if (smoke) {
     // CI path: correctness only — bit-identity and stats reconciliation —
     // at sizes that stay fast under sanitizers. Timing targets are only
@@ -416,6 +455,7 @@ int main(int argc, char** argv) {
     RoutedScaling(/*smoke=*/true);
     MixedRoutedWorkload(/*smoke=*/true);
     std::printf("\nsmoke: %d failure(s)\n", g_failures);
+    if (trace_out != nullptr) WriteTrace(trace_out);
     return g_failures == 0 ? 0 : 1;
   }
 
@@ -453,5 +493,6 @@ int main(int argc, char** argv) {
   RoutedScaling(/*smoke=*/false);
   MixedRoutedWorkload(/*smoke=*/false);
   ServeRealCleaner();
+  if (trace_out != nullptr) WriteTrace(trace_out);
   return g_failures == 0 ? 0 : 1;
 }

@@ -10,16 +10,24 @@
 // that shard's LRU cache. The run ends with the aggregated routed stats:
 // per-route, per-shard, and totals in one report.
 //
+// Observability: `--metrics` prints the Prometheus text exposition of the
+// serving metrics after the run; `--trace-out PATH` enables request
+// tracing (plus the nn-stage exporter) and writes the spans as Chrome
+// trace_event JSON — open it in chrome://tracing or Perfetto.
+//
 // Build & run:  cmake -B build && cmake --build build &&
 //               ./build/examples/routing_demo
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/stage_exporter.h"
+#include "obs/trace.h"
 #include "rpt/cleaner.h"
 #include "rpt/extractor.h"
 #include "rpt/vocab_builder.h"
@@ -97,7 +105,25 @@ std::unique_ptr<RptExtractor> TrainExtractor(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool print_metrics = false;
+  const char* trace_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      print_metrics = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics] [--trace-out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (trace_out != nullptr) {
+    rpt::obs::GlobalTracer().set_enabled(true);
+    rpt::obs::InstallStageTimingExporter();
+  }
+
   std::printf("RPT routing demo: one front-end, every data-prep task\n\n");
   Table table = PeopleTable();
 
@@ -189,5 +215,22 @@ int main() {
 
   server.Shutdown();
   server.PrintStats();
+
+  if (print_metrics) {
+    std::printf("\n==== metrics (Prometheus text exposition) ====\n%s",
+                server.MetricsText().c_str());
+  }
+  if (trace_out != nullptr) {
+    const std::string json = server.DumpTrace();
+    std::FILE* f = std::fopen(trace_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open trace output '%s'\n", trace_out);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\ntrace written to %s (open in chrome://tracing)\n",
+                trace_out);
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 
+#include "profile/perf_hooks.h"
 #include "util/logging.h"
 
 namespace rpt {
@@ -224,6 +225,7 @@ TransformerEncoderModel::TransformerEncoderModel(
 
 Tensor TransformerEncoderModel::Encode(const TokenBatch& batch,
                                        Rng* rng) const {
+  ScopedStageTiming timing("nn.encode");
   Tensor x = embedding_.Forward(batch, rng);
   Tensor bias = BuildAttentionBias(batch.batch, config_.num_heads, batch.len,
                                    batch.len, batch.valid,
@@ -278,6 +280,7 @@ Seq2SeqTransformer::Seq2SeqTransformer(const TransformerConfig& config,
 }
 
 Tensor Seq2SeqTransformer::Encode(const TokenBatch& src, Rng* rng) const {
+  ScopedStageTiming timing("nn.encode");
   Tensor x = src_embedding_.Forward(src, rng);
   Tensor bias = BuildAttentionBias(src.batch, config_.num_heads, src.len,
                                    src.len, src.valid, /*causal=*/false);
@@ -357,6 +360,7 @@ void DecoderState::GatherRows(const std::vector<int64_t>& rows) {
 
 DecoderState Seq2SeqTransformer::BeginDecode(
     const Tensor& memory, const std::vector<uint8_t>& src_valid) const {
+  ScopedStageTiming timing("nn.prefill");
   NoGradGuard no_grad;
   DecoderState state;
   state.batch = memory.dim(0);
@@ -376,6 +380,7 @@ DecoderState Seq2SeqTransformer::BeginDecode(
 
 Tensor Seq2SeqTransformer::DecodeStep(const std::vector<int32_t>& last_tokens,
                                       DecoderState* state, Rng* rng) const {
+  ScopedStageTiming timing("nn.decode_step");
   RPT_CHECK(state != nullptr);
   RPT_CHECK_EQ(static_cast<int64_t>(last_tokens.size()), state->batch);
   RPT_CHECK_LT(state->step, config_.max_seq_len)
@@ -403,6 +408,7 @@ Tensor Seq2SeqTransformer::DecodeStep(const std::vector<int32_t>& last_tokens,
 std::vector<std::vector<int32_t>> Seq2SeqTransformer::GenerateGreedy(
     const TokenBatch& src, int32_t bos_id, int32_t eos_id, int64_t max_len,
     Rng* rng) const {
+  ScopedStageTiming timing("nn.generate_greedy");
   NoGradGuard no_grad;
   EvalModeGuard eval(this);
   // The decoder prefix is 1 (BOS) + generated tokens; clamp so it can never
@@ -465,6 +471,7 @@ std::vector<std::vector<int32_t>> Seq2SeqTransformer::GenerateGreedy(
 std::vector<std::vector<int32_t>> Seq2SeqTransformer::GenerateBeam(
     const TokenBatch& src, int32_t bos_id, int32_t eos_id, int64_t max_len,
     int64_t beam_width, int64_t num_results, Rng* rng) const {
+  ScopedStageTiming timing("nn.generate_beam");
   RPT_CHECK_EQ(src.batch, 1) << "GenerateBeam expects a single sequence";
   RPT_CHECK_GE(beam_width, 1);
   NoGradGuard no_grad;

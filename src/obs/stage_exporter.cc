@@ -1,0 +1,37 @@
+#include "obs/stage_exporter.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "profile/perf_hooks.h"
+
+namespace rpt {
+namespace obs {
+
+void InstallStageTimingExporter() {
+  SetStageTimingHook([](const char* stage, StageClock::time_point begin,
+                        StageClock::time_point end) {
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - begin).count();
+    GlobalMetrics()
+        .GetHistogram("rpt_stage_ms", {{"stage", stage}},
+                      DefaultLatencyBucketsMs(),
+                      "Model-layer stage durations (encode, prefill, decode "
+                      "steps) in milliseconds")
+        ->Observe(ms);
+    Tracer& tracer = GlobalTracer();
+    if (tracer.enabled()) {
+      const TraceContext ctx = CurrentTraceContext();
+      if (ctx.trace_id != 0) {
+        tracer.Record({ctx.trace_id, tracer.NewSpanId(), ctx.span_id, stage,
+                       begin, end, CurrentThreadId()});
+      }
+    }
+  });
+}
+
+void UninstallStageTimingExporter() { SetStageTimingHook(nullptr); }
+
+}  // namespace obs
+}  // namespace rpt

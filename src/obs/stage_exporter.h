@@ -1,0 +1,23 @@
+// Bridges the profile-layer stage-timing hooks into the observability
+// layer: every nn stage (encode, prefill, decode step, ...) becomes an
+// `rpt_stage_ms{stage=...}` histogram observation, and — while the global
+// tracer is enabled and the emitting thread carries a trace context — a
+// child span under that context, so decode steps appear inside the serving
+// layer's execute span in the exported trace.
+
+#ifndef RPT_OBS_STAGE_EXPORTER_H_
+#define RPT_OBS_STAGE_EXPORTER_H_
+
+namespace rpt {
+namespace obs {
+
+/// Installs the exporter as the process-wide stage-timing hook. Idempotent.
+void InstallStageTimingExporter();
+
+/// Clears the hook (stages go back to one-atomic-load no-ops).
+void UninstallStageTimingExporter();
+
+}  // namespace obs
+}  // namespace rpt
+
+#endif  // RPT_OBS_STAGE_EXPORTER_H_

@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <functional>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace rpt {
+namespace obs {
+
+namespace {
+
+thread_local TraceContext t_current_context;
+
+TraceContext ExchangeContext(TraceContext ctx) {
+  TraceContext prev = t_current_context;
+  t_current_context = ctx;
+  return prev;
+}
+
+}  // namespace
+
+TraceContext CurrentTraceContext() { return t_current_context; }
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  static thread_local const uint32_t id = next.fetch_add(1) + 1;
+  return id;
+}
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void Tracer::Record(SpanRecord record) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the head.
+  ring_[head_] = std::move(record);
+  head_ = (head_ + 1) % capacity_;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  const std::vector<SpanRecord> spans = Snapshot();
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out << ',';
+    first = false;
+    const auto to_us = [](TraceClock::time_point tp) {
+      return std::chrono::duration<double, std::micro>(tp.time_since_epoch())
+          .count();
+    };
+    const double ts = to_us(span.begin);
+    const double dur = to_us(span.end) - ts;
+    out << "\n{\"ph\":\"X\",\"pid\":1,\"tid\":" << span.thread_id
+        << ",\"name\":\"" << span.name << "\",\"ts\":" << std::fixed << ts
+        << ",\"dur\":" << dur << ",\"args\":{\"trace_id\":" << span.trace_id
+        << ",\"span_id\":" << span.span_id
+        << ",\"parent_id\":" << span.parent_id << "}}";
+    out.unsetf(std::ios_base::fixed);
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+Tracer& GlobalTracer() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Span::Span(std::string name, TraceContext parent) {
+  if constexpr (!kObsEnabled) return;
+  Tracer& tracer = GlobalTracer();
+  if (!tracer.enabled()) return;
+  armed_ = true;
+  name_ = std::move(name);
+  ctx_.trace_id = parent.trace_id != 0 ? parent.trace_id : tracer.NewTraceId();
+  ctx_.span_id = tracer.NewSpanId();
+  parent_id_ = parent.span_id;
+  prev_ = ExchangeContext(ctx_);
+  begin_ = TraceClock::now();
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  ExchangeContext(prev_);
+  GlobalTracer().Record({ctx_.trace_id, ctx_.span_id, parent_id_,
+                         std::move(name_), begin_, TraceClock::now(),
+                         CurrentThreadId()});
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx) {
+  if constexpr (!kObsEnabled) return;
+  if (ctx.trace_id == 0) return;
+  prev_ = ExchangeContext(ctx);
+  installed_ = true;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (installed_) ExchangeContext(prev_);
+}
+
+ScopedTrace::ScopedTrace() {
+  if constexpr (!kObsEnabled) return;
+  Tracer& tracer = GlobalTracer();
+  if (!tracer.enabled() || CurrentTraceContext().trace_id != 0) return;
+  prev_ = ExchangeContext({tracer.NewTraceId(), 0});
+  installed_ = true;
+}
+
+ScopedTrace::~ScopedTrace() {
+  if (installed_) ExchangeContext(prev_);
+}
+
+}  // namespace obs
+}  // namespace rpt

@@ -1,0 +1,169 @@
+// Request tracing for the serving stack.
+//
+// A Tracer hands out process-unique trace ids (one per request) and span
+// ids, and records completed spans — name, trace/span/parent ids, steady-
+// clock begin/end, thread — into a bounded ring buffer. The serving layer
+// opens a root span per request and child spans for each stage (queue wait,
+// batch formation, model execution, decode steps), so one request's latency
+// decomposes end to end. Snapshot() returns the retained spans oldest-first;
+// ChromeTraceJson() renders them as Chrome `trace_event` complete events
+// (load the file at chrome://tracing or https://ui.perfetto.dev).
+//
+// Context propagation is thread-local: a live Span installs itself as the
+// current context, so spans opened further down the stack (including the
+// nn stage hooks) parent correctly without plumbing ids through every call.
+// Cross-thread hops (Submit -> collector) carry ids explicitly.
+//
+// Cost discipline: the tracer is disabled by default. A disabled tracer
+// costs one relaxed atomic load per would-be span; building with
+// -DRPT_OBS_OFF removes even that.
+
+#ifndef RPT_OBS_TRACE_H_
+#define RPT_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"  // kObsEnabled
+
+namespace rpt {
+namespace obs {
+
+using TraceClock = std::chrono::steady_clock;
+
+/// One finished span.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  TraceClock::time_point begin;
+  TraceClock::time_point end;
+  uint32_t thread_id = 0;
+};
+
+/// The (trace, span) pair child spans attach to.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
+/// The calling thread's current context ({0, 0} when none).
+TraceContext CurrentTraceContext();
+
+/// Stable small id for the calling thread (for trace export).
+uint32_t CurrentThreadId();
+
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 16384);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    if constexpr (!kObsEnabled) return false;
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t NewTraceId() { return next_trace_.fetch_add(1) + 1; }
+  uint64_t NewSpanId() { return next_span_.fetch_add(1) + 1; }
+
+  /// Appends one span; when the ring is full the oldest span is dropped
+  /// (and counted). No-op while disabled.
+  void Record(SpanRecord record);
+
+  /// Retained spans, oldest first.
+  std::vector<SpanRecord> Snapshot() const;
+
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+  /// Chrome trace_event JSON ("X" complete events; ts/dur in microseconds,
+  /// trace/span/parent ids in args).
+  std::string ChromeTraceJson() const;
+
+ private:
+  const size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_trace_{0};
+  std::atomic<uint64_t> next_span_{0};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;  // ring_[(head_ + i) % size] oldest-first
+  size_t head_ = 0;               // index of the oldest record when full
+};
+
+/// The process-wide tracer the serving stack records into.
+Tracer& GlobalTracer();
+
+/// RAII span over the global tracer. Inherits the thread's current context
+/// (starting a fresh trace when none is active), installs itself as the
+/// current context for its lifetime, and records on destruction. When the
+/// tracer is disabled, construction is one atomic load and nothing else.
+class Span {
+ public:
+  explicit Span(std::string name) : Span(std::move(name),
+                                         CurrentTraceContext()) {}
+  Span(std::string name, TraceContext parent);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Context for explicit children; {0, 0} when the tracer was disabled.
+  TraceContext context() const { return ctx_; }
+
+ private:
+  std::string name_;
+  TraceContext ctx_;       // this span (zero when disarmed)
+  TraceContext prev_;      // restored on destruction
+  uint64_t parent_id_ = 0;
+  TraceClock::time_point begin_;
+  bool armed_ = false;
+};
+
+/// Installs `ctx` as the thread's current context for the scope (no-op for
+/// a zero trace id). Used to hand a collector thread the context of the
+/// request whose execution it is running.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+  bool installed_ = false;
+};
+
+/// Ensures the thread has a current trace id for the scope: when the tracer
+/// is enabled and no trace is active, starts one (with no span, so the next
+/// Span becomes the root). RoutedServer::Submit opens one of these so every
+/// shard-level span of one request shares a trace id.
+class ScopedTrace {
+ public:
+  ScopedTrace();
+  ~ScopedTrace();
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceContext prev_;
+  bool installed_ = false;
+};
+
+}  // namespace obs
+}  // namespace rpt
+
+#endif  // RPT_OBS_TRACE_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "eval/report.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace rpt {
@@ -57,13 +58,22 @@ RoutedServer::RoutedServer(std::vector<RouteSpec> routes) {
     Route route;
     route.name = spec.name;
     route.shards.reserve(spec.replicas.size());
-    for (auto& session : spec.replicas) {
-      route.shards.push_back(
-          std::make_unique<ServeShard>(std::move(session), spec.config));
+    for (size_t i = 0; i < spec.replicas.size(); ++i) {
+      ServerConfig shard_config = spec.config;
+      shard_config.name = spec.name + "#" + std::to_string(i);
+      route.shards.push_back(std::make_unique<ServeShard>(
+          std::move(spec.replicas[i]), std::move(shard_config)));
     }
     index_[route.name] = routes_.size();
     routes_.push_back(std::move(route));
   }
+  obs::MetricsRegistry& reg = obs::GlobalMetrics();
+  unknown_route_metric_ =
+      reg.GetCounter("rpt_route_unknown_total", {},
+                     "Submits naming no configured route");
+  fallback_metric_ =
+      reg.GetCounter("rpt_route_fallback_total", {},
+                     "Saturation re-routes off the hash-chosen shard");
 }
 
 RoutedServer::~RoutedServer() { Shutdown(); }
@@ -71,9 +81,13 @@ RoutedServer::~RoutedServer() { Shutdown(); }
 std::future<ServeResponse> RoutedServer::Submit(
     const std::string& route, std::string input,
     std::chrono::milliseconds timeout) {
+  // One trace id per request: the shard-level spans (submit, queue wait,
+  // batch, execute) all attach to the trace opened here.
+  obs::ScopedTrace request_trace;
   const auto it = index_.find(route);
   if (it == index_.end()) {
     unknown_route_.fetch_add(1, std::memory_order_relaxed);
+    unknown_route_metric_->Increment();
     ServeResponse r;
     r.status = Status::NotFound("no route named '" + route + "'");
     return ReadyServeResponse(std::move(r));
@@ -96,6 +110,7 @@ std::future<ServeResponse> RoutedServer::Submit(
     }
     if (best != shard) {
       fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      fallback_metric_->Increment();
       shard = best;
     }
   }
@@ -142,6 +157,14 @@ RoutedStatsSnapshot RoutedServer::Stats() const {
 
 void RoutedServer::PrintStats() const {
   std::fputs(Stats().Render().c_str(), stdout);
+}
+
+std::string RoutedServer::MetricsText() const {
+  return obs::GlobalMetrics().TextFormat();
+}
+
+std::string RoutedServer::DumpTrace() const {
+  return obs::GlobalTracer().ChromeTraceJson();
 }
 
 size_t RoutedServer::NumShards(const std::string& route) const {

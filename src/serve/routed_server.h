@@ -31,6 +31,13 @@
 // whole server (AggregateStats in serve/shard.h; percentiles are recomputed
 // from the merged raw latency reservoirs, not averaged), and Render() lays
 // out the totals, each route, and a per-shard table in one report.
+//
+// Observability: every Submit runs under a per-request trace id (obs/
+// trace.h; shards record submit/queue-wait/batch/execute spans against it
+// while the global tracer is enabled), and every shard mirrors its counters
+// into the process-wide metrics registry under server="<route>#<shard>".
+// MetricsText() exposes the registry as Prometheus text; DumpTrace() the
+// retained spans as Chrome trace JSON.
 
 #ifndef RPT_SERVE_ROUTED_SERVER_H_
 #define RPT_SERVE_ROUTED_SERVER_H_
@@ -45,6 +52,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/model_session.h"
 #include "serve/shard.h"
 #include "util/hash.h"
@@ -114,6 +122,14 @@ class RoutedServer {
   /// Renders Stats() and prints to stdout.
   void PrintStats() const;
 
+  /// Prometheus text exposition of the process-wide metrics registry
+  /// (includes this server's per-shard series).
+  std::string MetricsText() const;
+
+  /// Chrome trace_event JSON of the spans retained by the global tracer.
+  /// Empty-but-valid while the tracer has never been enabled.
+  std::string DumpTrace() const;
+
   bool HasRoute(const std::string& route) const {
     return index_.find(route) != index_.end();
   }
@@ -130,6 +146,9 @@ class RoutedServer {
   std::unordered_map<std::string, size_t> index_;  // name -> routes_ index
   std::atomic<uint64_t> unknown_route_{0};
   std::atomic<uint64_t> fallbacks_{0};
+  // Registry mirrors of the two dispatch counters (obs/metrics.h).
+  obs::Counter* unknown_route_metric_;
+  obs::Counter* fallback_metric_;
 };
 
 }  // namespace rpt

@@ -2,10 +2,16 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace rpt {
 
 void InferenceServer::PrintStats() const {
   std::fputs(Stats().Render(shard_.session()->name()).c_str(), stdout);
+}
+
+std::string InferenceServer::MetricsText() const {
+  return obs::GlobalMetrics().TextFormat();
 }
 
 }  // namespace rpt

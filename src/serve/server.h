@@ -74,6 +74,10 @@ class InferenceServer {
   /// Renders Stats() through eval/report and prints to stdout.
   void PrintStats() const;
 
+  /// Prometheus text exposition of the process-wide metrics registry
+  /// (includes this server's series under server=config().name).
+  std::string MetricsText() const;
+
   const ServerConfig& config() const { return shard_.config(); }
 
  private:

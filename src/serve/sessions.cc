@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "profile/perf_hooks.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -111,6 +112,7 @@ Status CleanerSession::Validate(const std::string& input) const {
 
 std::vector<std::string> CleanerSession::RunBatch(
     const std::vector<std::string>& inputs) {
+  ScopedStageTiming timing("session.cleaner");
   std::vector<CellQuery> queries;
   queries.reserve(inputs.size());
   for (const auto& input : inputs) {
@@ -146,6 +148,7 @@ std::string MatcherSession::FormatPairQuery(const Tuple& a, const Tuple& b) {
 
 std::vector<std::string> MatcherSession::RunBatch(
     const std::vector<std::string>& inputs) {
+  ScopedStageTiming timing("session.matcher");
   std::vector<Tuple> lhs, rhs;
   lhs.reserve(inputs.size());
   rhs.reserve(inputs.size());
@@ -184,6 +187,7 @@ std::string ExtractorSession::FormatQaQuery(const std::string& question,
 
 std::vector<std::string> ExtractorSession::RunBatch(
     const std::vector<std::string>& inputs) {
+  ScopedStageTiming timing("session.extractor");
   std::vector<QaExample> queries;
   queries.reserve(inputs.size());
   for (const auto& input : inputs) {
@@ -206,6 +210,7 @@ SyntheticSession::SyntheticSession(std::chrono::microseconds per_pass,
 
 std::vector<std::string> SyntheticSession::RunBatch(
     const std::vector<std::string>& inputs) {
+  ScopedStageTiming timing("session.synthetic");
   const auto budget =
       per_pass_ + per_item_ * static_cast<int64_t>(inputs.size());
   if (wait_ == SyntheticWait::kSleep) {

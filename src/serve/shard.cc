@@ -8,6 +8,8 @@
 
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace rpt {
@@ -19,7 +21,121 @@ double ElapsedMs(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+/// Appends one span to the global tracer (which drops it when disabled).
+void RecordSpan(const char* name, uint64_t trace_id, uint64_t span_id,
+                uint64_t parent_id, std::chrono::steady_clock::time_point begin,
+                std::chrono::steady_clock::time_point end) {
+  obs::GlobalTracer().Record(
+      {trace_id, span_id, parent_id, name, begin, end, obs::CurrentThreadId()});
+}
+
 }  // namespace
+
+// Metrics-registry handles for one shard, resolved once at construction so
+// the Submit/CompleteBatch hot paths touch only atomics. The registry
+// counters mirror the ServerStatsSnapshot fields, with one monotonicity
+// change: a coalesced duplicate increments `cache_hits` without ever
+// decrementing a miss — the registry exposes `cache_lookups` instead of
+// misses, so every series stays a proper Prometheus counter.
+struct ServeShard::Obs {
+  obs::Counter* submitted;
+  obs::Counter* completed;
+  obs::Counter* rejected_queue_full;
+  obs::Counter* rejected_shutdown;
+  obs::Counter* expired;
+  obs::Counter* invalid;
+  obs::Counter* cache_lookups;
+  obs::Counter* cache_hits;
+  obs::Counter* coalesced;
+  obs::Counter* batches;
+  obs::Gauge* queue_depth;
+  obs::Gauge* arrival_rate;
+  obs::Histogram* queue_wait_ms;
+  obs::Histogram* batch_rows;
+  obs::Histogram* execute_ms;
+  obs::Histogram* latency_ms;
+  obs::Histogram* arrival_interval_ms;
+  std::atomic<int64_t> last_arrival_ns{0};
+
+  explicit Obs(const ServerConfig& config) {
+    obs::MetricsRegistry& reg = obs::GlobalMetrics();
+    const obs::Labels label = {{"server", config.name}};
+    submitted = reg.GetCounter("rpt_serve_submitted_total", label,
+                               "Requests submitted to the shard");
+    completed = reg.GetCounter("rpt_serve_completed_total", label,
+                               "Requests completed through the model path");
+    rejected_queue_full =
+        reg.GetCounter("rpt_serve_rejected_total",
+                       {{"server", config.name}, {"reason", "queue_full"}},
+                       "Requests rejected at submit time");
+    rejected_shutdown =
+        reg.GetCounter("rpt_serve_rejected_total",
+                       {{"server", config.name}, {"reason", "shutdown"}},
+                       "Requests rejected at submit time");
+    expired = reg.GetCounter("rpt_serve_expired_total", label,
+                             "Requests whose deadline passed while queued");
+    invalid = reg.GetCounter("rpt_serve_invalid_total", label,
+                             "Requests rejected by session Validate");
+    cache_lookups =
+        reg.GetCounter("rpt_serve_cache_lookups_total", label,
+                       "Response-cache lookup outcomes (hits + misses)");
+    cache_hits = reg.GetCounter(
+        "rpt_serve_cache_hits_total", label,
+        "Submit-time LRU hits plus in-batch coalesced duplicates");
+    coalesced =
+        reg.GetCounter("rpt_serve_coalesced_total", label,
+                       "In-batch duplicates folded into one execution");
+    batches = reg.GetCounter("rpt_serve_batches_total", label,
+                             "Model forward passes executed");
+    queue_depth = reg.GetGauge("rpt_serve_queue_depth", label,
+                               "Requests waiting in the shard queue");
+    arrival_rate =
+        reg.GetGauge("rpt_serve_arrival_rate_rps", label,
+                     "EWMA request arrival rate in requests per second");
+    queue_wait_ms = reg.GetHistogram(
+        "rpt_serve_queue_wait_ms", label, obs::DefaultLatencyBucketsMs(),
+        "Time from enqueue to micro-batch pickup in milliseconds");
+    // One family, one bucket layout: the registry (correctly) aborts on a
+    // per-shard layout, so batch-row buckets span every plausible
+    // max_batch_size rather than following this shard's config.
+    batch_rows = reg.GetHistogram(
+        "rpt_serve_batch_rows", label, obs::PowerOfTwoBuckets(512),
+        "Unique rows per executed forward pass");
+    execute_ms = reg.GetHistogram(
+        "rpt_serve_execute_ms", label, obs::DefaultLatencyBucketsMs(),
+        "Model execution time per forward pass in milliseconds");
+    latency_ms = reg.GetHistogram(
+        "rpt_serve_latency_ms", label, obs::DefaultLatencyBucketsMs(),
+        "Submit-to-completion latency in milliseconds (all served paths)");
+    arrival_interval_ms = reg.GetHistogram(
+        "rpt_serve_arrival_interval_ms", label,
+        obs::DefaultLatencyBucketsMs(),
+        "Gap between consecutive submits in milliseconds");
+  }
+
+  /// Per-submit accounting: arrival interval histogram and an approximate
+  /// EWMA arrival-rate gauge (last-writer-wins races only smudge the
+  /// smoothing, never the counters).
+  void OnSubmit(size_t depth, std::chrono::steady_clock::time_point at) {
+    if constexpr (!obs::kObsEnabled) return;
+    submitted->Increment();
+    queue_depth->Set(static_cast<double>(depth));
+    const int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            at.time_since_epoch())
+            .count();
+    const int64_t prev_ns =
+        last_arrival_ns.exchange(now_ns, std::memory_order_relaxed);
+    if (prev_ns == 0 || now_ns <= prev_ns) return;
+    const double interval_ms =
+        static_cast<double>(now_ns - prev_ns) / 1e6;
+    arrival_interval_ms->Observe(interval_ms);
+    const double instant_rps = 1000.0 / std::max(interval_ms, 1e-3);
+    const double prev_rate = arrival_rate->Value();
+    arrival_rate->Set(prev_rate == 0 ? instant_rps
+                                     : 0.9 * prev_rate + 0.1 * instant_rps);
+  }
+};
 
 std::future<ServeResponse> ReadyServeResponse(ServeResponse response) {
   std::promise<ServeResponse> promise;
@@ -103,9 +219,10 @@ ServerStatsSnapshot AggregateStats(
 ServeShard::ServeShard(std::shared_ptr<ModelSession> session,
                        ServerConfig config)
     : session_(std::move(session)),
-      config_(config),
-      queue_(config.queue_capacity),
-      cache_(config.cache_capacity) {
+      config_(std::move(config)),
+      queue_(config_.queue_capacity),
+      cache_(config_.cache_capacity),
+      obs_(std::make_unique<Obs>(config_)) {
   RPT_CHECK(session_ != nullptr);
   RPT_CHECK_GE(config_.max_batch_size, 1u);
   collector_ = std::thread([this] { CollectorLoop(); });
@@ -117,19 +234,53 @@ std::future<ServeResponse> ServeShard::Submit(
     std::string input, std::chrono::milliseconds timeout) {
   const auto submitted_at = std::chrono::steady_clock::now();
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  obs_->OnSubmit(queue_.size(), submitted_at);
+
+  // Trace stamp: inherit the caller's trace (RoutedServer::Submit opens
+  // one), or start a fresh one for direct shard submissions. The root
+  // "serve.submit" span id is reserved now and recorded by whichever path
+  // completes the request.
+  obs::Tracer& tracer = obs::GlobalTracer();
+  const bool tracing = tracer.enabled();
+  uint64_t trace_id = 0;
+  uint64_t root_span = 0;
+  if (tracing) {
+    trace_id = obs::CurrentTraceContext().trace_id;
+    if (trace_id == 0) trace_id = tracer.NewTraceId();
+    root_span = tracer.NewSpanId();
+  }
+
   if (!accepting_.load(std::memory_order_acquire)) {
     shutdown_rejected_.fetch_add(1, std::memory_order_relaxed);
+    obs_->rejected_shutdown->Increment();
     ServeResponse r;
     r.status = Status::Unavailable("server is shut down, not accepting work");
+    if (tracing) {
+      RecordSpan("serve.submit", trace_id, root_span, 0, submitted_at,
+                 std::chrono::steady_clock::now());
+    }
     return ReadyServeResponse(std::move(r));
   }
   if (config_.cache_capacity > 0) {
-    if (auto hit = cache_.Get(input)) {
+    auto hit = cache_.Get(input);
+    const auto looked_up = std::chrono::steady_clock::now();
+    if (tracing) {
+      RecordSpan("serve.cache_lookup", trace_id, tracer.NewSpanId(), root_span,
+                 submitted_at, looked_up);
+    }
+    if (hit) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      obs_->cache_lookups->Increment();
+      obs_->cache_hits->Increment();
       ServeResponse r;
       r.output = std::move(*hit);
       r.cache_hit = true;
-      r.latency_ms = ElapsedMs(submitted_at, std::chrono::steady_clock::now());
+      r.latency_ms = ElapsedMs(submitted_at, looked_up);
+      obs_->latency_ms->Observe(r.latency_ms);
+      if (tracing) {
+        RecordSpan("serve.submit", trace_id, root_span, 0, submitted_at,
+                   looked_up);
+      }
       return ReadyServeResponse(std::move(r));
     }
   }
@@ -141,11 +292,18 @@ std::future<ServeResponse> ServeShard::Submit(
   // overflow the steady_clock representation.
   p.has_deadline = timeout != std::chrono::milliseconds::max();
   if (p.has_deadline) p.deadline = p.enqueued + timeout;
+  p.trace_id = tracing ? trace_id : 0;
+  p.root_span = root_span;
   std::future<ServeResponse> future = p.promise.get_future();
   if (!queue_.TryPush(std::move(p))) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    obs_->rejected_queue_full->Increment();
     ServeResponse r;
     r.status = Status::Unavailable("request queue is full");
+    if (tracing) {
+      RecordSpan("serve.submit", trace_id, root_span, 0, submitted_at,
+                 std::chrono::steady_clock::now());
+    }
     return ReadyServeResponse(std::move(r));
   }
   // Counted only after the push succeeds: a rejected request never produces
@@ -153,6 +311,7 @@ std::future<ServeResponse> ServeShard::Submit(
   // the hit-rate denominator under backpressure.
   if (config_.cache_capacity > 0) {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    obs_->cache_lookups->Increment();
   }
   return future;
 }
@@ -171,11 +330,20 @@ void ServeShard::CollectorLoop() {
 
 void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
   const auto now = std::chrono::steady_clock::now();
+  obs::Tracer& tracer = obs::GlobalTracer();
+  const bool tracing = tracer.enabled();
+  obs_->queue_depth->Set(static_cast<double>(queue_.size()));
   std::vector<Pending*> live;
   live.reserve(batch->size());
   uint64_t newly_expired = 0;
   uint64_t newly_invalid = 0;
   for (Pending& p : *batch) {
+    // Every popped request waited enqueue -> pickup, whatever its fate.
+    obs_->queue_wait_ms->Observe(ElapsedMs(p.enqueued, now));
+    if (tracing && p.trace_id != 0) {
+      RecordSpan("serve.queue_wait", p.trace_id, tracer.NewSpanId(),
+                 p.root_span, p.enqueued, now);
+    }
     if (p.has_deadline && p.deadline < now) {
       ServeResponse r;
       r.status = Status::DeadlineExceeded(
@@ -183,6 +351,11 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
       r.latency_ms = ElapsedMs(p.enqueued, now);
       p.promise.set_value(std::move(r));
       ++newly_expired;
+      obs_->expired->Increment();
+      if (tracing && p.trace_id != 0) {
+        RecordSpan("serve.submit", p.trace_id, p.root_span, 0, p.enqueued,
+                   now);
+      }
       continue;
     }
     // Session-level validation runs here, on the single scheduler thread,
@@ -194,6 +367,11 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
       r.latency_ms = ElapsedMs(p.enqueued, now);
       p.promise.set_value(std::move(r));
       ++newly_invalid;
+      obs_->invalid->Increment();
+      if (tracing && p.trace_id != 0) {
+        RecordSpan("serve.submit", p.trace_id, p.root_span, 0, p.enqueued,
+                   now);
+      }
       continue;
     }
     live.push_back(&p);
@@ -219,10 +397,28 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
     }
     const uint64_t newly_coalesced = live.size() - inputs.size();
 
-    std::vector<std::string> outputs = session_->RunBatch(inputs);
+    // The collector runs the pass under the first live request's execute-
+    // span context, so model-layer stage spans (encode, prefill, decode
+    // steps — profile/perf_hooks.h via obs/stage_exporter.h) nest inside
+    // one representative request's trace.
+    uint64_t rep_exec_span = 0;
+    if (tracing && live[0]->trace_id != 0) {
+      rep_exec_span = tracer.NewSpanId();
+    }
+    const auto run_begin = std::chrono::steady_clock::now();
+    std::vector<std::string> outputs;
+    {
+      obs::ScopedTraceContext rep_context(
+          {rep_exec_span != 0 ? live[0]->trace_id : 0, rep_exec_span});
+      outputs = session_->RunBatch(inputs);
+    }
     RPT_CHECK_EQ(outputs.size(), inputs.size())
         << "session returned a mismatched batch";
     const auto done = std::chrono::steady_clock::now();
+    obs_->execute_ms->Observe(ElapsedMs(run_begin, done));
+    obs_->batch_rows->Observe(static_cast<double>(inputs.size()));
+    obs_->batches->Increment();
+    obs_->completed->Increment(live.size());
     for (size_t j = 0; j < inputs.size(); ++j) {
       cache_.Put(inputs[j], outputs[j]);
     }
@@ -235,15 +431,32 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
       r.batch_size = static_cast<int64_t>(inputs.size());
       r.cache_hit = is_dupe[i];
       lats.push_back(r.latency_ms);
+      obs_->latency_ms->Observe(r.latency_ms);
       live[i]->promise.set_value(std::move(r));
+      if (tracing && live[i]->trace_id != 0) {
+        // Per-request view of the shared batch: formation (validation +
+        // coalescing), execution, and the submit->completion root.
+        RecordSpan("serve.batch", live[i]->trace_id, tracer.NewSpanId(),
+                   live[i]->root_span, now, run_begin);
+        const uint64_t exec_span =
+            (i == 0 && rep_exec_span != 0) ? rep_exec_span
+                                           : tracer.NewSpanId();
+        RecordSpan("serve.execute", live[i]->trace_id, exec_span,
+                   live[i]->root_span, run_begin, done);
+        RecordSpan("serve.submit", live[i]->trace_id, live[i]->root_span, 0,
+                   live[i]->enqueued, done);
+      }
     }
     if (newly_coalesced > 0 && config_.cache_capacity > 0) {
       // A duplicate's submit-time miss becomes a hit on its batch-mate's
       // result, keeping hits + misses == one lookup outcome per admitted
-      // request.
+      // request. The registry's cache_hits counter gets the same credit;
+      // its lookup was already counted at submit time.
       cache_hits_.fetch_add(newly_coalesced, std::memory_order_relaxed);
       cache_misses_.fetch_sub(newly_coalesced, std::memory_order_relaxed);
+      obs_->cache_hits->Increment(newly_coalesced);
     }
+    obs_->coalesced->Increment(newly_coalesced);
     std::lock_guard<std::mutex> lock(stats_mu_);
     completed_ += live.size();
     expired_ += newly_expired;

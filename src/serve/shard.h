@@ -60,6 +60,9 @@ struct ServerConfig {
   size_t queue_capacity = 256;
   /// LRU response-cache entries keyed on the payload; 0 disables caching.
   size_t cache_capacity = 1024;
+  /// Value of the `server` label on this shard's metrics registry series
+  /// (obs/metrics.h). RoutedServer names its shards "<route>#<index>".
+  std::string name = "serve";
 };
 
 /// Outcome of one request.
@@ -148,7 +151,17 @@ class ServeShard {
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
+    // Trace stamp (obs/trace.h): zero while the tracer is disabled. The
+    // root "serve.submit" span is recorded by whichever thread completes
+    // the request, so it covers submit -> completion.
+    uint64_t trace_id = 0;
+    uint64_t root_span = 0;
   };
+
+  // Metrics-registry handles + trace plumbing, resolved once at
+  // construction (shard.cc); kept behind a pointer so the header does not
+  // pull in the obs layer.
+  struct Obs;
 
   void CollectorLoop();
   void CompleteBatch(std::vector<Pending>* batch);
@@ -176,6 +189,7 @@ class ServeShard {
   uint64_t batches_ = 0;
   std::map<size_t, uint64_t> batch_hist_;
   std::vector<double> latencies_ms_;
+  std::unique_ptr<Obs> obs_;
 };
 
 }  // namespace rpt

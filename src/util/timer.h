@@ -1,4 +1,6 @@
-// Wall-clock stopwatch for reporting stage timings in benches.
+// Steady-clock stopwatch for reporting stage timings in benches. (Steady,
+// not system/wall time: elapsed readings must survive clock adjustments —
+// the same rule the serving layer follows for all timing.)
 
 #ifndef RPT_UTIL_TIMER_H_
 #define RPT_UTIL_TIMER_H_

@@ -1,0 +1,457 @@
+// Tests for the observability layer: metrics registry semantics, Prometheus
+// text exposition validity, tracer ring-buffer behavior, thread-local span
+// nesting, and the end-to-end trace a RoutedServer request produces
+// (serve.submit containing queue_wait / batch / execute spans).
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/routed_server.h"
+#include "serve/server.h"
+#include "serve/sessions.h"
+
+namespace rpt {
+namespace {
+
+using obs::GlobalMetrics;
+using obs::GlobalTracer;
+using obs::Labels;
+using obs::SpanRecord;
+using std::chrono::microseconds;
+
+/// Re-enables/disables the global tracer for one test and clears its ring,
+/// so tests neither see each other's spans nor leave tracing on.
+class ScopedTracerEnabled {
+ public:
+  ScopedTracerEnabled() {
+    GlobalTracer().Clear();
+    GlobalTracer().set_enabled(true);
+  }
+  ~ScopedTracerEnabled() {
+    GlobalTracer().set_enabled(false);
+    GlobalTracer().Clear();
+  }
+};
+
+// ---- Prometheus exposition validation ---------------------------------------
+
+struct Sample {
+  std::string name;
+  std::string labels;  // raw "{...}" text, "" when unlabeled
+  double value = 0;
+};
+
+/// Parses one exposition sample line; fails the test on malformed input.
+Sample ParseSample(const std::string& line) {
+  Sample s;
+  size_t i = 0;
+  while (i < line.size() &&
+         (std::isalnum(static_cast<unsigned char>(line[i])) ||
+          line[i] == '_' || line[i] == ':')) {
+    ++i;
+  }
+  EXPECT_GT(i, 0u) << "sample line has no metric name: " << line;
+  s.name = line.substr(0, i);
+  if (i < line.size() && line[i] == '{') {
+    const size_t close = line.find('}', i);
+    EXPECT_NE(close, std::string::npos) << "unclosed labels: " << line;
+    s.labels = line.substr(i, close - i + 1);
+    i = close + 1;
+  }
+  EXPECT_LT(i, line.size()) << "sample line has no value: " << line;
+  EXPECT_EQ(line[i], ' ') << "expected space before value: " << line;
+  char* end = nullptr;
+  s.value = std::strtod(line.c_str() + i + 1, &end);
+  EXPECT_EQ(*end, '\0') << "trailing junk after value: " << line;
+  return s;
+}
+
+/// Pulls the `le` label out of a bucket series' label text, returning the
+/// remaining labels (the series key) and the bound via `le_out`.
+std::string SplitOffLe(const std::string& labels, std::string* le_out) {
+  const size_t pos = labels.find("le=\"");
+  EXPECT_NE(pos, std::string::npos) << "bucket series without le: " << labels;
+  const size_t vbegin = pos + 4;
+  const size_t vend = labels.find('"', vbegin);
+  EXPECT_NE(vend, std::string::npos);
+  *le_out = labels.substr(vbegin, vend - vbegin);
+  // Drop `le="..."` plus one adjacent comma (either side), then normalize
+  // the empty "{}" case.
+  size_t erase_begin = pos;
+  size_t erase_end = vend + 1;
+  if (erase_end < labels.size() && labels[erase_end] == ',') {
+    ++erase_end;
+  } else if (erase_begin > 1 && labels[erase_begin - 1] == ',') {
+    --erase_begin;
+  }
+  std::string rest =
+      labels.substr(0, erase_begin) + labels.substr(erase_end);
+  if (rest == "{}") rest.clear();
+  return rest;
+}
+
+/// Checks `text` is well-formed Prometheus text exposition: every sample
+/// parses, every family has a # TYPE line before its samples, histogram
+/// buckets are cumulative and end in a +Inf bucket equal to _count.
+void ValidateExposition(const std::string& text) {
+  std::map<std::string, std::string> family_type;  // family -> counter/...
+  // histogram base name -> series labels (minus le) -> (le, cumulative).
+  std::map<std::string, std::map<std::string, std::vector<Sample>>> buckets;
+  std::map<std::string, std::map<std::string, double>> counts;
+
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const size_t sp = line.find(' ', 7);
+        ASSERT_NE(sp, std::string::npos) << "malformed TYPE line: " << line;
+        family_type[line.substr(7, sp - 7)] = line.substr(sp + 1);
+      } else {
+        EXPECT_EQ(line.rfind("# HELP ", 0), 0u)
+            << "unknown comment line: " << line;
+      }
+      continue;
+    }
+    const Sample s = ParseSample(line);
+    // The family is the name minus a histogram-series suffix.
+    std::string family = s.name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string suf(suffix);
+      if (family.size() > suf.size() &&
+          family.compare(family.size() - suf.size(), suf.size(), suf) == 0) {
+        const std::string base = family.substr(0, family.size() - suf.size());
+        if (family_type.count(base) && family_type[base] == "histogram") {
+          family = base;
+          break;
+        }
+      }
+    }
+    ASSERT_TRUE(family_type.count(family))
+        << "sample before its # TYPE line: " << line;
+    if (family_type[family] == "histogram" && s.name == family + "_bucket") {
+      std::string le;
+      const std::string key = SplitOffLe(s.labels, &le);
+      Sample b = s;
+      b.labels = le;  // reuse the labels slot for the bound
+      buckets[family][key].push_back(b);
+    }
+    if (family_type[family] == "histogram" && s.name == family + "_count") {
+      counts[family][s.labels] = s.value;
+    }
+  }
+
+  for (const auto& [family, series] : buckets) {
+    for (const auto& [key, bs] : series) {
+      ASSERT_FALSE(bs.empty());
+      double prev = -1;
+      for (const Sample& b : bs) {
+        EXPECT_GE(b.value, prev)
+            << family << key << " buckets are not cumulative";
+        prev = b.value;
+      }
+      EXPECT_EQ(bs.back().labels, "+Inf")
+          << family << key << " does not end in a +Inf bucket";
+      ASSERT_TRUE(counts[family].count(key))
+          << family << key << " has buckets but no _count";
+      EXPECT_EQ(bs.back().value, counts[family][key])
+          << family << key << " +Inf bucket disagrees with _count";
+    }
+  }
+}
+
+/// Value of the series `name{labels}` in `text`; fails when absent.
+double SampleValue(const std::string& text, const std::string& name,
+                   const std::string& labels) {
+  const std::string prefix = name + labels + " ";
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    if (text.compare(begin, prefix.size(), prefix) == 0) {
+      return std::strtod(text.c_str() + begin + prefix.size(), nullptr);
+    }
+    begin = end + 1;
+  }
+  ADD_FAILURE() << "no series " << name << labels << " in exposition";
+  return -1;
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+TEST(MetricsTest, CounterSumsAcrossThreads) {
+  if constexpr (!obs::kObsEnabled) GTEST_SKIP() << "built with RPT_OBS_OFF";
+  obs::Counter* c =
+      GlobalMetrics().GetCounter("rpt_test_threads_total", {{"t", "a"}});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < 1000; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), 8000u);
+}
+
+TEST(MetricsTest, SameNameAndLabelsShareOneSeries) {
+  obs::Counter* a =
+      GlobalMetrics().GetCounter("rpt_test_shared_total", {{"x", "1"}});
+  obs::Counter* b =
+      GlobalMetrics().GetCounter("rpt_test_shared_total", {{"x", "1"}});
+  obs::Counter* other =
+      GlobalMetrics().GetCounter("rpt_test_shared_total", {{"x", "2"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+}
+
+TEST(MetricsTest, GaugeStoresLastValueAndAdds) {
+  if constexpr (!obs::kObsEnabled) GTEST_SKIP() << "built with RPT_OBS_OFF";
+  obs::Gauge* g = GlobalMetrics().GetGauge("rpt_test_gauge");
+  g->Set(4.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 4.5);
+  g->Add(-1.25);
+  EXPECT_DOUBLE_EQ(g->Value(), 3.25);
+}
+
+TEST(MetricsTest, HistogramBucketsCountAndSum) {
+  if constexpr (!obs::kObsEnabled) GTEST_SKIP() << "built with RPT_OBS_OFF";
+  obs::Histogram* h = GlobalMetrics().GetHistogram(
+      "rpt_test_hist", {}, {1.0, 10.0, 100.0});
+  for (double v : {0.5, 0.5, 5.0, 50.0, 500.0}) h->Observe(v);
+  const std::vector<uint64_t> buckets = h->BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + Inf
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h->Count(), 5u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 556.0);
+}
+
+TEST(MetricsTest, PowerOfTwoBucketsCoverMaxRows) {
+  const std::vector<double> b = obs::PowerOfTwoBuckets(8);
+  ASSERT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.front(), 1.0);
+  EXPECT_GE(b.back(), 8.0);
+  for (size_t i = 1; i < b.size(); ++i) EXPECT_DOUBLE_EQ(b[i], 2 * b[i - 1]);
+}
+
+TEST(MetricsTest, TextFormatIsValidExposition) {
+  if constexpr (!obs::kObsEnabled) GTEST_SKIP() << "built with RPT_OBS_OFF";
+  GlobalMetrics()
+      .GetCounter("rpt_test_expo_total", {{"server", "expo"}},
+                  "A test counter")
+      ->Increment(3);
+  GlobalMetrics()
+      .GetHistogram("rpt_test_expo_ms", {{"server", "expo"}},
+                    obs::DefaultLatencyBucketsMs(), "A test histogram")
+      ->Observe(1.5);
+  const std::string text = GlobalMetrics().TextFormat();
+  ValidateExposition(text);
+  EXPECT_DOUBLE_EQ(
+      SampleValue(text, "rpt_test_expo_total", "{server=\"expo\"}"), 3.0);
+  EXPECT_DOUBLE_EQ(
+      SampleValue(text, "rpt_test_expo_ms_count", "{server=\"expo\"}"), 1.0);
+}
+
+// ---- Tracer -----------------------------------------------------------------
+
+SpanRecord MakeSpan(uint64_t trace, uint64_t span, const char* name) {
+  const auto now = obs::TraceClock::now();
+  return {trace, span, 0, name, now, now, 0};
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  obs::Tracer tracer(8);
+  tracer.Record(MakeSpan(1, 1, "dropped"));
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, RingOverwritesOldestAndCountsDrops) {
+  if constexpr (!obs::kObsEnabled) GTEST_SKIP() << "built with RPT_OBS_OFF";
+  obs::Tracer tracer(3);
+  tracer.set_enabled(true);
+  for (uint64_t i = 1; i <= 5; ++i) tracer.Record(MakeSpan(1, i, "s"));
+  const std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].span_id, 3u);  // oldest retained, oldest-first order
+  EXPECT_EQ(spans[2].span_id, 5u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+}
+
+TEST(TracerTest, SpansNestViaThreadLocalContext) {
+  if constexpr (!obs::kObsEnabled) GTEST_SKIP() << "built with RPT_OBS_OFF";
+  ScopedTracerEnabled enabled;
+  uint64_t outer_span = 0;
+  {
+    obs::Span outer("outer");
+    outer_span = outer.context().span_id;
+    obs::Span inner("inner");
+    EXPECT_EQ(inner.context().trace_id, outer.context().trace_id);
+  }
+  const std::vector<SpanRecord> spans = GlobalTracer().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);  // inner destructs (and records) first
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].parent_id, outer_span);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+}
+
+TEST(TracerTest, ChromeTraceJsonIsWellFormed) {
+  if constexpr (!obs::kObsEnabled) GTEST_SKIP() << "built with RPT_OBS_OFF";
+  ScopedTracerEnabled enabled;
+  { obs::Span span("json_span"); }
+  const std::string json = GlobalTracer().ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"json_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+// ---- End-to-end: serving spans ----------------------------------------------
+
+/// The acceptance shape: one routed request produces a serve.submit root
+/// whose queue_wait / batch / execute children share its trace, parent on
+/// it, and fit inside its time interval.
+TEST(ServeTraceTest, RoutedRequestProducesNestedSpans) {
+  if constexpr (!obs::kObsEnabled) GTEST_SKIP() << "built with RPT_OBS_OFF";
+  ScopedTracerEnabled enabled;
+  constexpr int kRequests = 6;
+  {
+    ServerConfig config;
+    config.max_batch_size = 4;
+    config.max_batch_delay = microseconds(500);
+    config.cache_capacity = 0;  // every request must cross the model
+    config.name = "obs_trace_test";
+    RoutedServer server(
+        {{"trace",
+          {std::make_shared<SyntheticSession>(microseconds(200),
+                                              microseconds(20))},
+          config}});
+    for (int i = 0; i < kRequests; ++i) {
+      ServeResponse r =
+          server.SubmitWait("trace", "payload_" + std::to_string(i));
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    }
+    server.Shutdown();  // joins the collector: every span is recorded
+  }
+
+  std::map<uint64_t, std::vector<SpanRecord>> traces;
+  for (const SpanRecord& s : GlobalTracer().Snapshot()) {
+    traces[s.trace_id].push_back(s);
+  }
+
+  int model_traces = 0;
+  for (const auto& [trace_id, spans] : traces) {
+    const SpanRecord* root = nullptr;
+    for (const SpanRecord& s : spans) {
+      if (s.name == "serve.submit") {
+        EXPECT_EQ(s.parent_id, 0u) << "serve.submit must be the root";
+        EXPECT_EQ(root, nullptr) << "one root per trace";
+        root = &s;
+      }
+    }
+    ASSERT_NE(root, nullptr) << "trace " << trace_id << " has no root";
+    bool has_execute = false;
+    for (const SpanRecord& s : spans) {
+      if (&s == root) continue;
+      EXPECT_EQ(s.parent_id, root->span_id)
+          << s.name << " does not parent on the serve.submit root";
+      EXPECT_GE(s.begin, root->begin) << s.name << " starts before its root";
+      EXPECT_LE(s.end, root->end) << s.name << " ends after its root";
+      if (s.name == "serve.execute") has_execute = true;
+    }
+    if (has_execute) {
+      ++model_traces;
+      for (const char* required : {"serve.queue_wait", "serve.batch"}) {
+        bool found = false;
+        for (const SpanRecord& s : spans) {
+          if (s.name == required) found = true;
+        }
+        EXPECT_TRUE(found) << "model-path trace missing " << required;
+      }
+    }
+  }
+  EXPECT_EQ(model_traces, kRequests);
+}
+
+/// MetricsText stays parseable while client threads hammer Submit, and the
+/// final exposition agrees with the request count.
+TEST(ServeTraceTest, MetricsTextStableUnderConcurrentSubmits) {
+  if constexpr (!obs::kObsEnabled) GTEST_SKIP() << "built with RPT_OBS_OFF";
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  ServerConfig config;
+  config.max_batch_size = 8;
+  config.max_batch_delay = microseconds(500);
+  config.queue_capacity = 1024;
+  config.cache_capacity = 0;
+  config.name = "obs_stability_test";  // series unique to this test
+  InferenceServer server(
+      std::make_shared<SyntheticSession>(microseconds(100), microseconds(10)),
+      config);
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      ValidateExposition(server.MetricsText());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        server.SubmitWait("q" + std::to_string(t) + "_" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  done.store(true);
+  reader.join();
+  server.Shutdown();
+
+  const std::string text = server.MetricsText();
+  ValidateExposition(text);
+  const std::string label = "{server=\"obs_stability_test\"}";
+  EXPECT_DOUBLE_EQ(SampleValue(text, "rpt_serve_submitted_total", label),
+                   kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(SampleValue(text, "rpt_serve_completed_total", label),
+                   kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(SampleValue(text, "rpt_serve_latency_ms_count", label),
+                   kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace rpt

@@ -415,6 +415,68 @@ TEST(ServeTest, StatsRenderMentionsKeyMetrics) {
   EXPECT_NE(report.find("batch size"), std::string::npos);
 }
 
+// ---- AggregateStats ---------------------------------------------------------
+
+TEST(AggregateStatsTest, EmptyPartsYieldZeroes) {
+  const ServerStatsSnapshot total = AggregateStats({}, {});
+  EXPECT_EQ(total.submitted, 0u);
+  EXPECT_EQ(total.batches, 0u);
+  EXPECT_DOUBLE_EQ(total.mean_batch_size, 0.0);
+  EXPECT_DOUBLE_EQ(total.cache_hit_rate, 0.0);
+  EXPECT_DOUBLE_EQ(total.p95_ms, 0.0);
+  EXPECT_TRUE(total.batch_size_histogram.empty());
+}
+
+TEST(AggregateStatsTest, EmptyLatencyReservoirLeavesPercentilesZero) {
+  // A shard that only served cache hits has counters but no model-path
+  // latencies; aggregation must not fabricate percentiles.
+  ServerStatsSnapshot part;
+  part.submitted = 10;
+  part.cache_hits = 10;
+  const ServerStatsSnapshot total = AggregateStats({part}, {});
+  EXPECT_EQ(total.submitted, 10u);
+  EXPECT_DOUBLE_EQ(total.cache_hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(total.p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(total.p99_ms, 0.0);
+  EXPECT_DOUBLE_EQ(total.max_ms, 0.0);
+}
+
+TEST(AggregateStatsTest, SingleShardAggregatesToItself) {
+  ServerStatsSnapshot part;
+  part.submitted = 8;
+  part.completed = 6;
+  part.cache_hits = 2;
+  part.cache_misses = 6;
+  part.coalesced = 1;
+  part.batches = 3;
+  part.batch_size_histogram = {{1, 1}, {2, 1}, {3, 1}};
+  const std::vector<double> lats = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const ServerStatsSnapshot total = AggregateStats({part}, lats);
+  EXPECT_EQ(total.submitted, part.submitted);
+  EXPECT_EQ(total.completed, part.completed);
+  EXPECT_EQ(total.coalesced, part.coalesced);
+  EXPECT_EQ(total.batch_size_histogram, part.batch_size_histogram);
+  EXPECT_DOUBLE_EQ(total.mean_batch_size, 2.0);  // (1 + 2 + 3) / 3 passes
+  EXPECT_DOUBLE_EQ(total.cache_hit_rate, 0.25);
+  EXPECT_DOUBLE_EQ(total.max_ms, 6.0);
+  EXPECT_GT(total.p95_ms, total.p50_ms);
+}
+
+TEST(AggregateStatsTest, HistogramBucketsSumAcrossShards) {
+  ServerStatsSnapshot a, b;
+  a.batches = 3;
+  a.batch_size_histogram = {{1, 2}, {4, 1}};
+  b.batches = 2;
+  b.batch_size_histogram = {{4, 1}, {8, 1}};
+  const ServerStatsSnapshot total = AggregateStats({a, b}, {});
+  EXPECT_EQ(total.batches, 5u);
+  EXPECT_EQ(total.batch_size_histogram.at(1), 2u);
+  EXPECT_EQ(total.batch_size_histogram.at(4), 2u);
+  EXPECT_EQ(total.batch_size_histogram.at(8), 1u);
+  // rows = 1*2 + 4*2 + 8*1 = 18 over 5 passes
+  EXPECT_DOUBLE_EQ(total.mean_batch_size, 18.0 / 5.0);
+}
+
 // ---- Session adapters -------------------------------------------------------
 
 TEST(SessionTest, CleanerSessionServesMaskedCells) {

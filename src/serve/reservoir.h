@@ -1,0 +1,72 @@
+// LatencyReservoir: a fixed-size uniform sample of a latency stream.
+//
+// ServeShard used to append every completed request's latency to a vector
+// for the life of the shard — one double per request, forever, copied in
+// full by every Stats()/RawLatencies() call. A long-running server leaks
+// and its stats calls get slower the longer it lives. This reservoir
+// (Vitter's Algorithm R) caps the memory at `capacity` samples while every
+// observation seen so far keeps an equal probability of being in the
+// sample, so percentiles computed from it stay unbiased estimates of the
+// full stream's.
+//
+// The RNG is a plain 64-bit LCG seeded per shard (from the shard name's
+// hash) — deliberately not std::random_device, so a run's sampling
+// decisions are reproducible from its config alone.
+//
+// Not internally synchronized: ServeShard writes and reads it under
+// stats_mu_, matching the vector it replaces.
+
+#ifndef RPT_SERVE_RESERVOIR_H_
+#define RPT_SERVE_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rpt {
+
+class LatencyReservoir {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit LatencyReservoir(size_t capacity = kDefaultCapacity,
+                            uint64_t seed = 1)
+      : capacity_(capacity), state_(seed | 1) {
+    samples_.reserve(capacity_);
+  }
+
+  void Add(double value) {
+    ++count_;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(value);
+      return;
+    }
+    // Keep the new value with probability capacity/count, evicting a
+    // uniformly random incumbent — the Algorithm R invariant.
+    const uint64_t j = NextRandom() % count_;
+    if (j < capacity_) samples_[j] = value;
+  }
+
+  /// The current sample, in no particular order.
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Observations seen (not retained) so far.
+  uint64_t count() const { return count_; }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  uint64_t NextRandom() {
+    // MMIX LCG; the high bits are the good ones.
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 16;
+  }
+
+  const size_t capacity_;
+  uint64_t state_;
+  uint64_t count_ = 0;
+  std::vector<double> samples_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_SERVE_RESERVOIR_H_

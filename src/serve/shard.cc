@@ -10,6 +10,7 @@
 #include "eval/report.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace rpt {
@@ -50,12 +51,13 @@ struct ServeShard::Obs {
   obs::Counter* batches;
   obs::Gauge* queue_depth;
   obs::Gauge* arrival_rate;
+  obs::Gauge* effective_delay_us;
+  obs::Counter* adapt_adjust;
   obs::Histogram* queue_wait_ms;
   obs::Histogram* batch_rows;
   obs::Histogram* execute_ms;
   obs::Histogram* latency_ms;
   obs::Histogram* arrival_interval_ms;
-  std::atomic<int64_t> last_arrival_ns{0};
 
   explicit Obs(const ServerConfig& config) {
     obs::MetricsRegistry& reg = obs::GlobalMetrics();
@@ -91,7 +93,16 @@ struct ServeShard::Obs {
                                "Requests waiting in the shard queue");
     arrival_rate =
         reg.GetGauge("rpt_serve_arrival_rate_rps", label,
-                     "EWMA request arrival rate in requests per second");
+                     "EWMA request arrival rate in requests per second, "
+                     "decayed by idle time");
+    effective_delay_us = reg.GetGauge(
+        "rpt_serve_effective_delay_us", label,
+        "Straggler window the collector is currently applying, in "
+        "microseconds (max_batch_delay under the fixed policy)");
+    adapt_adjust =
+        reg.GetCounter("rpt_serve_adapt_adjust_total", label,
+                       "Adaptive-batching decisions that changed the "
+                       "effective delay");
     queue_wait_ms = reg.GetHistogram(
         "rpt_serve_queue_wait_ms", label, obs::DefaultLatencyBucketsMs(),
         "Time from enqueue to micro-batch pickup in milliseconds");
@@ -113,27 +124,17 @@ struct ServeShard::Obs {
         "Gap between consecutive submits in milliseconds");
   }
 
-  /// Per-submit accounting: arrival interval histogram and an approximate
-  /// EWMA arrival-rate gauge (last-writer-wins races only smudge the
-  /// smoothing, never the counters).
-  void OnSubmit(size_t depth, std::chrono::steady_clock::time_point at) {
+  /// Per-submit accounting: arrival interval histogram and the arrival-rate
+  /// gauge, refreshed with the estimator's *decayed* value so a quiet shard
+  /// stops reporting its last burst's rate. The queue-depth gauge is
+  /// deliberately not stamped here — cache hits and rejections never
+  /// enqueue, so depth is recorded only after a successful push (and by the
+  /// collector on pickup), keeping the gauge equal to queue_depth().
+  void OnSubmit(double interval_ms, double decayed_rate) {
     if constexpr (!obs::kObsEnabled) return;
     submitted->Increment();
-    queue_depth->Set(static_cast<double>(depth));
-    const int64_t now_ns =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            at.time_since_epoch())
-            .count();
-    const int64_t prev_ns =
-        last_arrival_ns.exchange(now_ns, std::memory_order_relaxed);
-    if (prev_ns == 0 || now_ns <= prev_ns) return;
-    const double interval_ms =
-        static_cast<double>(now_ns - prev_ns) / 1e6;
-    arrival_interval_ms->Observe(interval_ms);
-    const double instant_rps = 1000.0 / std::max(interval_ms, 1e-3);
-    const double prev_rate = arrival_rate->Value();
-    arrival_rate->Set(prev_rate == 0 ? instant_rps
-                                     : 0.9 * prev_rate + 0.1 * instant_rps);
+    if (interval_ms > 0) arrival_interval_ms->Observe(interval_ms);
+    arrival_rate->Set(decayed_rate);
   }
 };
 
@@ -158,6 +159,10 @@ std::string ServerStatsSnapshot::Render(const std::string& name) const {
   counters.AddRow({"coalesced (in-batch dupes)", std::to_string(coalesced)});
   counters.AddRow({"forward passes", std::to_string(batches)});
   counters.AddRow({"mean batch size", Fixed(mean_batch_size, 2)});
+  if (adapt_adjustments > 0) {
+    counters.AddRow(
+        {"adaptive delay adjustments", std::to_string(adapt_adjustments)});
+  }
   counters.AddRow({"queue depth", std::to_string(queue_depth)});
   counters.AddRow({"latency p50 (ms)", Fixed(p50_ms, 3)});
   counters.AddRow({"latency p95 (ms)", Fixed(p95_ms, 3)});
@@ -189,6 +194,7 @@ ServerStatsSnapshot AggregateStats(
     total.cache_misses += p.cache_misses;
     total.coalesced += p.coalesced;
     total.batches += p.batches;
+    total.adapt_adjustments += p.adapt_adjustments;
     total.queue_depth += p.queue_depth;
     for (const auto& [size, count] : p.batch_size_histogram) {
       total.batch_size_histogram[size] += count;
@@ -220,11 +226,29 @@ ServeShard::ServeShard(std::shared_ptr<ModelSession> session,
                        ServerConfig config)
     : session_(std::move(session)),
       config_(std::move(config)),
+      clock_(config_.clock != nullptr ? config_.clock.get() : SystemClock()),
       queue_(config_.queue_capacity),
       cache_(config_.cache_capacity),
+      // Reservoir sampling seeded from the shard name: bounded memory with
+      // run-reproducible sampling decisions.
+      latencies_ms_(LatencyReservoir::kDefaultCapacity,
+                    Fnv1a64(config_.name)),
       obs_(std::make_unique<Obs>(config_)) {
   RPT_CHECK(session_ != nullptr);
   RPT_CHECK_GE(config_.max_batch_size, 1u);
+  if (config_.batch_policy == BatchPolicy::kAdaptive) {
+    AdaptiveConfig adaptive;
+    adaptive.max_batch_size = config_.max_batch_size;
+    adaptive.min_delay = config_.min_batch_delay;
+    adaptive.max_delay = config_.max_batch_delay;
+    adaptive.target_queue_wait_ms = config_.target_queue_wait_ms;
+    RPT_CHECK(adaptive.min_delay <= adaptive.max_delay)
+        << "min_batch_delay must not exceed max_batch_delay";
+    controller_ = std::make_unique<AdaptiveBatchController>(adaptive, clock_,
+                                                            &arrivals_);
+  }
+  obs_->effective_delay_us->Set(
+      static_cast<double>(config_.max_batch_delay.count()));
   collector_ = std::thread([this] { CollectorLoop(); });
 }
 
@@ -234,7 +258,11 @@ std::future<ServeResponse> ServeShard::Submit(
     std::string input, std::chrono::milliseconds timeout) {
   const auto submitted_at = std::chrono::steady_clock::now();
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  obs_->OnSubmit(queue_.size(), submitted_at);
+  // Arrival accounting uses the decision clock so the controller and the
+  // exported rate gauge see one consistent arrival process.
+  const auto arrival_at = clock_->Now();
+  const double interval_ms = arrivals_.OnArrival(arrival_at);
+  obs_->OnSubmit(interval_ms, arrivals_.RateAt(arrival_at));
 
   // Trace stamp: inherit the caller's trace (RoutedServer::Submit opens
   // one), or start a fresh one for direct shard submissions. The root
@@ -295,17 +323,32 @@ std::future<ServeResponse> ServeShard::Submit(
   p.trace_id = tracing ? trace_id : 0;
   p.root_span = root_span;
   std::future<ServeResponse> future = p.promise.get_future();
-  if (!queue_.TryPush(std::move(p))) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    obs_->rejected_queue_full->Increment();
+  const PushResult pushed = queue_.TryPush(std::move(p));
+  if (pushed != PushResult::kOk) {
+    // The queue distinguishes full from closed: a Shutdown() racing this
+    // Submit between the accepting_ check above and the push must surface
+    // as a shutdown rejection, not be miscounted as backpressure.
     ServeResponse r;
-    r.status = Status::Unavailable("request queue is full");
+    if (pushed == PushResult::kClosed) {
+      shutdown_rejected_.fetch_add(1, std::memory_order_relaxed);
+      obs_->rejected_shutdown->Increment();
+      r.status =
+          Status::Unavailable("server is shut down, not accepting work");
+    } else {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      obs_->rejected_queue_full->Increment();
+      r.status = Status::Unavailable("request queue is full");
+    }
     if (tracing) {
       RecordSpan("serve.submit", trace_id, root_span, 0, submitted_at,
                  std::chrono::steady_clock::now());
     }
     return ReadyServeResponse(std::move(r));
   }
+  // The gauge is stamped only on the enqueue path (and by the collector on
+  // pickup), so it tracks queue_depth() instead of pre-push depths and
+  // never-enqueued cache hits or rejections.
+  obs_->queue_depth->Set(static_cast<double>(queue_.size()));
   // Counted only after the push succeeds: a rejected request never produces
   // a model execution, so it is not a lookup outcome and must not inflate
   // the hit-rate denominator under backpressure.
@@ -318,10 +361,35 @@ std::future<ServeResponse> ServeShard::Submit(
 
 void ServeShard::CollectorLoop() {
   std::vector<Pending> batch;
+  // Mirrors of the controller's decision state, collector-local so the
+  // registry counter only moves when the effective window actually changed.
+  uint64_t adjustments_seen = 0;
   for (;;) {
     batch.clear();
-    if (!queue_.PopBatch(&batch, config_.max_batch_size,
-                         config_.max_batch_delay)) {
+    bool alive;
+    if (controller_ != nullptr) {
+      // The window is decided once the first request of the batch is in
+      // hand (not before blocking), so the decision sees the arrival rate
+      // and queue depth of the batch actually forming. The callback runs
+      // under the queue lock and touches only the controller + atomics.
+      alive = queue_.PopBatchWith(
+          &batch, config_.max_batch_size, [&](size_t pending) {
+            const std::chrono::microseconds delay =
+                controller_->DecideDelay(pending);
+            obs_->effective_delay_us->Set(
+                static_cast<double>(delay.count()));
+            const uint64_t adjustments = controller_->adjustments();
+            if (adjustments != adjustments_seen) {
+              obs_->adapt_adjust->Increment(adjustments - adjustments_seen);
+              adjustments_seen = adjustments;
+            }
+            return delay;
+          });
+    } else {
+      alive = queue_.PopBatch(&batch, config_.max_batch_size,
+                              config_.max_batch_delay);
+    }
+    if (!alive) {
       return;  // closed and drained
     }
     CompleteBatch(&batch);
@@ -337,9 +405,12 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
   live.reserve(batch->size());
   uint64_t newly_expired = 0;
   uint64_t newly_invalid = 0;
+  double max_queue_wait_ms = 0;
   for (Pending& p : *batch) {
     // Every popped request waited enqueue -> pickup, whatever its fate.
-    obs_->queue_wait_ms->Observe(ElapsedMs(p.enqueued, now));
+    const double wait_ms = ElapsedMs(p.enqueued, now);
+    max_queue_wait_ms = std::max(max_queue_wait_ms, wait_ms);
+    obs_->queue_wait_ms->Observe(wait_ms);
     if (tracing && p.trace_id != 0) {
       RecordSpan("serve.queue_wait", p.trace_id, tracer.NewSpanId(),
                  p.root_span, p.enqueued, now);
@@ -375,6 +446,11 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
       continue;
     }
     live.push_back(&p);
+  }
+  if (controller_ != nullptr) {
+    // Close the loop: the observed high queue wait is the signal the
+    // budget clamp reacts to on the next decision.
+    controller_->OnBatchComplete(max_queue_wait_ms, live.size());
   }
 
   if (!live.empty()) {
@@ -464,7 +540,7 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
     coalesced_ += newly_coalesced;
     ++batches_;
     ++batch_hist_[inputs.size()];
-    latencies_ms_.insert(latencies_ms_.end(), lats.begin(), lats.end());
+    for (const double lat : lats) latencies_ms_.Add(lat);
   } else if (newly_expired > 0 || newly_invalid > 0) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     expired_ += newly_expired;
@@ -493,6 +569,8 @@ ServerStatsSnapshot ServeShard::Stats() const {
     s.cache_hit_rate =
         static_cast<double>(s.cache_hits) / static_cast<double>(lookups);
   }
+  s.adapt_adjustments =
+      controller_ != nullptr ? controller_->adjustments() : 0;
   std::vector<double> lats;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -502,7 +580,7 @@ ServerStatsSnapshot ServeShard::Stats() const {
     s.coalesced = coalesced_;
     s.batches = batches_;
     s.batch_size_histogram = batch_hist_;
-    lats = latencies_ms_;
+    lats = latencies_ms_.samples();
   }
   uint64_t pass_rows = 0;
   for (const auto& [size, count] : s.batch_size_histogram) {
@@ -523,7 +601,12 @@ ServerStatsSnapshot ServeShard::Stats() const {
 
 std::vector<double> ServeShard::RawLatencies() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
-  return latencies_ms_;
+  return latencies_ms_.samples();
+}
+
+std::chrono::microseconds ServeShard::effective_batch_delay() const {
+  return controller_ != nullptr ? controller_->effective_delay()
+                                : config_.max_batch_delay;
 }
 
 }  // namespace rpt

@@ -15,6 +15,14 @@
 // that status; Shutdown() stops intake, drains everything accepted, and
 // joins the collector.
 //
+// With `batch_policy = kAdaptive` the straggler window is no longer the
+// fixed `max_batch_delay`: an AdaptiveBatchController (serve/adaptive.h)
+// re-decides the effective delay for every batch on the collector thread,
+// from the decayed EWMA arrival rate and the recent observed queue wait,
+// bounded by [min_batch_delay, max_batch_delay] and the
+// `target_queue_wait_ms` budget. Outputs are unaffected — the policy only
+// moves *when* a batch closes, never what the model computes.
+//
 // Accounting rules the counters obey:
 //  * a cache miss is counted only once the request is actually enqueued —
 //    a queue-full rejection is not a lookup outcome, so backpressure cannot
@@ -43,18 +51,31 @@
 #include <thread>
 #include <vector>
 
+#include "serve/adaptive.h"
 #include "serve/lru_cache.h"
 #include "serve/model_session.h"
+#include "serve/reservoir.h"
 #include "util/bounded_queue.h"
 #include "util/status.h"
 
 namespace rpt {
 
+/// How the collector sizes each micro-batch's straggler window.
+enum class BatchPolicy {
+  /// Always wait up to `max_batch_delay` — the original behavior, and the
+  /// default.
+  kFixed,
+  /// Retune the effective delay per batch from the observed arrival rate
+  /// and queue wait (serve/adaptive.h), within
+  /// [min_batch_delay, max_batch_delay] and the queue-wait budget.
+  kAdaptive,
+};
+
 struct ServerConfig {
   /// Largest micro-batch handed to the session in one forward pass.
   size_t max_batch_size = 8;
   /// How long the collector waits for stragglers after the first request
-  /// of a batch arrives.
+  /// of a batch arrives (kFixed: always; kAdaptive: upper bound).
   std::chrono::microseconds max_batch_delay{2000};
   /// Pending-request bound; Submit rejects with kUnavailable beyond it.
   size_t queue_capacity = 256;
@@ -63,6 +84,19 @@ struct ServerConfig {
   /// Value of the `server` label on this shard's metrics registry series
   /// (obs/metrics.h). RoutedServer names its shards "<route>#<index>".
   std::string name = "serve";
+  /// Straggler-window policy. kFixed preserves pre-adaptive scheduling
+  /// byte for byte.
+  BatchPolicy batch_policy = BatchPolicy::kFixed;
+  /// kAdaptive only: lower bound of the effective delay (still lets a
+  /// same-instant burst coalesce into one pass).
+  std::chrono::microseconds min_batch_delay{100};
+  /// kAdaptive only: queue-wait budget in milliseconds; the controller
+  /// keeps the p95-ish observed wait inside it.
+  double target_queue_wait_ms = 5.0;
+  /// Time source for batching decisions; null means SystemClock().
+  /// Tests inject a fake Clock (serve/adaptive.h) to drive the controller
+  /// deterministically.
+  std::shared_ptr<const Clock> clock;
 };
 
 /// Outcome of one request.
@@ -88,6 +122,7 @@ struct ServerStatsSnapshot {
   uint64_t cache_misses = 0;
   uint64_t coalesced = 0;  // in-batch duplicates folded into one execution
   uint64_t batches = 0;    // forward passes executed
+  uint64_t adapt_adjustments = 0;  // adaptive-delay changes (0 under kFixed)
   size_t queue_depth = 0;  // at snapshot time
   double mean_batch_size = 0;  // forward-pass rows / forward passes
   /// forward-pass rows -> number of passes with exactly that many rows.
@@ -103,7 +138,7 @@ struct ServerStatsSnapshot {
 
 /// Sums counters and histograms across shard snapshots and recomputes the
 /// derived fields. Percentiles cannot be summed, so the caller passes the
-/// shards' merged raw latency reservoirs (ServeShard::RawLatencies).
+/// shards' merged latency reservoir samples (ServeShard::RawLatencies).
 ServerStatsSnapshot AggregateStats(
     const std::vector<ServerStatsSnapshot>& parts,
     const std::vector<double>& latencies_ms);
@@ -133,9 +168,14 @@ class ServeShard {
 
   ServerStatsSnapshot Stats() const;
 
-  /// Copy of the raw model-path latency reservoir, for cross-shard
-  /// percentile aggregation.
+  /// Copy of the model-path latency reservoir sample (at most
+  /// LatencyReservoir::kDefaultCapacity entries however long the shard has
+  /// lived), for cross-shard percentile aggregation.
   std::vector<double> RawLatencies() const;
+
+  /// The adaptive controller's current straggler window; `max_batch_delay`
+  /// under kFixed.
+  std::chrono::microseconds effective_batch_delay() const;
 
   /// Requests currently queued (excludes the batch in flight). The routed
   /// front-end reads this for saturation/least-loaded decisions.
@@ -168,8 +208,13 @@ class ServeShard {
 
   std::shared_ptr<ModelSession> session_;
   ServerConfig config_;
+  const Clock* clock_;  // config_.clock or SystemClock(); never null
   BoundedQueue<Pending> queue_;
   LruCache<std::string, std::string> cache_;
+  // Arrival estimator feeds the rpt_serve_arrival_rate_rps gauge (decayed
+  // on read) and, under kAdaptive, the controller's delay decisions.
+  ArrivalRateEstimator arrivals_;
+  std::unique_ptr<AdaptiveBatchController> controller_;  // kAdaptive only
   std::thread collector_;
   std::atomic<bool> accepting_{true};
   std::once_flag shutdown_once_;
@@ -188,7 +233,7 @@ class ServeShard {
   uint64_t coalesced_ = 0;
   uint64_t batches_ = 0;
   std::map<size_t, uint64_t> batch_hist_;
-  std::vector<double> latencies_ms_;
+  LatencyReservoir latencies_ms_;
   std::unique_ptr<Obs> obs_;
 };
 

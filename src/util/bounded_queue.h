@@ -1,10 +1,15 @@
 // BoundedQueue<T>: a mutex-based bounded MPMC queue with batch draining.
 //
 // Built for the serving layer's micro-batching scheduler (serve/server.h):
-// many client threads TryPush requests (non-blocking, rejected when full so
-// the server can exert backpressure), one or more collector threads drain
-// with PopBatch, which blocks for the first element and then gathers more
-// until either `max_n` elements are collected or `max_wait` elapses.
+// many client threads TryPush requests (non-blocking, turned away when full
+// so the server can exert backpressure — PushResult distinguishes a full
+// queue from a closed one so the caller can report shutdown correctly),
+// one or more collector threads drain with PopBatch, which blocks for the
+// first element and then gathers more until either `max_n` elements are
+// collected or `max_wait` elapses. PopBatchWith defers the choice of
+// `max_wait` to a callback invoked once the first element is in hand, so
+// an adaptive scheduler can size the straggler window from the live queue
+// state (serve/adaptive.h).
 //
 // Close() stops producers but lets consumers drain what is already queued —
 // PopBatch keeps returning elements until the queue is empty, then reports
@@ -27,6 +32,11 @@
 
 namespace rpt {
 
+/// Outcome of a TryPush. kFull and kClosed both mean "not enqueued", but
+/// callers must not conflate them: full is backpressure, closed is
+/// shutdown, and the serving layer reports them differently.
+enum class PushResult { kOk, kFull, kClosed };
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -35,15 +45,17 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Non-blocking push; returns false when the queue is full or closed.
-  bool TryPush(T&& item) {
+  /// Non-blocking push; reports whether the element was enqueued, and if
+  /// not, whether the queue was full or already closed.
+  PushResult TryPush(T&& item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
       items_.push_back(std::move(item));
     }
     not_empty_.notify_one();
-    return true;
+    return PushResult::kOk;
   }
 
   /// Pops one element, waiting up to `timeout`. Empty optional on timeout or
@@ -65,9 +77,27 @@ class BoundedQueue {
   /// `*out` and returns true, or returns false when closed and drained.
   bool PopBatch(std::vector<T>* out, size_t max_n,
                 std::chrono::microseconds max_wait) {
+    return PopBatchWith(out, max_n,
+                        [max_wait](size_t) { return max_wait; });
+  }
+
+  /// PopBatch with the straggler window decided late: once the first
+  /// element(s) have been taken, `wait_for(pending)` is called exactly once
+  /// with the number of elements available at that instant (already in
+  /// `*out` plus still queued) and returns the `max_wait` to apply. Called
+  /// with the queue lock held — it must not call back into this queue.
+  template <typename WaitFn>
+  bool PopBatchWith(std::vector<T>* out, size_t max_n, WaitFn&& wait_for) {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) return false;  // closed and fully drained
+    while (!items_.empty() && out->size() < max_n) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    const std::chrono::microseconds max_wait =
+        wait_for(out->size() + items_.size());
+    if (out->size() >= max_n || closed_) return true;
     const auto deadline = std::chrono::steady_clock::now() + max_wait;
     for (;;) {
       while (!items_.empty() && out->size() < max_n) {

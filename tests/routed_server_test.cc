@@ -170,6 +170,55 @@ TEST(RoutedServerTest, HashDispatchKeepsCachingShardStable) {
   EXPECT_GE(active_shards, 2u);
 }
 
+TEST(RoutedServerTest, AdaptiveRouteMatchesFixedOutputsAndAggregates) {
+  // An adaptive route and a fixed route over identical replica pools must
+  // serve identical bytes; the adaptive pool's adjustment counter must
+  // surface through the per-route and whole-server aggregates.
+  constexpr size_t kShards = 2;
+  auto make_replicas = [] {
+    std::vector<std::shared_ptr<ModelSession>> replicas;
+    for (size_t i = 0; i < kShards; ++i) {
+      replicas.push_back(std::make_shared<SyntheticSession>(microseconds(50),
+                                                            microseconds(5)));
+    }
+    return replicas;
+  };
+  ServerConfig fixed_config;
+  fixed_config.cache_capacity = 0;
+  ServerConfig adaptive_config = fixed_config;
+  adaptive_config.batch_policy = BatchPolicy::kAdaptive;
+  adaptive_config.min_batch_delay = microseconds(100);
+  RoutedServer server({{"fixed", make_replicas(), fixed_config},
+                       {"adaptive", make_replicas(), adaptive_config}});
+
+  constexpr int kPayloads = 48;
+  std::vector<std::future<ServeResponse>> fixed_futures, adaptive_futures;
+  for (int i = 0; i < kPayloads; ++i) {
+    const std::string payload = "cell_" + std::to_string(i);
+    fixed_futures.push_back(server.Submit("fixed", payload));
+    adaptive_futures.push_back(server.Submit("adaptive", payload));
+  }
+  for (int i = 0; i < kPayloads; ++i) {
+    ServeResponse f = fixed_futures[i].get();
+    ServeResponse a = adaptive_futures[i].get();
+    ASSERT_TRUE(f.status.ok()) << f.status.ToString();
+    ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+    EXPECT_EQ(f.output, a.output) << i;  // policy moves timing, not bytes
+  }
+  server.Shutdown();
+
+  RoutedStatsSnapshot stats = server.Stats();
+  ASSERT_EQ(stats.routes.size(), 2u);
+  uint64_t fixed_adjust = 0, adaptive_adjust = 0;
+  for (const RouteStatsSnapshot& route : stats.routes) {
+    EXPECT_EQ(route.total.completed, static_cast<uint64_t>(kPayloads));
+    (route.route == "fixed" ? fixed_adjust : adaptive_adjust) =
+        route.total.adapt_adjustments;
+  }
+  EXPECT_EQ(fixed_adjust, 0u);
+  EXPECT_EQ(stats.total.adapt_adjustments, fixed_adjust + adaptive_adjust);
+}
+
 TEST(RoutedServerTest, SaturatedShardFallsBackToLeastLoaded) {
   auto gate0 = std::make_shared<GateSession>();
   auto gate1 = std::make_shared<GateSession>();

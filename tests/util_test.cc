@@ -305,19 +305,22 @@ TEST(ThreadPoolTest, InstanceParallelForSmallAndEmptyRanges) {
 
 TEST(BoundedQueueTest, TryPushRejectsWhenFull) {
   BoundedQueue<int> q(2);
-  EXPECT_TRUE(q.TryPush(1));
-  EXPECT_TRUE(q.TryPush(2));
-  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_EQ(q.TryPush(1), PushResult::kOk);
+  EXPECT_EQ(q.TryPush(2), PushResult::kOk);
+  // A full queue is backpressure, and must not read as shutdown.
+  EXPECT_EQ(q.TryPush(3), PushResult::kFull);
   EXPECT_EQ(q.size(), 2u);
   auto popped = q.PopWait(std::chrono::microseconds(1000));
   ASSERT_TRUE(popped.has_value());
   EXPECT_EQ(*popped, 1);
-  EXPECT_TRUE(q.TryPush(3));
+  EXPECT_EQ(q.TryPush(3), PushResult::kOk);
 }
 
 TEST(BoundedQueueTest, PopBatchGathersUpToMax) {
   BoundedQueue<int> q(16);
-  for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.TryPush(std::move(i)));
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(q.TryPush(std::move(i)), PushResult::kOk);
+  }
   std::vector<int> batch;
   ASSERT_TRUE(q.PopBatch(&batch, 4, std::chrono::microseconds(100)));
   EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
@@ -328,9 +331,11 @@ TEST(BoundedQueueTest, PopBatchGathersUpToMax) {
 
 TEST(BoundedQueueTest, CloseDrainsThenReportsClosed) {
   BoundedQueue<int> q(8);
-  ASSERT_TRUE(q.TryPush(7));
+  ASSERT_EQ(q.TryPush(7), PushResult::kOk);
   q.Close();
-  EXPECT_FALSE(q.TryPush(8));  // producers turned away
+  // Closed is distinct from full: the serving layer reports shutdown, not
+  // backpressure, for this case.
+  EXPECT_EQ(q.TryPush(8), PushResult::kClosed);
   std::vector<int> batch;
   ASSERT_TRUE(q.PopBatch(&batch, 4, std::chrono::microseconds(100)));
   EXPECT_EQ(batch, (std::vector<int>{7}));  // drain survives Close

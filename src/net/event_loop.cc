@@ -1,0 +1,151 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rpt {
+namespace net {
+
+EventLoop::EventLoop() = default;
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+Status EventLoop::Init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::Internal(std::string("epoll_create1: ") +
+                            std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return Status::Internal(std::string("eventfd: ") + std::strerror(errno));
+  }
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(wake): ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void EventLoop::Add(int fd, uint32_t events, FdCallback callback) {
+  RPT_CHECK(epoll_fd_ >= 0) << "EventLoop::Init was not called";
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  RPT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0)
+      << "epoll_ctl(ADD " << fd << "): " << std::strerror(errno);
+  callbacks_[fd] = std::make_shared<FdCallback>(std::move(callback));
+}
+
+void EventLoop::Modify(int fd, uint32_t events) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  RPT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0)
+      << "epoll_ctl(MOD " << fd << "): " << std::strerror(errno);
+}
+
+void EventLoop::Remove(int fd) {
+  // Ignore ENOENT etc. — a fd being torn down twice is harmless here.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    if (stopped_.load(std::memory_order_acquire)) return;  // dropped
+    posted_.push_back(std::move(fn));
+  }
+  // A wake that races Stop() is harmless: the eventfd stays open for the
+  // lifetime of the EventLoop object, and an unread count is just ignored.
+  const uint64_t one = 1;
+  ssize_t written;
+  do {
+    written = ::write(wake_fd_, &one, sizeof(one));
+  } while (written < 0 && errno == EINTR);
+}
+
+void EventLoop::DrainWake() {
+  uint64_t value = 0;
+  // Edge-triggered: read until EAGAIN so the next write produces an edge.
+  while (::read(wake_fd_, &value, sizeof(value)) > 0) {
+  }
+}
+
+void EventLoop::RunPosted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::Run() {
+  RPT_CHECK(epoll_fd_ >= 0) << "EventLoop::Init was not called";
+  running_.store(true, std::memory_order_release);
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      RPT_CHECK(false) << "epoll_wait: " << std::strerror(errno);
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        DrainWake();
+        continue;
+      }
+      // Look up per event (not per batch): an earlier callback in this
+      // batch may have removed this fd.
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;
+      const std::shared_ptr<FdCallback> callback = it->second;
+      (*callback)(events[i].events);
+    }
+    // Posted closures run after fd dispatch so a completion posted by a
+    // collector thread sees fully up-to-date connection state.
+    RunPosted();
+  }
+  // Sticky stop: once Run() exits nothing will drain `posted_`, so further
+  // posts are dropped at the door (and the backlog is cleared) rather than
+  // accumulating closures that will never run.
+  std::vector<std::function<void()>> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    stopped_.store(true, std::memory_order_release);
+    leftovers.swap(posted_);
+  }
+  leftovers.clear();
+}
+
+void EventLoop::Stop() {
+  running_.store(false, std::memory_order_release);
+  const uint64_t one = 1;
+  ssize_t written;
+  do {
+    written = ::write(wake_fd_, &one, sizeof(one));
+  } while (written < 0 && errno == EINTR);
+}
+
+}  // namespace net
+}  // namespace rpt

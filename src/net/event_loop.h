@@ -1,0 +1,98 @@
+// EventLoop: a single-threaded, edge-triggered epoll reactor.
+//
+// One thread calls Run(), which blocks in epoll_wait and dispatches ready
+// file descriptors to their registered callbacks. Everything the loop owns
+// — fd registrations, connection state in the layers above — is mutated
+// only on that thread; the single cross-thread entry point is Post(),
+// which enqueues a closure under a mutex and wakes the loop through an
+// eventfd. That is the bridge the serving layer's completion callbacks use:
+// a ServeShard collector thread finishes a request, Post()s the response,
+// and the loop picks it up on its next wakeup — the loop itself never
+// blocks on an inference future.
+//
+// Edge-triggered discipline: callbacks receive the ready events and must
+// drain the fd (read/accept/write until EAGAIN) before returning, because
+// the next epoll_wait only reports new edges. Registration is keyed by fd;
+// a callback may add or remove fds (including its own) during dispatch —
+// removal is checked against a generation map so a stale ready event for a
+// just-closed fd is ignored, never dispatched to a dead connection.
+
+#ifndef RPT_NET_EVENT_LOOP_H_
+#define RPT_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rpt {
+namespace net {
+
+class EventLoop {
+ public:
+  /// Called with the epoll event mask (EPOLLIN / EPOLLOUT / EPOLLHUP...).
+  using FdCallback = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and wake eventfd. Must succeed before any
+  /// other call; failure reports the errno.
+  Status Init();
+
+  /// Registers `fd` with the given epoll event mask (the caller includes
+  /// EPOLLET; the loop does not second-guess the mask). Loop thread only.
+  void Add(int fd, uint32_t events, FdCallback callback);
+
+  /// Re-arms `fd` with a new mask. Loop thread only.
+  void Modify(int fd, uint32_t events);
+
+  /// Deregisters `fd` (does not close it). Safe to call from inside the
+  /// fd's own callback. Loop thread only.
+  void Remove(int fd);
+
+  /// Enqueues `fn` to run on the loop thread and wakes the loop. Safe from
+  /// any thread, including the loop thread itself and threads racing
+  /// Stop(); after the loop has stopped, pending and future posts are
+  /// dropped (their captures are destroyed, never run).
+  void Post(std::function<void()> fn);
+
+  /// Runs until Stop(). Dispatches fd callbacks and posted closures.
+  void Run();
+
+  /// Signals Run() to return after the current iteration. Any thread.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void DrainWake();
+  void RunPosted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopped_{false};  // sticky: set once Run() has exited
+
+  // fd -> callback. shared_ptr so a callback that removes itself (or
+  // another fd) mid-dispatch cannot free the std::function currently
+  // executing.
+  std::unordered_map<int, std::shared_ptr<FdCallback>> callbacks_;
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace net
+}  // namespace rpt
+
+#endif  // RPT_NET_EVENT_LOOP_H_

@@ -1,0 +1,237 @@
+#include "net/http_parser.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace rpt {
+namespace net {
+
+namespace {
+
+/// Strips one trailing '\r' (lines are split on '\n'; both CRLF and bare LF
+/// terminators are accepted, as curl/browsers always send CRLF but hand-run
+/// netcat sessions often do not).
+std::string_view StripCr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+bool IsTokenChar(char c) {
+  // RFC 9110 token characters (the ones that may appear in a method or
+  // header name).
+  if (c >= 'a' && c <= 'z') return true;
+  if (c >= 'A' && c <= 'Z') return true;
+  if (c >= '0' && c <= '9') return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view text) {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(), IsTokenChar);
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string* connection = FindHeader("connection");
+  if (connection != nullptr) {
+    const std::string value = ToLower(*connection);
+    if (value.find("close") != std::string::npos) return false;
+    if (value.find("keep-alive") != std::string::npos) return true;
+  }
+  return version_minor >= 1;
+}
+
+HttpParser::HttpParser(HttpParserLimits limits) : limits_(limits) {}
+
+void HttpParser::FailWith(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+}
+
+size_t HttpParser::Feed(std::string_view data) {
+  size_t consumed = 0;
+  while (consumed < data.size() && state_ != State::kComplete &&
+         state_ != State::kError) {
+    const std::string_view rest = data.substr(consumed);
+    if (state_ == State::kBody) {
+      const uint64_t missing = content_length_ - request_.body.size();
+      const size_t take =
+          static_cast<size_t>(std::min<uint64_t>(missing, rest.size()));
+      request_.body.append(rest.data(), take);
+      consumed += take;
+      if (request_.body.size() == content_length_) state_ = State::kComplete;
+      continue;
+    }
+    // Line-oriented phases: gather bytes until '\n', enforcing the phase's
+    // size cap as bytes arrive so a lineless flood cannot grow the buffer.
+    const size_t newline = rest.find('\n');
+    const size_t take = newline == std::string_view::npos ? rest.size()
+                                                          : newline + 1;
+    line_buf_.append(rest.data(), take);
+    consumed += take;
+    const size_t cap = state_ == State::kRequestLine
+                           ? limits_.max_request_line
+                           : limits_.max_header_bytes - header_bytes_;
+    if (line_buf_.size() > cap) {
+      FailWith(431, state_ == State::kRequestLine
+                        ? "request line exceeds limit"
+                        : "header block exceeds limit");
+      break;
+    }
+    if (newline == std::string_view::npos) break;  // need more bytes
+    const std::string line(StripCr(
+        std::string_view(line_buf_).substr(0, line_buf_.size() - 1)));
+    if (state_ == State::kRequestLine) {
+      // Leading blank lines before a request line are tolerated (RFC 9112
+      // §2.2 allows a lenient server to skip them).
+      if (line.empty()) {
+        line_buf_.clear();
+        continue;
+      }
+      if (!ParseRequestLine(line)) break;
+      state_ = State::kHeaders;
+    } else {  // kHeaders
+      header_bytes_ += line_buf_.size();
+      if (line.empty()) {
+        if (!FinishHeaders()) break;
+      } else if (!ParseHeaderLine(line)) {
+        break;
+      }
+    }
+    line_buf_.clear();
+  }
+  return consumed;
+}
+
+bool HttpParser::ParseRequestLine(std::string_view line) {
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    FailWith(400, "malformed request line");
+    return false;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!IsToken(method)) {
+    FailWith(400, "malformed method");
+    return false;
+  }
+  if (target.empty()) {
+    FailWith(400, "empty request target");
+    return false;
+  }
+  if (version.size() != 8 || version.substr(0, 7) != "HTTP/1." ||
+      (version[7] != '0' && version[7] != '1')) {
+    FailWith(400, "unsupported HTTP version");
+    return false;
+  }
+  request_.method.assign(method);
+  request_.target.assign(target);
+  request_.version_minor = version[7] - '0';
+  const size_t qmark = target.find('?');
+  if (qmark == std::string_view::npos) {
+    request_.path.assign(target);
+    request_.query.clear();
+  } else {
+    request_.path.assign(target.substr(0, qmark));
+    request_.query.assign(target.substr(qmark + 1));
+  }
+  return true;
+}
+
+bool HttpParser::ParseHeaderLine(std::string_view line) {
+  if (request_.headers.size() >= limits_.max_headers) {
+    FailWith(431, "too many header fields");
+    return false;
+  }
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    FailWith(400, "header line without ':'");
+    return false;
+  }
+  const std::string_view raw_name = line.substr(0, colon);
+  // RFC 9112 §5.1: no whitespace between field name and colon.
+  if (!IsToken(raw_name)) {
+    FailWith(400, "malformed header field name");
+    return false;
+  }
+  request_.headers.emplace_back(ToLower(raw_name),
+                                Trim(line.substr(colon + 1)));
+  return true;
+}
+
+bool HttpParser::FinishHeaders() {
+  if (request_.FindHeader("transfer-encoding") != nullptr) {
+    // Chunked request bodies are deliberately unsupported; rejecting every
+    // Transfer-Encoding also removes the CL-vs-TE smuggling ambiguity.
+    FailWith(400, "Transfer-Encoding request bodies are not supported");
+    return false;
+  }
+  for (const auto& [name, value] : request_.headers) {
+    if (name != "content-length") continue;
+    // A Content-Length must be pure digits; a list or repeated header must
+    // agree with itself (RFC 9112 §6.3), else the framing is ambiguous.
+    if (value.empty() ||
+        !std::all_of(value.begin(), value.end(),
+                     [](char c) { return c >= '0' && c <= '9'; }) ||
+        value.size() > 18) {
+      FailWith(400, "malformed Content-Length");
+      return false;
+    }
+    const uint64_t parsed = std::stoull(value);
+    if (saw_content_length_ && parsed != content_length_) {
+      FailWith(400, "conflicting Content-Length headers");
+      return false;
+    }
+    saw_content_length_ = true;
+    content_length_ = parsed;
+  }
+  if (content_length_ > limits_.max_body_bytes) {
+    FailWith(413, "request body exceeds limit");
+    return false;
+  }
+  state_ = content_length_ == 0 ? State::kComplete : State::kBody;
+  if (state_ == State::kBody) request_.body.reserve(content_length_);
+  return true;
+}
+
+HttpRequest HttpParser::TakeRequest() {
+  HttpRequest out = std::move(request_);
+  Reset();
+  return out;
+}
+
+void HttpParser::Reset() {
+  state_ = State::kRequestLine;
+  line_buf_.clear();
+  header_bytes_ = 0;
+  content_length_ = 0;
+  saw_content_length_ = false;
+  request_ = HttpRequest();
+  error_status_ = 0;
+  error_reason_.clear();
+}
+
+}  // namespace net
+}  // namespace rpt

@@ -1,0 +1,106 @@
+// Incremental HTTP/1.1 request parser for the epoll front-end.
+//
+// The event loop reads whatever the socket has and feeds it here byte by
+// byte if that is all that arrived; the parser accumulates exactly one
+// message worth of state and stops consuming at the message boundary, so
+// pipelined requests stay in the connection's input buffer for the next
+// round. No allocation proportional to anything but the current message,
+// and every limit is enforced *while* reading — an attacker cannot make the
+// server buffer an unbounded request line, header block, or body.
+//
+// Error policy (RFC 9112 §3, RFC 6585): a malformed request line, header,
+// or Content-Length is 400; a body larger than the configured cap is 413; a
+// request line or header block over its cap is 431. Chunked (or any)
+// Transfer-Encoding on requests is rejected with 400 rather than guessed
+// at — combined with the single Content-Length rule this closes the classic
+// request-smuggling ambiguities. After an error the parser stops consuming;
+// the connection answers with the matching status and closes.
+
+#ifndef RPT_NET_HTTP_PARSER_H_
+#define RPT_NET_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rpt {
+namespace net {
+
+/// Per-message input caps, enforced incrementally during parsing.
+struct HttpParserLimits {
+  size_t max_request_line = 8192;    // method + target + version
+  size_t max_header_bytes = 32768;   // all header lines together
+  size_t max_headers = 128;          // header count
+  size_t max_body_bytes = 4 << 20;   // Content-Length cap
+};
+
+/// One parsed request. Header names are lowercased (field names are
+/// case-insensitive); values keep their bytes with surrounding whitespace
+/// trimmed.
+struct HttpRequest {
+  std::string method;   // verbatim, e.g. "POST"
+  std::string target;   // raw request-target, e.g. "/v1/clean?stream=1"
+  std::string path;     // target up to '?'
+  std::string query;    // after '?', "" when absent
+  int version_minor = 1;  // HTTP/1.<minor>
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with this (lowercase) name, nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+
+  /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+  /// `Connection: close` / `keep-alive` overrides either way.
+  bool KeepAlive() const;
+};
+
+class HttpParser {
+ public:
+  explicit HttpParser(HttpParserLimits limits = {});
+
+  /// Consumes bytes from `data` until the current message is complete, an
+  /// error is hit, or `data` runs out; returns the number of bytes
+  /// consumed. The caller re-feeds the remainder after TakeRequest() —
+  /// that is how pipelining works.
+  size_t Feed(std::string_view data);
+
+  bool done() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kError; }
+
+  /// 400, 413, or 431; 0 unless failed().
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// Moves out the completed request and resets to parse the next message
+  /// on the same connection. Only valid when done().
+  HttpRequest TakeRequest();
+
+  /// Back to a fresh message (also clears an error).
+  void Reset();
+
+ private:
+  enum class State { kRequestLine, kHeaders, kBody, kComplete, kError };
+
+  void FailWith(int status, std::string reason);
+  bool ParseRequestLine(std::string_view line);
+  bool ParseHeaderLine(std::string_view line);
+  bool FinishHeaders();  // after the blank line; decides body vs complete
+
+  HttpParserLimits limits_;
+  State state_ = State::kRequestLine;
+  std::string line_buf_;       // current (incomplete) request/header line
+  size_t header_bytes_ = 0;    // cumulative header-line bytes this message
+  uint64_t content_length_ = 0;
+  bool saw_content_length_ = false;
+  HttpRequest request_;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+}  // namespace net
+}  // namespace rpt
+
+#endif  // RPT_NET_HTTP_PARSER_H_

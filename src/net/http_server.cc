@@ -1,0 +1,562 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace rpt {
+namespace net {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 << 10;
+
+std::string ChunkFrame(const std::string& data) {
+  char head[32];
+  const int n = std::snprintf(head, sizeof(head), "%zx\r\n", data.size());
+  std::string out;
+  out.reserve(static_cast<size_t>(n) + data.size() + 2);
+  out.append(head, static_cast<size_t>(n));
+  out.append(data);
+  out.append("\r\n");
+  return out;
+}
+
+}  // namespace
+
+const char* HttpStatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default:  return "Error";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ResponseWriter — every method hops onto the loop thread via Post. After
+// the loop stops the posts are dropped, so late completions from collector
+// threads during shutdown are safe no-ops.
+// ---------------------------------------------------------------------------
+
+void ResponseWriter::Send(HttpResponse response) {
+  if (begun_.exchange(true) || finished_.exchange(true)) {
+    RPT_LOG(Warning) << "ResponseWriter::Send after response already begun";
+    return;
+  }
+  HttpServer* server = server_;
+  const uint64_t conn_id = conn_id_;
+  const uint64_t seq = request_seq_;
+  loop_->Post([server, conn_id, seq, response = std::move(response)]() mutable {
+    server->CompleteSend(conn_id, seq, std::move(response));
+  });
+}
+
+void ResponseWriter::BeginChunked(int code, std::string content_type) {
+  if (begun_.exchange(true)) {
+    RPT_LOG(Warning) << "ResponseWriter::BeginChunked after response begun";
+    return;
+  }
+  HttpServer* server = server_;
+  const uint64_t conn_id = conn_id_;
+  const uint64_t seq = request_seq_;
+  loop_->Post([server, conn_id, seq, code,
+               content_type = std::move(content_type)]() mutable {
+    server->CompleteBeginChunked(conn_id, seq, code, std::move(content_type));
+  });
+}
+
+void ResponseWriter::WriteChunk(std::string data) {
+  if (!begun_.load() || finished_.load()) {
+    RPT_LOG(Warning) << "ResponseWriter::WriteChunk outside chunked response";
+    return;
+  }
+  if (data.empty()) return;  // an empty chunk would terminate the stream
+  HttpServer* server = server_;
+  const uint64_t conn_id = conn_id_;
+  const uint64_t seq = request_seq_;
+  loop_->Post([server, conn_id, seq, data = std::move(data)]() mutable {
+    server->CompleteWriteChunk(conn_id, seq, std::move(data));
+  });
+}
+
+void ResponseWriter::EndChunked() {
+  if (!begun_.load() || finished_.exchange(true)) {
+    RPT_LOG(Warning) << "ResponseWriter::EndChunked outside chunked response";
+    return;
+  }
+  HttpServer* server = server_;
+  const uint64_t conn_id = conn_id_;
+  const uint64_t seq = request_seq_;
+  loop_->Post([server, conn_id, seq] {
+    server->CompleteEndChunked(conn_id, seq);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer
+// ---------------------------------------------------------------------------
+
+struct HttpServer::Connection {
+  uint64_t id = 0;
+  int fd = -1;
+  HttpParser parser;
+  std::string in;         // bytes received but not yet fed to the parser
+  std::string out;        // serialized response bytes awaiting send
+  size_t out_offset = 0;  // sent prefix of `out`
+  uint64_t request_seq = 0;  // increments per dispatched request
+  bool busy = false;          // a request is dispatched, response pending
+  bool streaming = false;     // chunked response open
+  bool keep_alive = true;     // current request wants keep-alive
+  bool close_after_flush = false;
+  bool want_write = false;    // EPOLLOUT currently armed
+  bool read_paused = false;   // stopped reading: in/out buffer over cap
+  bool peer_eof = false;      // read side saw EOF
+  std::string endpoint = "other";  // metrics label for the current request
+
+  explicit Connection(HttpParserLimits limits) : parser(limits) {}
+};
+
+struct HttpServer::Metrics {
+  obs::Gauge* connections;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  // (endpoint, code) -> counter, cached so the per-response path does one
+  // local map lookup instead of a registry lock + label render.
+  std::map<std::pair<std::string, int>, obs::Counter*> requests;
+
+  Metrics() {
+    auto& reg = obs::GlobalMetrics();
+    connections = reg.GetGauge("rpt_http_connections", {},
+                               "Currently open HTTP connections");
+    bytes_in = reg.GetCounter("rpt_http_bytes_in_total", {},
+                              "Bytes received on HTTP connections");
+    bytes_out = reg.GetCounter("rpt_http_bytes_out_total", {},
+                               "Bytes sent on HTTP connections");
+  }
+};
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)),
+      loop_(std::make_shared<EventLoop>()),
+      metrics_(new Metrics()) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string method, std::string path,
+                        HttpHandler handler) {
+  RPT_CHECK(!started_.load()) << "Handle() must precede Start()";
+  handlers_[std::move(path)][std::move(method)] = std::move(handler);
+}
+
+Status HttpServer::Start() {
+  RPT_CHECK(!started_.load()) << "HttpServer started twice";
+  Status status = loop_->Init();
+  if (!status.ok()) return status;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind " + options_.host + ":" +
+                            std::to_string(options_.port) + ": " + err);
+  }
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen: " + err);
+  }
+  socklen_t addr_len = sizeof(addr);
+  RPT_CHECK(::getsockname(listen_fd_,
+                          reinterpret_cast<struct sockaddr*>(&addr),
+                          &addr_len) == 0);
+  port_ = ntohs(addr.sin_port);
+
+  started_.store(true);
+  loop_thread_ = std::thread([this] {
+    // Listener registration happens on the loop thread: Add() is
+    // loop-thread-only and nothing dispatches before Run().
+    loop_->Add(listen_fd_, EPOLLIN | EPOLLET,
+               [this](uint32_t events) { OnAccept(events); });
+    loop_->Run();
+  });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  std::call_once(stop_once_, [this] {
+    if (!started_.load()) {
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      return;
+    }
+    loop_->Post([this] {
+      // Close everything on the loop thread, then stop the loop.
+      if (listen_fd_ >= 0) {
+        loop_->Remove(listen_fd_);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      std::vector<uint64_t> ids;
+      ids.reserve(connections_.size());
+      for (const auto& [id, conn] : connections_) ids.push_back(id);
+      for (uint64_t id : ids) CloseConnection(id);
+      loop_->Stop();
+    });
+    if (loop_thread_.joinable()) loop_thread_.join();
+  });
+}
+
+void HttpServer::OnAccept(uint32_t events) {
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) return;
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      RPT_LOG(Warning) << "accept4: " << std::strerror(errno);
+      return;
+    }
+    if (connections_.size() >= options_.max_connections) {
+      ::close(fd);  // shed load: accept and drop, keeps the backlog moving
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(options_.limits);
+    conn->id = id;
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    connections_.emplace(id, std::move(conn));
+    metrics_->connections->Add(1);
+    loop_->Add(fd, EPOLLIN | EPOLLET,
+               [this, id](uint32_t ev) { OnConnectionEvent(id, ev); });
+    // The socket may already hold bytes sent before registration.
+    HandleReadable(raw);
+  }
+}
+
+void HttpServer::OnConnectionEvent(uint64_t conn_id, uint32_t events) {
+  const auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    CloseConnection(conn_id);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    FlushOut(conn);
+    if (connections_.find(conn_id) == connections_.end()) return;
+  }
+  if ((events & EPOLLIN) != 0 && !conn->read_paused) {
+    HandleReadable(conn);
+  }
+}
+
+void HttpServer::HandleReadable(Connection* conn) {
+  const uint64_t conn_id = conn->id;
+  char buf[kReadChunk];
+  while (!conn->read_paused) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      metrics_->bytes_in->Increment(static_cast<uint64_t>(n));
+      conn->in.append(buf, static_cast<size_t>(n));
+      if (conn->in.size() >= options_.max_in_buffer) {
+        // Backpressure: stop reading until the parser catches up. Bytes
+        // stay in the kernel buffer; TCP flow control pushes back further.
+        conn->read_paused = true;
+      }
+      continue;
+    }
+    if (n == 0) {
+      conn->peer_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn_id);
+    return;
+  }
+  ProcessInput(conn);
+  if (connections_.find(conn_id) == connections_.end()) return;
+  if (conn->peer_eof && !conn->busy && conn->out_offset >= conn->out.size()) {
+    // Peer finished sending, nothing pending either way: done.
+    CloseConnection(conn_id);
+  }
+}
+
+void HttpServer::ProcessInput(Connection* conn) {
+  const uint64_t conn_id = conn->id;
+  // One request at a time per connection: while a response is pending the
+  // remaining pipelined bytes simply wait in `in`.
+  while (!conn->busy && !conn->close_after_flush && !conn->in.empty()) {
+    const size_t consumed = conn->parser.Feed(conn->in);
+    conn->in.erase(0, consumed);
+    if (conn->parser.failed()) {
+      const int code = conn->parser.error_status();
+      RPT_LOG(Warning) << "http parse error (" << code
+                       << "): " << conn->parser.error_reason();
+      CountRequest("other", code);
+      SendSimple(conn, code, conn->parser.error_reason() + "\n",
+                 /*close_after=*/true);
+      return;
+    }
+    if (!conn->parser.done()) break;  // need more bytes
+    HttpRequest request = conn->parser.TakeRequest();
+    DispatchRequest(conn, request);
+    if (connections_.find(conn_id) == connections_.end()) return;
+  }
+  if (conn->read_paused && !conn->busy &&
+      conn->in.size() < options_.max_in_buffer &&
+      conn->out.size() - conn->out_offset < options_.max_out_buffer) {
+    TryResumeRead(conn);
+  }
+}
+
+void HttpServer::DispatchRequest(Connection* conn, const HttpRequest& request) {
+  conn->busy = true;
+  conn->streaming = false;
+  conn->keep_alive = request.KeepAlive();
+  ++conn->request_seq;
+
+  const auto path_it = handlers_.find(request.path);
+  if (path_it == handlers_.end()) {
+    conn->endpoint = "other";
+    CountRequest("other", 404);
+    SendSimple(conn, 404, "not found\n", /*close_after=*/!conn->keep_alive);
+    conn->busy = false;
+    return;
+  }
+  conn->endpoint = request.path;
+  const auto method_it = path_it->second.find(request.method);
+  if (method_it == path_it->second.end()) {
+    CountRequest(conn->endpoint, 405);
+    SendSimple(conn, 405, "method not allowed\n",
+               /*close_after=*/!conn->keep_alive);
+    conn->busy = false;
+    return;
+  }
+  auto writer = std::shared_ptr<ResponseWriter>(
+      new ResponseWriter(this, loop_, conn->id, conn->request_seq));
+  method_it->second(request, writer);
+  // The handler may have completed inline via Post; those closures run in
+  // this same loop iteration's RunPosted() pass, right after fd dispatch.
+}
+
+void HttpServer::FinishRequest(Connection* conn) {
+  conn->busy = false;
+  conn->streaming = false;
+  if (!conn->keep_alive) conn->close_after_flush = true;
+  FlushOut(conn);
+  const uint64_t conn_id = conn->id;
+  if (connections_.find(conn_id) == connections_.end()) return;
+  // Serve the next pipelined request (or resume a paused read).
+  ProcessInput(conn);
+  if (connections_.find(conn_id) == connections_.end()) return;
+  if (conn->peer_eof && !conn->busy && conn->out_offset >= conn->out.size()) {
+    CloseConnection(conn_id);
+  }
+}
+
+void HttpServer::SendSimple(Connection* conn, int code, const std::string& body,
+                            bool close_after) {
+  if (close_after) conn->keep_alive = false;
+  QueueResponseHead(conn, code, "text/plain; charset=utf-8",
+                    /*chunked=*/false, body.size());
+  conn->out.append(body);
+  if (close_after) conn->close_after_flush = true;
+  FlushOut(conn);
+}
+
+void HttpServer::QueueResponseHead(Connection* conn, int code,
+                                   const std::string& content_type,
+                                   bool chunked, size_t content_length) {
+  std::string head;
+  head.reserve(160 + content_type.size());
+  head.append("HTTP/1.1 ");
+  head.append(std::to_string(code));
+  head.append(" ");
+  head.append(HttpStatusText(code));
+  head.append("\r\nContent-Type: ");
+  head.append(content_type);
+  if (chunked) {
+    head.append("\r\nTransfer-Encoding: chunked");
+  } else {
+    head.append("\r\nContent-Length: ");
+    head.append(std::to_string(content_length));
+  }
+  head.append(conn->keep_alive && !conn->close_after_flush
+                  ? "\r\nConnection: keep-alive"
+                  : "\r\nConnection: close");
+  head.append("\r\n\r\n");
+  conn->out.append(head);
+}
+
+void HttpServer::FlushOut(Connection* conn) {
+  const uint64_t conn_id = conn->id;
+  while (conn->out_offset < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_offset,
+               conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      metrics_->bytes_out->Increment(static_cast<uint64_t>(n));
+      conn->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        loop_->Modify(conn->fd, EPOLLIN | EPOLLOUT | EPOLLET);
+      }
+      // A response backlog over the cap pauses reading: a peer that sends
+      // but never reads cannot grow `out` without bound.
+      if (conn->out.size() - conn->out_offset >= options_.max_out_buffer) {
+        conn->read_paused = true;
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn_id);
+    return;
+  }
+  // Fully flushed.
+  conn->out.clear();
+  conn->out_offset = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    loop_->Modify(conn->fd, EPOLLIN | EPOLLET);
+  }
+  if (conn->close_after_flush && !conn->busy) {
+    CloseConnection(conn_id);
+    return;
+  }
+  if (conn->read_paused && conn->in.size() < options_.max_in_buffer) {
+    TryResumeRead(conn);
+  }
+}
+
+void HttpServer::TryResumeRead(Connection* conn) {
+  conn->read_paused = false;
+  // We stopped reading voluntarily (no EAGAIN), so no new edge is coming
+  // for the bytes already queued in the kernel: read now.
+  HandleReadable(conn);
+}
+
+void HttpServer::CloseConnection(uint64_t conn_id) {
+  const auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+  loop_->Remove(conn->fd);
+  ::close(conn->fd);
+  metrics_->connections->Add(-1);
+  connections_.erase(it);
+}
+
+void HttpServer::CountRequest(const std::string& endpoint, int code) {
+  auto key = std::make_pair(endpoint, code);
+  auto it = metrics_->requests.find(key);
+  if (it == metrics_->requests.end()) {
+    obs::Counter* counter = obs::GlobalMetrics().GetCounter(
+        "rpt_http_requests_total",
+        {{"endpoint", endpoint}, {"code", std::to_string(code)}},
+        "HTTP requests served, by endpoint and status code");
+    it = metrics_->requests.emplace(std::move(key), counter).first;
+  }
+  it->second->Increment();
+}
+
+// ---------------------------------------------------------------------------
+// Completion entry points (loop thread, via ResponseWriter posts)
+// ---------------------------------------------------------------------------
+
+HttpServer::Connection* HttpServer::LiveConnectionFor(uint64_t conn_id,
+                                                      uint64_t seq) {
+  const auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return nullptr;  // peer went away: drop
+  Connection* conn = it->second.get();
+  // A completion for a previous request on this connection (the writer's
+  // own flags normally prevent this) must not corrupt the current one.
+  if (!conn->busy || conn->request_seq != seq) return nullptr;
+  return conn;
+}
+
+void HttpServer::CompleteSend(uint64_t conn_id, uint64_t seq,
+                              HttpResponse response) {
+  Connection* conn = LiveConnectionFor(conn_id, seq);
+  if (conn == nullptr) return;
+  CountRequest(conn->endpoint, response.code);
+  QueueResponseHead(conn, response.code, response.content_type,
+                    /*chunked=*/false, response.body.size());
+  conn->out.append(response.body);
+  FinishRequest(conn);
+}
+
+void HttpServer::CompleteBeginChunked(uint64_t conn_id, uint64_t seq, int code,
+                                      std::string content_type) {
+  Connection* conn = LiveConnectionFor(conn_id, seq);
+  if (conn == nullptr) return;
+  conn->streaming = true;
+  CountRequest(conn->endpoint, code);
+  QueueResponseHead(conn, code, content_type, /*chunked=*/true, 0);
+  FlushOut(conn);
+}
+
+void HttpServer::CompleteWriteChunk(uint64_t conn_id, uint64_t seq,
+                                    std::string data) {
+  Connection* conn = LiveConnectionFor(conn_id, seq);
+  if (conn == nullptr || !conn->streaming) return;
+  conn->out.append(ChunkFrame(data));
+  FlushOut(conn);
+}
+
+void HttpServer::CompleteEndChunked(uint64_t conn_id, uint64_t seq) {
+  Connection* conn = LiveConnectionFor(conn_id, seq);
+  if (conn == nullptr || !conn->streaming) return;
+  conn->out.append("0\r\n\r\n");
+  FinishRequest(conn);
+}
+
+}  // namespace net
+}  // namespace rpt

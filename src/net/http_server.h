@@ -1,0 +1,187 @@
+// HttpServer: a dependency-free HTTP/1.1 front-end on one epoll loop.
+//
+// One EventLoop thread owns everything: the listening socket (accepted with
+// accept4 O_NONBLOCK), a per-connection state machine (incremental
+// HttpParser, bounded input buffer, bounded pending-write buffer,
+// keep-alive, pipelining), and handler dispatch by exact (method, path).
+// Handlers never block the loop: they receive a shared ResponseWriter and
+// may complete the response later from any thread — every writer method
+// posts through the loop's eventfd wakeup, which is exactly the bridge the
+// serving layer's async completion callbacks (ServeCallback, serve/shard.h)
+// need.
+//
+// Per-connection discipline:
+//  * Requests on one connection are handled strictly in order: the next
+//    pipelined request is not dispatched until the current response has
+//    been written (or begun streaming and finished). Responses therefore
+//    always leave in request order, which is all HTTP/1.1 pipelining
+//    requires.
+//  * Both buffers are bounded. Input beyond `max_in_buffer` pauses reading
+//    until the backlog drains; a response backlog beyond `max_out_buffer`
+//    also pauses reading (a slow or absent reader cannot balloon memory).
+//    Parser limits turn oversized messages into 431/413, malformed ones
+//    into 400; all parse errors answer and then close the connection,
+//    since the byte stream is no longer trustworthy.
+//  * Responses are either whole (Send: Content-Length framing) or streamed
+//    (BeginChunked / WriteChunk / EndChunked: Transfer-Encoding chunked) —
+//    the streaming path is how long generations surface partial results.
+//
+// Observability: the server feeds four registry families —
+// `rpt_http_connections` (gauge, currently open), `rpt_http_requests_total
+// {endpoint,code}` (endpoint is the registered path, or "other" for
+// unmatched targets, keeping label cardinality bounded), and
+// `rpt_http_bytes_in_total` / `rpt_http_bytes_out_total`.
+
+#ifndef RPT_NET_HTTP_SERVER_H_
+#define RPT_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "net/event_loop.h"
+#include "net/http_parser.h"
+#include "util/status.h"
+
+namespace rpt {
+namespace net {
+
+struct HttpServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = kernel-assigned ephemeral port (see port())
+  HttpParserLimits limits;
+  size_t max_connections = 4096;   // beyond: accept + close immediately
+  size_t max_in_buffer = 64 << 10;   // unparsed input per connection
+  size_t max_out_buffer = 8 << 20;   // pending response bytes per connection
+};
+
+/// A complete (non-streamed) response.
+struct HttpResponse {
+  int code = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Reason phrase for a status code ("OK", "Bad Request", ...).
+const char* HttpStatusText(int code);
+
+class HttpServer;
+
+/// Completion handle for one in-flight request. Exactly one of
+/// {Send} or {BeginChunked, WriteChunk..., EndChunked} completes it.
+/// Thread-safe: every method posts to the owning loop, so collector-thread
+/// callbacks and loop-thread handlers use the same calls. Calls against a
+/// connection the peer has meanwhile closed are silently dropped.
+class ResponseWriter {
+ public:
+  void Send(HttpResponse response);
+  void BeginChunked(int code, std::string content_type);
+  void WriteChunk(std::string data);
+  void EndChunked();
+
+ private:
+  friend class HttpServer;
+  ResponseWriter(HttpServer* server, std::shared_ptr<EventLoop> loop,
+                 uint64_t conn_id, uint64_t request_seq)
+      : server_(server),
+        loop_(std::move(loop)),
+        conn_id_(conn_id),
+        request_seq_(request_seq) {}
+
+  HttpServer* server_;
+  // Shared so a writer held by a collector callback keeps the loop (and its
+  // drop-after-stop Post semantics) alive even mid-teardown.
+  std::shared_ptr<EventLoop> loop_;
+  uint64_t conn_id_;
+  uint64_t request_seq_;
+  std::atomic<bool> begun_{false};     // Send or BeginChunked happened
+  std::atomic<bool> finished_{false};  // Send or EndChunked happened
+};
+
+/// `request` is only valid for the duration of the call — copy what the
+/// completion needs. The writer may be completed inline or later.
+using HttpHandler = std::function<void(const HttpRequest& request,
+                                       std::shared_ptr<ResponseWriter> writer)>;
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerOptions options = {});
+  ~HttpServer();  // implicit Stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers an exact-match handler. All registrations must happen
+  /// before Start(). A matched path with a different method answers 405;
+  /// an unmatched path 404.
+  void Handle(std::string method, std::string path, HttpHandler handler);
+
+  /// Binds host:port, listens, and spawns the loop thread. On success
+  /// port() holds the actual port (resolves port 0).
+  Status Start();
+
+  /// Closes the listener and every connection, stops the loop, joins its
+  /// thread. In-flight ResponseWriters outlive this safely: their posts
+  /// are dropped once the loop has stopped. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  const HttpServerOptions& options() const { return options_; }
+
+ private:
+  friend class ResponseWriter;
+  struct Connection;
+  struct Metrics;
+
+  // ---- loop-thread only ----
+  void OnAccept(uint32_t events);
+  void OnConnectionEvent(uint64_t conn_id, uint32_t events);
+  void HandleReadable(Connection* conn);
+  void ProcessInput(Connection* conn);
+  void DispatchRequest(Connection* conn, const HttpRequest& request);
+  void FinishRequest(Connection* conn);  // response fully queued
+  void SendSimple(Connection* conn, int code, const std::string& body,
+                  bool close_after);
+  void QueueResponseHead(Connection* conn, int code,
+                         const std::string& content_type, bool chunked,
+                         size_t content_length);
+  void FlushOut(Connection* conn);
+  void CloseConnection(uint64_t conn_id);
+  void TryResumeRead(Connection* conn);
+  void CountRequest(const std::string& endpoint, int code);
+
+  // ---- ResponseWriter entry points (called from posted closures) ----
+  void CompleteSend(uint64_t conn_id, uint64_t seq, HttpResponse response);
+  void CompleteBeginChunked(uint64_t conn_id, uint64_t seq, int code,
+                            std::string content_type);
+  void CompleteWriteChunk(uint64_t conn_id, uint64_t seq, std::string data);
+  void CompleteEndChunked(uint64_t conn_id, uint64_t seq);
+  Connection* LiveConnectionFor(uint64_t conn_id, uint64_t seq);
+
+  HttpServerOptions options_;
+  std::shared_ptr<EventLoop> loop_;
+  std::thread loop_thread_;
+  std::atomic<bool> started_{false};
+  std::once_flag stop_once_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  // path -> method -> handler (exact match; loop thread after Start).
+  std::map<std::string, std::map<std::string, HttpHandler>> handlers_;
+
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+
+  std::unique_ptr<Metrics> metrics_;
+};
+
+}  // namespace net
+}  // namespace rpt
+
+#endif  // RPT_NET_HTTP_SERVER_H_

@@ -1,0 +1,232 @@
+#include "net/json.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rpt {
+namespace net {
+
+namespace {
+
+/// Appends `cp` to `out` as UTF-8.
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+/// Cursor over the input with one-line error reporting.
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& why) {
+    if (error.empty()) error = why;
+    return false;
+  }
+  void SkipSpace() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos >= text.size() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (pos + 4 > text.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("bad hex digit in \\u escape");
+      }
+    }
+    pos += 4;
+    *out = value;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (true) {
+      if (pos >= text.size()) return Fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) return Fail("dangling escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (!ParseHex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must pair with \uDC00..\uDFFF.
+            if (pos + 1 >= text.size() || text[pos] != '\\' ||
+                text[pos + 1] != 'u') {
+              return Fail("lone high surrogate");
+            }
+            pos += 2;
+            uint32_t low = 0;
+            if (!ParseHex4(&low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("lone low surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Fail("unknown escape character");
+      }
+    }
+  }
+
+  /// Number / true / false / null, returned as its literal text (null as
+  /// ""). Rejects objects and arrays — the flat protocol never nests.
+  bool ParseScalar(std::string* out) {
+    SkipSpace();
+    const size_t start = pos;
+    if (pos < text.size() && (text[pos] == '{' || text[pos] == '[')) {
+      return Fail("nested values are not supported");
+    }
+    while (pos < text.size() && text[pos] != ',' && text[pos] != '}' &&
+           text[pos] != ' ' && text[pos] != '\t' && text[pos] != '\n' &&
+           text[pos] != '\r') {
+      ++pos;
+    }
+    if (pos == start) return Fail("expected a value");
+    std::string_view token = text.substr(start, pos - start);
+    if (token == "null") {
+      out->clear();
+      return true;
+    }
+    if (token == "true" || token == "false") {
+      out->assign(token);
+      return true;
+    }
+    // Validate as a JSON number with strtod over a bounded copy.
+    const std::string copy(token);
+    char* end = nullptr;
+    (void)std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size()) {
+      return Fail("unquoted value is not a number/bool/null");
+    }
+    out->assign(token);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonString(std::string_view text) {
+  return "\"" + JsonEscape(text) + "\"";
+}
+
+bool JsonParseFlatObject(std::string_view text,
+                         std::map<std::string, std::string>* fields,
+                         std::string* error) {
+  fields->clear();
+  Parser p{text, 0, std::string()};
+  const auto fail = [&](const std::string& fallback) {
+    if (error != nullptr) *error = p.error.empty() ? fallback : p.error;
+    return false;
+  };
+  if (!p.Consume('{')) return fail("expected '{'");
+  if (!p.Consume('}')) {
+    while (true) {
+      std::string key;
+      if (!p.ParseString(&key)) return fail("expected a field name");
+      if (!p.Consume(':')) return fail("expected ':' after field name");
+      p.SkipSpace();
+      std::string value;
+      const bool is_string = p.pos < p.text.size() && p.text[p.pos] == '"';
+      if (is_string ? !p.ParseString(&value) : !p.ParseScalar(&value)) {
+        return fail("bad value for field '" + key + "'");
+      }
+      (*fields)[key] = std::move(value);
+      if (p.Consume(',')) continue;
+      if (p.Consume('}')) break;
+      return fail("expected ',' or '}'");
+    }
+  }
+  if (!p.AtEnd()) return fail("trailing characters after object");
+  return true;
+}
+
+}  // namespace net
+}  // namespace rpt

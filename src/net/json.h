@@ -1,0 +1,43 @@
+// Minimal JSON helpers for the HTTP front-end's line-oriented protocol.
+//
+// The net layer speaks newline-delimited JSON: every request body line is
+// one flat object of string fields ({"input": "..."}), every response line
+// one flat object of string/number/bool fields. That tiny dialect needs no
+// general JSON tree — just correct string escaping both ways — so these
+// helpers stay dependency-free instead of pulling a JSON library into the
+// build.
+//
+// JsonParseFlatObject accepts one JSON object whose values are strings,
+// numbers, booleans, or null, and returns every field as its string
+// rendering (numbers/bools verbatim, null as ""). Nested objects or arrays
+// are rejected — the protocol never uses them. Escapes handled: the eight
+// JSON escapes plus \uXXXX (including surrogate pairs), decoded to UTF-8.
+
+#ifndef RPT_NET_JSON_H_
+#define RPT_NET_JSON_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace rpt {
+namespace net {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included): ", \, and control characters become their JSON escapes.
+std::string JsonEscape(std::string_view text);
+
+/// `"<escaped text>"` — JsonEscape with the surrounding quotes.
+std::string JsonString(std::string_view text);
+
+/// Parses one flat JSON object (see header comment). On success fills
+/// `*fields` (string values fully unescaped) and returns true; on any
+/// malformed input returns false with `*error` naming the defect.
+bool JsonParseFlatObject(std::string_view text,
+                         std::map<std::string, std::string>* fields,
+                         std::string* error);
+
+}  // namespace net
+}  // namespace rpt
+
+#endif  // RPT_NET_JSON_H_

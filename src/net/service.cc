@@ -1,0 +1,223 @@
+#include "net/service.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "net/json.h"
+#include "obs/metrics.h"
+
+namespace rpt {
+namespace net {
+
+namespace {
+
+constexpr const char* kNdjsonType = "application/x-ndjson";
+
+/// Shared state for the lines of one HTTP request. Line completions arrive
+/// on arbitrary threads (inline on the loop thread for cache hits, on a
+/// collector thread for model results); the mutex orders them. Emission is
+/// strictly in line order: a completed line waits until every earlier line
+/// has been emitted.
+struct BatchState {
+  std::mutex mu;
+  std::shared_ptr<ResponseWriter> writer;
+  bool streaming = false;
+  std::vector<std::string> lines;  // rendered response lines
+  std::vector<bool> ready;
+  size_t next_to_emit = 0;
+};
+
+void CompleteLine(const std::shared_ptr<BatchState>& state, size_t index,
+                  const ServeResponse& response) {
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->lines[index] = RenderResponseLine(response);
+  state->ready[index] = true;
+  if (!state->streaming) {
+    // Single-line request: one whole response, code mapped from the serve
+    // status.
+    HttpResponse http;
+    http.code = HttpCodeForStatus(response.status.code());
+    http.body = state->lines[index] + "\n";
+    state->writer->Send(std::move(http));
+    return;
+  }
+  while (state->next_to_emit < state->lines.size() &&
+         state->ready[state->next_to_emit]) {
+    state->writer->WriteChunk(state->lines[state->next_to_emit] + "\n");
+    ++state->next_to_emit;
+  }
+  if (state->next_to_emit == state->lines.size()) state->writer->EndChunked();
+}
+
+}  // namespace
+
+int HttpCodeForStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:               return 200;
+    case StatusCode::kInvalidArgument:  return 400;
+    case StatusCode::kNotFound:         return 404;
+    case StatusCode::kUnavailable:      return 503;
+    case StatusCode::kDeadlineExceeded: return 504;
+    default:                            return 500;
+  }
+}
+
+std::string RenderResponseLine(const ServeResponse& response) {
+  if (!response.status.ok()) {
+    std::string line = "{\"error\":";
+    line += JsonString(StatusCodeName(response.status.code()));
+    line += ",\"message\":";
+    line += JsonString(response.status.message());
+    line += "}";
+    return line;
+  }
+  char latency[32];
+  std::snprintf(latency, sizeof(latency), "%.3f", response.latency_ms);
+  std::string line = "{\"output\":";
+  line += JsonString(response.output);
+  line += ",\"cache_hit\":";
+  line += response.cache_hit ? "true" : "false";
+  line += ",\"latency_ms\":";
+  line += latency;
+  line += ",\"batch_size\":";
+  line += std::to_string(response.batch_size);
+  line += "}";
+  return line;
+}
+
+bool QueryFlag(std::string_view query, std::string_view key) {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    const size_t amp = query.find('&', pos);
+    const std::string_view part = query.substr(
+        pos, amp == std::string_view::npos ? query.size() - pos : amp - pos);
+    if (part == key) return true;
+    if (part.size() == key.size() + 2 && part.substr(0, key.size()) == key &&
+        part[key.size()] == '=' && part[key.size() + 1] == '1') {
+      return true;
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return false;
+}
+
+RptHttpService::RptHttpService(RoutedServer* server,
+                               std::chrono::milliseconds default_timeout)
+    : server_(server), default_timeout_(default_timeout) {}
+
+void RptHttpService::Register(HttpServer* http) {
+  http->Handle("GET", "/healthz",
+               [](const HttpRequest&, std::shared_ptr<ResponseWriter> writer) {
+                 HttpResponse response;
+                 response.content_type = "text/plain; charset=utf-8";
+                 response.body = "ok\n";
+                 writer->Send(std::move(response));
+               });
+  http->Handle(
+      "GET", "/metrics",
+      [server = server_](const HttpRequest&,
+                         std::shared_ptr<ResponseWriter> writer) {
+        HttpResponse response;
+        // Prometheus text exposition format version 0.0.4.
+        response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        response.body = server->MetricsText();
+        writer->Send(std::move(response));
+      });
+  for (const std::string& route : server_->RouteNames()) {
+    http->Handle("POST", "/v1/" + route,
+                 [this, route](const HttpRequest& request,
+                               std::shared_ptr<ResponseWriter> writer) {
+                   HandleSubmit(route, request, std::move(writer));
+                 });
+  }
+}
+
+void RptHttpService::HandleSubmit(const std::string& route,
+                                  const HttpRequest& request,
+                                  std::shared_ptr<ResponseWriter> writer) {
+  // Parse every line before submitting anything: a malformed body answers
+  // 400 and never reaches the serving layer.
+  std::vector<std::string> inputs;
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos < request.body.size()) {
+    size_t end = request.body.find('\n', pos);
+    if (end == std::string::npos) end = request.body.size();
+    const std::string_view line(request.body.data() + pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty() ||
+        line.find_first_not_of(" \t\r") == std::string_view::npos) {
+      continue;
+    }
+    std::map<std::string, std::string> fields;
+    std::string error;
+    if (!JsonParseFlatObject(line, &fields, &error)) {
+      HttpResponse response;
+      response.code = 400;
+      response.body = "{\"error\":\"InvalidArgument\",\"message\":" +
+                      JsonString("body line " + std::to_string(line_no) +
+                                 ": " + error) +
+                      "}\n";
+      writer->Send(std::move(response));
+      return;
+    }
+    const auto input = fields.find("input");
+    if (input == fields.end()) {
+      HttpResponse response;
+      response.code = 400;
+      response.body = "{\"error\":\"InvalidArgument\",\"message\":" +
+                      JsonString("body line " + std::to_string(line_no) +
+                                 ": missing \"input\" field") +
+                      "}\n";
+      writer->Send(std::move(response));
+      return;
+    }
+    inputs.push_back(input->second);
+  }
+  if (inputs.empty()) {
+    HttpResponse response;
+    response.code = 400;
+    response.body =
+        "{\"error\":\"InvalidArgument\",\"message\":\"empty body\"}\n";
+    writer->Send(std::move(response));
+    return;
+  }
+
+  std::chrono::milliseconds timeout = default_timeout_;
+  {
+    size_t qpos = request.query.find("timeout_ms=");
+    if (qpos != std::string::npos &&
+        (qpos == 0 || request.query[qpos - 1] == '&')) {
+      const long parsed =
+          std::strtol(request.query.c_str() + qpos + 11, nullptr, 10);
+      if (parsed > 0) timeout = std::chrono::milliseconds(parsed);
+    }
+  }
+
+  auto state = std::make_shared<BatchState>();
+  state->writer = std::move(writer);
+  state->streaming =
+      inputs.size() > 1 || QueryFlag(request.query, "stream");
+  state->lines.resize(inputs.size());
+  state->ready.resize(inputs.size(), false);
+  if (state->streaming) {
+    // Headers leave immediately; each line streams as it completes. Serve
+    // failures after this point are in-band error lines.
+    state->writer->BeginChunked(200, kNdjsonType);
+  }
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    server_->SubmitAsync(
+        route, std::move(inputs[i]),
+        [state, i](ServeResponse response) { CompleteLine(state, i, response); },
+        timeout);
+  }
+}
+
+}  // namespace net
+}  // namespace rpt

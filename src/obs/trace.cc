@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <functional>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -63,24 +64,56 @@ void Tracer::Clear() {
 
 std::string Tracer::ChromeTraceJson() const {
   const std::vector<SpanRecord> spans = Snapshot();
+  // Spans other records follow from: their exports also emit the flow-start
+  // half of the arrow (the linking span emits the flow-finish half).
+  std::set<uint64_t> link_targets;
+  for (const SpanRecord& span : spans) {
+    if (span.link_span_id != 0) link_targets.insert(span.link_span_id);
+  }
   std::ostringstream out;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  for (const SpanRecord& span : spans) {
-    if (!first) out << ',';
+  const auto to_us = [](TraceClock::time_point tp) {
+    return std::chrono::duration<double, std::micro>(tp.time_since_epoch())
+        .count();
+  };
+  const auto emit = [&](const std::string& event) {
+    out << (first ? "\n" : ",\n") << event;
     first = false;
-    const auto to_us = [](TraceClock::time_point tp) {
-      return std::chrono::duration<double, std::micro>(tp.time_since_epoch())
-          .count();
-    };
+  };
+  for (const SpanRecord& span : spans) {
     const double ts = to_us(span.begin);
     const double dur = to_us(span.end) - ts;
-    out << "\n{\"ph\":\"X\",\"pid\":1,\"tid\":" << span.thread_id
-        << ",\"name\":\"" << span.name << "\",\"ts\":" << std::fixed << ts
-        << ",\"dur\":" << dur << ",\"args\":{\"trace_id\":" << span.trace_id
-        << ",\"span_id\":" << span.span_id
-        << ",\"parent_id\":" << span.parent_id << "}}";
-    out.unsetf(std::ios_base::fixed);
+    std::ostringstream ev;
+    ev << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << span.thread_id
+       << ",\"name\":\"" << span.name << "\",\"ts\":" << std::fixed << ts
+       << ",\"dur\":" << dur << ",\"args\":{\"trace_id\":" << span.trace_id
+       << ",\"span_id\":" << span.span_id
+       << ",\"parent_id\":" << span.parent_id;
+    if (span.link_span_id != 0) {
+      ev << ",\"link_trace_id\":" << span.link_trace_id
+         << ",\"link_span_id\":" << span.link_span_id;
+    }
+    ev << "}}";
+    emit(ev.str());
+    // Flow-event halves of the follows-from links ("s" leaves the linked
+    // execution, "f" lands on the coalesced span), so the relationship is
+    // drawn as an arrow rather than buried in args.
+    if (link_targets.count(span.span_id) != 0) {
+      std::ostringstream fs;
+      fs << "{\"ph\":\"s\",\"pid\":1,\"tid\":" << span.thread_id
+         << ",\"name\":\"followsfrom\",\"cat\":\"followsfrom\",\"id\":"
+         << span.span_id << ",\"ts\":" << std::fixed << to_us(span.end)
+         << "}";
+      emit(fs.str());
+    }
+    if (span.link_span_id != 0) {
+      std::ostringstream ff;
+      ff << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":" << span.thread_id
+         << ",\"name\":\"followsfrom\",\"cat\":\"followsfrom\",\"id\":"
+         << span.link_span_id << ",\"ts\":" << std::fixed << ts << "}";
+      emit(ff.str());
+    }
   }
   out << "\n]}\n";
   return out.str();

@@ -35,7 +35,12 @@ namespace obs {
 
 using TraceClock = std::chrono::steady_clock;
 
-/// One finished span.
+/// One finished span. Besides the parent edge (same-trace nesting), a span
+/// may carry one *follows-from link* to a span in another trace: the serving
+/// layer stamps it on coalesced duplicates, whose execution actually
+/// happened inside the representative request's trace. Links are surfaced in
+/// the Chrome trace export both as args and as flow events, so Perfetto
+/// draws an arrow from the linked execution to the coalesced span.
 struct SpanRecord {
   uint64_t trace_id = 0;
   uint64_t span_id = 0;
@@ -44,6 +49,9 @@ struct SpanRecord {
   TraceClock::time_point begin;
   TraceClock::time_point end;
   uint32_t thread_id = 0;
+  // Follows-from link to a span in a (possibly) different trace; 0 = none.
+  uint64_t link_trace_id = 0;
+  uint64_t link_span_id = 0;
 };
 
 /// The (trace, span) pair child spans attach to.

@@ -81,6 +81,18 @@ RoutedServer::~RoutedServer() { Shutdown(); }
 std::future<ServeResponse> RoutedServer::Submit(
     const std::string& route, std::string input,
     std::chrono::milliseconds timeout) {
+  auto promise = std::make_shared<std::promise<ServeResponse>>();
+  std::future<ServeResponse> future = promise->get_future();
+  SubmitAsync(
+      route, std::move(input),
+      [promise](ServeResponse r) { promise->set_value(std::move(r)); },
+      timeout);
+  return future;
+}
+
+void RoutedServer::SubmitAsync(const std::string& route, std::string input,
+                               ServeCallback done,
+                               std::chrono::milliseconds timeout) {
   // One trace id per request: the shard-level spans (submit, queue wait,
   // batch, execute) all attach to the trace opened here.
   obs::ScopedTrace request_trace;
@@ -90,7 +102,8 @@ std::future<ServeResponse> RoutedServer::Submit(
     unknown_route_metric_->Increment();
     ServeResponse r;
     r.status = Status::NotFound("no route named '" + route + "'");
-    return ReadyServeResponse(std::move(r));
+    done(std::move(r));
+    return;
   }
   Route& rt = routes_[it->second];
   size_t shard = ShardForPayload(input, rt.shards.size());
@@ -114,7 +127,7 @@ std::future<ServeResponse> RoutedServer::Submit(
       shard = best;
     }
   }
-  return rt.shards[shard]->Submit(std::move(input), timeout);
+  rt.shards[shard]->SubmitAsync(std::move(input), std::move(done), timeout);
 }
 
 ServeResponse RoutedServer::SubmitWait(const std::string& route,
@@ -171,6 +184,13 @@ size_t RoutedServer::NumShards(const std::string& route) const {
   const auto it = index_.find(route);
   RPT_CHECK(it != index_.end()) << "no route named '" << route << "'";
   return routes_[it->second].shards.size();
+}
+
+std::vector<std::string> RoutedServer::RouteNames() const {
+  std::vector<std::string> names;
+  names.reserve(routes_.size());
+  for (const Route& route : routes_) names.push_back(route.name);
+  return names;
 }
 
 }  // namespace rpt

@@ -103,9 +103,20 @@ class RoutedServer {
   /// Dispatches one request to `route` (see the policy above). The future
   /// always completes: model output, cached response, kNotFound (unknown
   /// route), kUnavailable (saturated pool / shut down), or
-  /// kDeadlineExceeded.
+  /// kDeadlineExceeded. Implemented over SubmitAsync, so both APIs share
+  /// one dispatch + accounting path.
   std::future<ServeResponse> Submit(
       const std::string& route, std::string input,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds::max());
+
+  /// Continuation-passing dispatch: `done` receives the response instead of
+  /// a future. Unknown routes, cache hits, and rejections complete inline
+  /// on the calling thread; model-path responses complete on the owning
+  /// shard's collector thread (see serve/shard.h ServeCallback for the full
+  /// contract). The HTTP front-end (net/) drives all traffic through this —
+  /// its event loop must never block on a future.
+  void SubmitAsync(
+      const std::string& route, std::string input, ServeCallback done,
       std::chrono::milliseconds timeout = std::chrono::milliseconds::max());
 
   /// Submit + wait, for synchronous callers.
@@ -135,6 +146,10 @@ class RoutedServer {
   }
   size_t num_routes() const { return routes_.size(); }
   size_t NumShards(const std::string& route) const;
+
+  /// Configured route names, in construction order. The HTTP front-end uses
+  /// this to expose one /v1/<route> endpoint per route.
+  std::vector<std::string> RouteNames() const;
 
  private:
   struct Route {

@@ -65,6 +65,16 @@ class InferenceServer {
     return Submit(std::move(input), timeout).get();
   }
 
+  /// Continuation-passing Submit: `done` receives the response instead of a
+  /// future (see ServeCallback in serve/shard.h for the threading contract:
+  /// cache hits and rejections complete inline, model-path responses on the
+  /// collector thread).
+  void SubmitAsync(
+      std::string input, ServeCallback done,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds::max()) {
+    shard_.SubmitAsync(std::move(input), std::move(done), timeout);
+  }
+
   /// Stops intake, drains every queued request through the model, joins
   /// the collector. Idempotent (also run by the destructor).
   void Shutdown() { shard_.Shutdown(); }

@@ -23,11 +23,15 @@ double ElapsedMs(std::chrono::steady_clock::time_point from,
 }
 
 /// Appends one span to the global tracer (which drops it when disabled).
+/// `link_trace`/`link_span` carry an optional follows-from link to a span
+/// in another request's trace (coalesced duplicates link to the
+/// representative execution they rode).
 void RecordSpan(const char* name, uint64_t trace_id, uint64_t span_id,
                 uint64_t parent_id, std::chrono::steady_clock::time_point begin,
-                std::chrono::steady_clock::time_point end) {
-  obs::GlobalTracer().Record(
-      {trace_id, span_id, parent_id, name, begin, end, obs::CurrentThreadId()});
+                std::chrono::steady_clock::time_point end,
+                uint64_t link_trace = 0, uint64_t link_span = 0) {
+  obs::GlobalTracer().Record({trace_id, span_id, parent_id, name, begin, end,
+                              obs::CurrentThreadId(), link_trace, link_span});
 }
 
 }  // namespace
@@ -256,6 +260,20 @@ ServeShard::~ServeShard() { Shutdown(); }
 
 std::future<ServeResponse> ServeShard::Submit(
     std::string input, std::chrono::milliseconds timeout) {
+  // Shared-ptr because ServeCallback (std::function) requires a copyable
+  // callable; the promise itself is move-only.
+  auto promise = std::make_shared<std::promise<ServeResponse>>();
+  std::future<ServeResponse> future = promise->get_future();
+  SubmitAsync(
+      std::move(input),
+      [promise](ServeResponse r) { promise->set_value(std::move(r)); },
+      timeout);
+  return future;
+}
+
+void ServeShard::SubmitAsync(std::string input, ServeCallback done,
+                             std::chrono::milliseconds timeout) {
+  RPT_CHECK(done != nullptr) << "SubmitAsync needs a completion callback";
   const auto submitted_at = std::chrono::steady_clock::now();
   submitted_.fetch_add(1, std::memory_order_relaxed);
   // Arrival accounting uses the decision clock so the controller and the
@@ -287,7 +305,8 @@ std::future<ServeResponse> ServeShard::Submit(
       RecordSpan("serve.submit", trace_id, root_span, 0, submitted_at,
                  std::chrono::steady_clock::now());
     }
-    return ReadyServeResponse(std::move(r));
+    done(std::move(r));
+    return;
   }
   if (config_.cache_capacity > 0) {
     auto hit = cache_.Get(input);
@@ -309,12 +328,14 @@ std::future<ServeResponse> ServeShard::Submit(
         RecordSpan("serve.submit", trace_id, root_span, 0, submitted_at,
                    looked_up);
       }
-      return ReadyServeResponse(std::move(r));
+      done(std::move(r));
+      return;
     }
   }
 
   Pending p;
   p.input = std::move(input);
+  p.done = std::move(done);
   p.enqueued = submitted_at;
   // milliseconds::max() means "no deadline"; adding it to now() would
   // overflow the steady_clock representation.
@@ -322,12 +343,12 @@ std::future<ServeResponse> ServeShard::Submit(
   if (p.has_deadline) p.deadline = p.enqueued + timeout;
   p.trace_id = tracing ? trace_id : 0;
   p.root_span = root_span;
-  std::future<ServeResponse> future = p.promise.get_future();
   const PushResult pushed = queue_.TryPush(std::move(p));
   if (pushed != PushResult::kOk) {
     // The queue distinguishes full from closed: a Shutdown() racing this
     // Submit between the accepting_ check above and the push must surface
-    // as a shutdown rejection, not be miscounted as backpressure.
+    // as a shutdown rejection, not be miscounted as backpressure. A failed
+    // TryPush never moved `p`, so its callback is still ours to complete.
     ServeResponse r;
     if (pushed == PushResult::kClosed) {
       shutdown_rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -343,7 +364,8 @@ std::future<ServeResponse> ServeShard::Submit(
       RecordSpan("serve.submit", trace_id, root_span, 0, submitted_at,
                  std::chrono::steady_clock::now());
     }
-    return ReadyServeResponse(std::move(r));
+    p.done(std::move(r));
+    return;
   }
   // The gauge is stamped only on the enqueue path (and by the collector on
   // pickup), so it tracks queue_depth() instead of pre-push depths and
@@ -356,7 +378,6 @@ std::future<ServeResponse> ServeShard::Submit(
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
     obs_->cache_lookups->Increment();
   }
-  return future;
 }
 
 void ServeShard::CollectorLoop() {
@@ -420,7 +441,7 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
       r.status = Status::DeadlineExceeded(
           "deadline passed while the request was queued");
       r.latency_ms = ElapsedMs(p.enqueued, now);
-      p.promise.set_value(std::move(r));
+      p.done(std::move(r));
       ++newly_expired;
       obs_->expired->Increment();
       if (tracing && p.trace_id != 0) {
@@ -436,7 +457,7 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
       ServeResponse r;
       r.status = std::move(valid);
       r.latency_ms = ElapsedMs(p.enqueued, now);
-      p.promise.set_value(std::move(r));
+      p.done(std::move(r));
       ++newly_invalid;
       obs_->invalid->Increment();
       if (tracing && p.trace_id != 0) {
@@ -500,6 +521,11 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
     }
     std::vector<double> lats;
     lats.reserve(live.size());
+    // First execute-span id per unique payload: coalesced duplicates carry
+    // a follows-from link to the execution they actually rode, which lives
+    // in the representative request's trace.
+    std::vector<uint64_t> slot_exec_trace(inputs.size(), 0);
+    std::vector<uint64_t> slot_exec_span(inputs.size(), 0);
     for (size_t i = 0; i < live.size(); ++i) {
       ServeResponse r;
       r.output = outputs[slot[i]];
@@ -508,7 +534,7 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
       r.cache_hit = is_dupe[i];
       lats.push_back(r.latency_ms);
       obs_->latency_ms->Observe(r.latency_ms);
-      live[i]->promise.set_value(std::move(r));
+      live[i]->done(std::move(r));
       if (tracing && live[i]->trace_id != 0) {
         // Per-request view of the shared batch: formation (validation +
         // coalescing), execution, and the submit->completion root.
@@ -517,8 +543,16 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
         const uint64_t exec_span =
             (i == 0 && rep_exec_span != 0) ? rep_exec_span
                                            : tracer.NewSpanId();
-        RecordSpan("serve.execute", live[i]->trace_id, exec_span,
-                   live[i]->root_span, run_begin, done);
+        if (!is_dupe[i]) {
+          slot_exec_trace[slot[i]] = live[i]->trace_id;
+          slot_exec_span[slot[i]] = exec_span;
+          RecordSpan("serve.execute", live[i]->trace_id, exec_span,
+                     live[i]->root_span, run_begin, done);
+        } else {
+          RecordSpan("serve.execute", live[i]->trace_id, exec_span,
+                     live[i]->root_span, run_begin, done,
+                     slot_exec_trace[slot[i]], slot_exec_span[slot[i]]);
+        }
         RecordSpan("serve.submit", live[i]->trace_id, live[i]->root_span, 0,
                    live[i]->enqueued, done);
       }

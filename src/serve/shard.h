@@ -43,6 +43,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -146,6 +147,21 @@ ServerStatsSnapshot AggregateStats(
 /// An already-completed future, for responses decided at submit time.
 std::future<ServeResponse> ReadyServeResponse(ServeResponse response);
 
+/// Completion continuation of one asynchronously submitted request.
+///
+/// Threading contract: responses decided at submit time — cache hits,
+/// queue-full backpressure, post-shutdown rejections (and, at the routed
+/// level, unknown routes) — invoke the callback *inline on the submitting
+/// thread, before SubmitAsync returns*, with the same latency and counter
+/// accounting as the synchronous path. Responses that reach the model
+/// (including deadline expiries and Validate failures discovered at batch
+/// formation) invoke it on the shard's collector thread. Either way the
+/// callback runs exactly once and must not block: the collector thread is
+/// the micro-batching scheduler, so a blocking callback stalls every other
+/// request on the shard. Event-loop callers bridge back to their own thread
+/// (net/http_server.h posts through an eventfd wakeup).
+using ServeCallback = std::function<void(ServeResponse)>;
+
 class ServeShard {
  public:
   ServeShard(std::shared_ptr<ModelSession> session, ServerConfig config = {});
@@ -157,9 +173,18 @@ class ServeShard {
   /// Enqueues one request. The future always completes: with the model
   /// output, a cached response, kUnavailable (queue full / shut down), or
   /// kDeadlineExceeded (`timeout` elapsed before execution; the default is
-  /// effectively unbounded).
+  /// effectively unbounded). Implemented as SubmitAsync completing a
+  /// promise, so both APIs share one accounting path.
   std::future<ServeResponse> Submit(
       std::string input,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds::max());
+
+  /// Continuation-passing Submit: `done` receives the response instead of a
+  /// future (see ServeCallback for the threading contract). This is the
+  /// primitive the HTTP front-end's event loop needs — it must never block
+  /// on an inference future.
+  void SubmitAsync(
+      std::string input, ServeCallback done,
       std::chrono::milliseconds timeout = std::chrono::milliseconds::max());
 
   /// Stops intake, drains every queued request through the model, joins
@@ -187,7 +212,7 @@ class ServeShard {
  private:
   struct Pending {
     std::string input;
-    std::promise<ServeResponse> promise;
+    ServeCallback done;  // invoked exactly once with the response
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;

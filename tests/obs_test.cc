@@ -17,6 +17,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "prometheus_check.h"
 #include "serve/routed_server.h"
 #include "serve/server.h"
 #include "serve/sessions.h"
@@ -28,6 +29,8 @@ using obs::GlobalMetrics;
 using obs::GlobalTracer;
 using obs::Labels;
 using obs::SpanRecord;
+using testutil::SampleValue;
+using testutil::ValidateExposition;
 using std::chrono::microseconds;
 
 /// Re-enables/disables the global tracer for one test and clears its ring,
@@ -44,153 +47,8 @@ class ScopedTracerEnabled {
   }
 };
 
-// ---- Prometheus exposition validation ---------------------------------------
-
-struct Sample {
-  std::string name;
-  std::string labels;  // raw "{...}" text, "" when unlabeled
-  double value = 0;
-};
-
-/// Parses one exposition sample line; fails the test on malformed input.
-Sample ParseSample(const std::string& line) {
-  Sample s;
-  size_t i = 0;
-  while (i < line.size() &&
-         (std::isalnum(static_cast<unsigned char>(line[i])) ||
-          line[i] == '_' || line[i] == ':')) {
-    ++i;
-  }
-  EXPECT_GT(i, 0u) << "sample line has no metric name: " << line;
-  s.name = line.substr(0, i);
-  if (i < line.size() && line[i] == '{') {
-    const size_t close = line.find('}', i);
-    EXPECT_NE(close, std::string::npos) << "unclosed labels: " << line;
-    s.labels = line.substr(i, close - i + 1);
-    i = close + 1;
-  }
-  EXPECT_LT(i, line.size()) << "sample line has no value: " << line;
-  EXPECT_EQ(line[i], ' ') << "expected space before value: " << line;
-  char* end = nullptr;
-  s.value = std::strtod(line.c_str() + i + 1, &end);
-  EXPECT_EQ(*end, '\0') << "trailing junk after value: " << line;
-  return s;
-}
-
-/// Pulls the `le` label out of a bucket series' label text, returning the
-/// remaining labels (the series key) and the bound via `le_out`.
-std::string SplitOffLe(const std::string& labels, std::string* le_out) {
-  const size_t pos = labels.find("le=\"");
-  EXPECT_NE(pos, std::string::npos) << "bucket series without le: " << labels;
-  const size_t vbegin = pos + 4;
-  const size_t vend = labels.find('"', vbegin);
-  EXPECT_NE(vend, std::string::npos);
-  *le_out = labels.substr(vbegin, vend - vbegin);
-  // Drop `le="..."` plus one adjacent comma (either side), then normalize
-  // the empty "{}" case.
-  size_t erase_begin = pos;
-  size_t erase_end = vend + 1;
-  if (erase_end < labels.size() && labels[erase_end] == ',') {
-    ++erase_end;
-  } else if (erase_begin > 1 && labels[erase_begin - 1] == ',') {
-    --erase_begin;
-  }
-  std::string rest =
-      labels.substr(0, erase_begin) + labels.substr(erase_end);
-  if (rest == "{}") rest.clear();
-  return rest;
-}
-
-/// Checks `text` is well-formed Prometheus text exposition: every sample
-/// parses, every family has a # TYPE line before its samples, histogram
-/// buckets are cumulative and end in a +Inf bucket equal to _count.
-void ValidateExposition(const std::string& text) {
-  std::map<std::string, std::string> family_type;  // family -> counter/...
-  // histogram base name -> series labels (minus le) -> (le, cumulative).
-  std::map<std::string, std::map<std::string, std::vector<Sample>>> buckets;
-  std::map<std::string, std::map<std::string, double>> counts;
-
-  size_t begin = 0;
-  while (begin < text.size()) {
-    size_t end = text.find('\n', begin);
-    if (end == std::string::npos) end = text.size();
-    const std::string line = text.substr(begin, end - begin);
-    begin = end + 1;
-    if (line.empty()) continue;
-    if (line[0] == '#') {
-      if (line.rfind("# TYPE ", 0) == 0) {
-        const size_t sp = line.find(' ', 7);
-        ASSERT_NE(sp, std::string::npos) << "malformed TYPE line: " << line;
-        family_type[line.substr(7, sp - 7)] = line.substr(sp + 1);
-      } else {
-        EXPECT_EQ(line.rfind("# HELP ", 0), 0u)
-            << "unknown comment line: " << line;
-      }
-      continue;
-    }
-    const Sample s = ParseSample(line);
-    // The family is the name minus a histogram-series suffix.
-    std::string family = s.name;
-    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
-      const std::string suf(suffix);
-      if (family.size() > suf.size() &&
-          family.compare(family.size() - suf.size(), suf.size(), suf) == 0) {
-        const std::string base = family.substr(0, family.size() - suf.size());
-        if (family_type.count(base) && family_type[base] == "histogram") {
-          family = base;
-          break;
-        }
-      }
-    }
-    ASSERT_TRUE(family_type.count(family))
-        << "sample before its # TYPE line: " << line;
-    if (family_type[family] == "histogram" && s.name == family + "_bucket") {
-      std::string le;
-      const std::string key = SplitOffLe(s.labels, &le);
-      Sample b = s;
-      b.labels = le;  // reuse the labels slot for the bound
-      buckets[family][key].push_back(b);
-    }
-    if (family_type[family] == "histogram" && s.name == family + "_count") {
-      counts[family][s.labels] = s.value;
-    }
-  }
-
-  for (const auto& [family, series] : buckets) {
-    for (const auto& [key, bs] : series) {
-      ASSERT_FALSE(bs.empty());
-      double prev = -1;
-      for (const Sample& b : bs) {
-        EXPECT_GE(b.value, prev)
-            << family << key << " buckets are not cumulative";
-        prev = b.value;
-      }
-      EXPECT_EQ(bs.back().labels, "+Inf")
-          << family << key << " does not end in a +Inf bucket";
-      ASSERT_TRUE(counts[family].count(key))
-          << family << key << " has buckets but no _count";
-      EXPECT_EQ(bs.back().value, counts[family][key])
-          << family << key << " +Inf bucket disagrees with _count";
-    }
-  }
-}
-
-/// Value of the series `name{labels}` in `text`; fails when absent.
-double SampleValue(const std::string& text, const std::string& name,
-                   const std::string& labels) {
-  const std::string prefix = name + labels + " ";
-  size_t begin = 0;
-  while (begin < text.size()) {
-    size_t end = text.find('\n', begin);
-    if (end == std::string::npos) end = text.size();
-    if (text.compare(begin, prefix.size(), prefix) == 0) {
-      return std::strtod(text.c_str() + begin + prefix.size(), nullptr);
-    }
-    begin = end + 1;
-  }
-  ADD_FAILURE() << "no series " << name << labels << " in exposition";
-  return -1;
-}
+// Exposition validation lives in prometheus_check.h, shared with net_test
+// (which re-checks the same invariants against the live /metrics endpoint).
 
 // ---- MetricsRegistry --------------------------------------------------------
 
@@ -337,6 +195,84 @@ TEST(TracerTest, ChromeTraceJsonIsWellFormed) {
   }
   EXPECT_EQ(depth, 0);
   EXPECT_FALSE(in_string);
+}
+
+TEST(TracerTest, ChromeTraceJsonSurfacesFollowsFromLinks) {
+  if constexpr (!obs::kObsEnabled) GTEST_SKIP() << "built with RPT_OBS_OFF";
+  obs::Tracer tracer(8);
+  tracer.set_enabled(true);
+  SpanRecord target = MakeSpan(1, 10, "serve.execute");
+  tracer.Record(target);
+  SpanRecord linked = MakeSpan(2, 20, "serve.execute");
+  linked.link_trace_id = 1;
+  linked.link_span_id = 10;
+  tracer.Record(linked);
+  const std::string json = tracer.ChromeTraceJson();
+  // The linking span carries the link in its args...
+  EXPECT_NE(json.find("\"link_trace_id\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"link_span_id\":10"), std::string::npos);
+  // ...and the pair is bridged by a flow: start ("s") at the linked-to
+  // execution, finish ("f", enclosing-slice binding) at the duplicate.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"followsfrom\""), std::string::npos);
+  // A span nobody links to gets no flow-start: exactly one "s" event here.
+  const size_t first_s = json.find("\"ph\":\"s\"");
+  EXPECT_EQ(json.find("\"ph\":\"s\"", first_s + 1), std::string::npos);
+}
+
+/// Duplicates coalesced inside one batch record serve.execute spans that
+/// follow-from the representative's execution span (same trace id + span id
+/// as an execute span of another request in the same batch).
+TEST(ServeTraceTest, CoalescedDuplicatesCarryFollowsFromLinks) {
+  if constexpr (!obs::kObsEnabled) GTEST_SKIP() << "built with RPT_OBS_OFF";
+  ScopedTracerEnabled enabled;
+  constexpr int kDuplicates = 4;
+  {
+    ServerConfig config;
+    config.max_batch_size = 8;
+    config.max_batch_delay = std::chrono::milliseconds(50);
+    config.cache_capacity = 0;  // no submit-time hits: force in-batch dedup
+    config.name = "obs_link_test";
+    RoutedServer server(
+        {{"link",
+          {std::make_shared<SyntheticSession>(microseconds(200),
+                                              microseconds(20))},
+          config}});
+    std::vector<std::future<ServeResponse>> futures;
+    for (int i = 0; i < kDuplicates; ++i) {
+      futures.push_back(server.Submit("link", "same_payload"));
+    }
+    int coalesced_responses = 0;
+    for (auto& f : futures) {
+      const ServeResponse r = f.get();
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      if (r.cache_hit) ++coalesced_responses;
+    }
+    ASSERT_GT(coalesced_responses, 0) << "no duplicate was coalesced; the "
+                                         "batch window did not capture them";
+    server.Shutdown();
+  }
+
+  const std::vector<SpanRecord> spans = GlobalTracer().Snapshot();
+  std::vector<const SpanRecord*> executions;
+  std::vector<const SpanRecord*> linked;
+  for (const SpanRecord& s : spans) {
+    if (s.name != "serve.execute") continue;
+    (s.link_span_id == 0 ? executions : linked).push_back(&s);
+  }
+  ASSERT_EQ(executions.size(), 1u) << "one real execution for one payload";
+  ASSERT_FALSE(linked.empty()) << "coalesced requests recorded no spans";
+  for (const SpanRecord* dupe : linked) {
+    EXPECT_EQ(dupe->link_trace_id, executions[0]->trace_id);
+    EXPECT_EQ(dupe->link_span_id, executions[0]->span_id);
+    EXPECT_NE(dupe->trace_id, executions[0]->trace_id)
+        << "a duplicate lives in its own trace";
+  }
+  // The export surfaces the link.
+  const std::string json = GlobalTracer().ChromeTraceJson();
+  EXPECT_NE(json.find("\"cat\":\"followsfrom\""), std::string::npos);
 }
 
 // ---- End-to-end: serving spans ----------------------------------------------

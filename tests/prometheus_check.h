@@ -1,0 +1,172 @@
+// Shared Prometheus text-exposition checks for tests.
+//
+// ValidateExposition() asserts the structural rules a scraper relies on:
+// every sample line parses, every family has its # TYPE line before any
+// sample, histogram buckets are cumulative and end in a +Inf bucket equal
+// to the family's _count. SampleValue() fetches one series' value for
+// point assertions. Used by obs_test (registry-level) and net_test (the
+// /metrics endpoint end-to-end), so both layers agree on what "valid
+// exposition" means.
+
+#ifndef RPT_TESTS_PROMETHEUS_CHECK_H_
+#define RPT_TESTS_PROMETHEUS_CHECK_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rpt {
+namespace testutil {
+
+struct Sample {
+  std::string name;
+  std::string labels;  // raw "{...}" text, "" when unlabeled
+  double value = 0;
+};
+
+/// Parses one exposition sample line; fails the test on malformed input.
+inline Sample ParseSample(const std::string& line) {
+  Sample s;
+  size_t i = 0;
+  while (i < line.size() &&
+         (std::isalnum(static_cast<unsigned char>(line[i])) ||
+          line[i] == '_' || line[i] == ':')) {
+    ++i;
+  }
+  EXPECT_GT(i, 0u) << "sample line has no metric name: " << line;
+  s.name = line.substr(0, i);
+  if (i < line.size() && line[i] == '{') {
+    const size_t close = line.find('}', i);
+    EXPECT_NE(close, std::string::npos) << "unclosed labels: " << line;
+    s.labels = line.substr(i, close - i + 1);
+    i = close + 1;
+  }
+  EXPECT_LT(i, line.size()) << "sample line has no value: " << line;
+  EXPECT_EQ(line[i], ' ') << "expected space before value: " << line;
+  char* end = nullptr;
+  s.value = std::strtod(line.c_str() + i + 1, &end);
+  EXPECT_EQ(*end, '\0') << "trailing junk after value: " << line;
+  return s;
+}
+
+/// Pulls the `le` label out of a bucket series' label text, returning the
+/// remaining labels (the series key) and the bound via `le_out`.
+inline std::string SplitOffLe(const std::string& labels, std::string* le_out) {
+  const size_t pos = labels.find("le=\"");
+  EXPECT_NE(pos, std::string::npos) << "bucket series without le: " << labels;
+  const size_t vbegin = pos + 4;
+  const size_t vend = labels.find('"', vbegin);
+  EXPECT_NE(vend, std::string::npos);
+  *le_out = labels.substr(vbegin, vend - vbegin);
+  // Drop `le="..."` plus one adjacent comma (either side), then normalize
+  // the empty "{}" case.
+  size_t erase_begin = pos;
+  size_t erase_end = vend + 1;
+  if (erase_end < labels.size() && labels[erase_end] == ',') {
+    ++erase_end;
+  } else if (erase_begin > 1 && labels[erase_begin - 1] == ',') {
+    --erase_begin;
+  }
+  std::string rest = labels.substr(0, erase_begin) + labels.substr(erase_end);
+  if (rest == "{}") rest.clear();
+  return rest;
+}
+
+/// Checks `text` is well-formed Prometheus text exposition (see header
+/// comment for the rules enforced).
+inline void ValidateExposition(const std::string& text) {
+  std::map<std::string, std::string> family_type;  // family -> counter/...
+  // histogram base name -> series labels (minus le) -> (le, cumulative).
+  std::map<std::string, std::map<std::string, std::vector<Sample>>> buckets;
+  std::map<std::string, std::map<std::string, double>> counts;
+
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const size_t sp = line.find(' ', 7);
+        ASSERT_NE(sp, std::string::npos) << "malformed TYPE line: " << line;
+        family_type[line.substr(7, sp - 7)] = line.substr(sp + 1);
+      } else {
+        EXPECT_EQ(line.rfind("# HELP ", 0), 0u)
+            << "unknown comment line: " << line;
+      }
+      continue;
+    }
+    const Sample s = ParseSample(line);
+    // The family is the name minus a histogram-series suffix.
+    std::string family = s.name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string suf(suffix);
+      if (family.size() > suf.size() &&
+          family.compare(family.size() - suf.size(), suf.size(), suf) == 0) {
+        const std::string base = family.substr(0, family.size() - suf.size());
+        if (family_type.count(base) && family_type[base] == "histogram") {
+          family = base;
+          break;
+        }
+      }
+    }
+    ASSERT_TRUE(family_type.count(family))
+        << "sample before its # TYPE line: " << line;
+    if (family_type[family] == "histogram" && s.name == family + "_bucket") {
+      std::string le;
+      const std::string key = SplitOffLe(s.labels, &le);
+      Sample b = s;
+      b.labels = le;  // reuse the labels slot for the bound
+      buckets[family][key].push_back(b);
+    }
+    if (family_type[family] == "histogram" && s.name == family + "_count") {
+      counts[family][s.labels] = s.value;
+    }
+  }
+
+  for (const auto& [family, series] : buckets) {
+    for (const auto& [key, bs] : series) {
+      ASSERT_FALSE(bs.empty());
+      double prev = -1;
+      for (const Sample& b : bs) {
+        EXPECT_GE(b.value, prev)
+            << family << key << " buckets are not cumulative";
+        prev = b.value;
+      }
+      EXPECT_EQ(bs.back().labels, "+Inf")
+          << family << key << " does not end in a +Inf bucket";
+      ASSERT_TRUE(counts[family].count(key))
+          << family << key << " has buckets but no _count";
+      EXPECT_EQ(bs.back().value, counts[family][key])
+          << family << key << " +Inf bucket disagrees with _count";
+    }
+  }
+}
+
+/// Value of the series `name{labels}` in `text`; fails when absent.
+inline double SampleValue(const std::string& text, const std::string& name,
+                          const std::string& labels) {
+  const std::string prefix = name + labels + " ";
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    if (text.compare(begin, prefix.size(), prefix) == 0) {
+      return std::strtod(text.c_str() + begin + prefix.size(), nullptr);
+    }
+    begin = end + 1;
+  }
+  ADD_FAILURE() << "no series " << name << labels << " in exposition";
+  return -1;
+}
+
+}  // namespace testutil
+}  // namespace rpt
+
+#endif  // RPT_TESTS_PROMETHEUS_CHECK_H_

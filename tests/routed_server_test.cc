@@ -124,6 +124,53 @@ TEST(RoutedServerTest, DispatchesByRouteKey) {
   EXPECT_EQ(stats.total.completed, 3u);
 }
 
+TEST(RoutedServerTest, SubmitAsyncUnknownRouteCompletesInline) {
+  ServerConfig config;
+  RoutedServer server({{"clean", {std::make_shared<LabelSession>("clean")},
+                        config}});
+  bool invoked = false;
+  const std::thread::id submitter = std::this_thread::get_id();
+  server.SubmitAsync("repair", "x", [&](ServeResponse r) {
+    invoked = true;
+    EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+    EXPECT_EQ(std::this_thread::get_id(), submitter);
+    EXPECT_NE(r.status.message().find("repair"), std::string::npos);
+  });
+  // Unknown routes complete inline, before SubmitAsync returns.
+  EXPECT_TRUE(invoked);
+  server.Shutdown();
+  EXPECT_EQ(server.Stats().unknown_route, 1u);
+  EXPECT_EQ(server.RouteNames(), std::vector<std::string>{"clean"});
+}
+
+TEST(RoutedServerTest, SubmitAsyncMatchesSubmitWaitByteForByte) {
+  ServerConfig config;
+  config.cache_capacity = 16;
+  std::vector<RouteSpec> routes;
+  routes.push_back({"clean", {std::make_shared<LabelSession>("clean")},
+                    config});
+  routes.push_back({"match", {std::make_shared<LabelSession>("match")},
+                    config});
+  RoutedServer server(std::move(routes));
+
+  for (const std::string& route : server.RouteNames()) {
+    for (int i = 0; i < 4; ++i) {
+      const std::string payload = "p" + std::to_string(i % 2);
+      const ServeResponse sync = server.SubmitWait(route, payload);
+      ASSERT_TRUE(sync.status.ok()) << sync.status.ToString();
+      std::promise<ServeResponse> done;
+      server.SubmitAsync(route, payload, [&](ServeResponse r) {
+        done.set_value(std::move(r));
+      });
+      const ServeResponse async = done.get_future().get();
+      ASSERT_TRUE(async.status.ok()) << async.status.ToString();
+      EXPECT_EQ(async.output, sync.output)
+          << route << "/" << payload << " differs between the two APIs";
+    }
+  }
+  server.Shutdown();
+}
+
 TEST(RoutedServerTest, HashDispatchKeepsCachingShardStable) {
   constexpr size_t kShards = 3;
   std::vector<std::shared_ptr<ModelSession>> replicas;

@@ -349,6 +349,145 @@ TEST(ServeTest, CacheHitResponsesStampLatency) {
   server.Shutdown();
 }
 
+// ---- SubmitAsync ------------------------------------------------------------
+//
+// The continuation-passing path must honor the ServeCallback contract:
+// submit-time completions (cache hits, rejections, post-shutdown) invoke the
+// callback inline on the submitting thread with the same latency stamps and
+// counter accounting as the future path; model-path completions arrive on
+// the collector thread.
+
+TEST(ServeTest, SubmitAsyncCacheHitCompletesInlineWithLatency) {
+  auto session = std::make_shared<SyntheticSession>(microseconds(100),
+                                                    microseconds(10));
+  ServerConfig config;
+  config.cache_capacity = 16;
+  InferenceServer server(session, config);
+  ASSERT_TRUE(server.SubmitWait("hello").status.ok());  // warm the cache
+
+  bool invoked = false;
+  std::thread::id callback_thread;
+  ServeResponse hit;
+  server.SubmitAsync("hello", [&](ServeResponse r) {
+    invoked = true;
+    callback_thread = std::this_thread::get_id();
+    hit = std::move(r);
+  });
+  // Inline contract: the callback ran before SubmitAsync returned, on this
+  // thread — no synchronization needed to observe `invoked`.
+  ASSERT_TRUE(invoked);
+  EXPECT_EQ(callback_thread, std::this_thread::get_id());
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_GT(hit.latency_ms, 0.0);  // hits stamp measured latency, not 0
+  server.Shutdown();
+  EXPECT_EQ(server.Stats().cache_hits, 1u);
+  EXPECT_EQ(session->items(), 1);  // the hit never reached the model
+}
+
+TEST(ServeTest, SubmitAsyncQueueFullRejectsInlineAndCounts) {
+  auto session = std::make_shared<GateSession>();
+  ServerConfig config;
+  config.max_batch_size = 1;
+  config.queue_capacity = 2;
+  config.cache_capacity = 0;
+  InferenceServer server(session, config);
+
+  // With the gate closed the collector wedges on its first batch; async
+  // submissions beyond capacity must be rejected inline.
+  std::atomic<int> pending{0};
+  int inline_rejections = 0;
+  for (int i = 0; i < 5; ++i) {
+    const std::thread::id submitter = std::this_thread::get_id();
+    bool rejected_inline = false;
+    pending.fetch_add(1);
+    server.SubmitAsync("r" + std::to_string(i), [&, submitter](
+                                                    ServeResponse r) {
+      if (!r.status.ok()) {
+        EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+        EXPECT_EQ(std::this_thread::get_id(), submitter)
+            << "rejection completed off the submitting thread";
+        EXPECT_GE(r.latency_ms, 0.0);
+        rejected_inline = true;
+      }
+      pending.fetch_sub(1);
+    });
+    if (rejected_inline) ++inline_rejections;
+  }
+  session->Open();
+  server.Shutdown();  // drains the accepted requests -> callbacks all ran
+  EXPECT_EQ(pending.load(), 0);
+  EXPECT_GE(inline_rejections, 1);
+  EXPECT_EQ(server.Stats().rejected,
+            static_cast<uint64_t>(inline_rejections));
+}
+
+TEST(ServeTest, SubmitAsyncAfterShutdownRejectsInline) {
+  auto session = std::make_shared<SyntheticSession>(microseconds(50),
+                                                    microseconds(5));
+  InferenceServer server(session);
+  server.Shutdown();
+
+  bool invoked = false;
+  server.SubmitAsync("late", [&](ServeResponse r) {
+    invoked = true;
+    EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+    EXPECT_NE(r.status.message().find("shut down"), std::string::npos);
+  });
+  EXPECT_TRUE(invoked);
+  EXPECT_EQ(server.Stats().shutdown_rejected, 1u);
+}
+
+TEST(ServeTest, SubmitAsyncModelPathCompletesOnCollectorThread) {
+  auto session = std::make_shared<SyntheticSession>(microseconds(100),
+                                                    microseconds(10));
+  ServerConfig config;
+  config.cache_capacity = 0;
+  InferenceServer server(session, config);
+
+  std::promise<ServeResponse> done;
+  std::thread::id callback_thread;
+  server.SubmitAsync("fresh", [&](ServeResponse r) {
+    callback_thread = std::this_thread::get_id();
+    done.set_value(std::move(r));
+  });
+  const ServeResponse r = done.get_future().get();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_GE(r.batch_size, 1);
+  EXPECT_NE(callback_thread, std::this_thread::get_id())
+      << "model-path completion must come from the collector thread";
+  server.Shutdown();
+}
+
+/// The future API is a wrapper over SubmitAsync; both paths must produce
+/// identical outputs and identical accounting for identical traffic.
+TEST(ServeTest, SubmitFutureAndSubmitAsyncAgree) {
+  auto make_server = [] {
+    return std::make_unique<InferenceServer>(
+        std::make_shared<SyntheticSession>(microseconds(100),
+                                           microseconds(10)));
+  };
+  auto via_future = make_server();
+  auto via_async = make_server();
+  std::vector<std::string> outputs_future;
+  std::vector<std::string> outputs_async;
+  for (int i = 0; i < 8; ++i) {
+    const std::string payload = "p" + std::to_string(i % 4);  // repeats hit
+    outputs_future.push_back(via_future->SubmitWait(payload).output);
+    std::promise<ServeResponse> done;
+    via_async->SubmitAsync(payload, [&](ServeResponse r) {
+      done.set_value(std::move(r));
+    });
+    outputs_async.push_back(done.get_future().get().output);
+  }
+  via_future->Shutdown();
+  via_async->Shutdown();
+  EXPECT_EQ(outputs_future, outputs_async);
+  EXPECT_EQ(via_future->Stats().cache_hits, via_async->Stats().cache_hits);
+  EXPECT_EQ(via_future->Stats().completed, via_async->Stats().completed);
+}
+
 TEST(ServeTest, DuplicatePayloadsWithinBatchCoalesce) {
   auto session = std::make_shared<GateSession>();
   ServerConfig config;

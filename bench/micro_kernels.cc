@@ -1,15 +1,31 @@
 // Microbenchmarks (google-benchmark) for the substrate kernels: GEMM,
 // softmax/layernorm, attention forward/backward, tokenizer, similarity,
 // and blocking throughput.
+//
+// Extra modes (see main):
+//   --selftest        correctness + speed gate for the dispatched GEMM,
+//                     suitable as a ctest entry (exit code 1 on failure).
+//   --json-out=PATH   self-timed scalar-vs-SIMD GEMM comparison written as
+//                     BENCH_kernels.json (see README "Performance").
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "nn/attention.h"
 #include "nn/transformer.h"
 #include "rpt/blocker.h"
 #include "synth/benchmarks.h"
 #include "synth/universe.h"
+#include "tensor/cpu_features.h"
 #include "tensor/gemm.h"
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 #include "text/similarity.h"
 #include "text/tokenizer.h"
@@ -17,6 +33,12 @@
 
 namespace rpt {
 namespace {
+
+// GEMM kernels *accumulate* (C += A*B), so C must be re-zeroed between
+// iterations. An earlier version of these benchmarks skipped the re-zero;
+// combined with the (since removed) `a == 0` skip in the scalar kernel that
+// made C drift to Inf and the timing data-dependent. The re-zero happens
+// under PauseTiming so only the kernel is measured.
 
 void BM_GemmNN(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -27,10 +49,69 @@ void BM_GemmNN(benchmark::State& state) {
   for (auto _ : state) {
     GemmNN(a.data(), b.data(), c.data(), n, n, n);
     benchmark::DoNotOptimize(c.data());
+    state.PauseTiming();
+    std::memset(c.data(), 0, sizeof(float) * static_cast<size_t>(n * n));
+    state.ResumeTiming();
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmNNScalar(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::Randn({n, n}, 1.0f, &rng);
+  Tensor c = Tensor::Zeros({n, n});
+  for (auto _ : state) {
+    GemmNNScalar(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+    state.PauseTiming();
+    std::memset(c.data(), 0, sizeof(float) * static_cast<size_t>(n * n));
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNNScalar)->Arg(128)->Arg(256);
+
+void BM_GemmNNFusedBiasGelu(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::Randn({n, n}, 1.0f, &rng);
+  Tensor bias = Tensor::Randn({n}, 1.0f, &rng);
+  Tensor c = Tensor::Zeros({n, n});
+  for (auto _ : state) {
+    // GemmNNEx overwrites but accumulates the product into C internally, so
+    // the same re-zero discipline applies.
+    GemmNNEx(a.data(), b.data(), bias.data(), c.data(), n, n, n,
+             GemmEpilogue::kBiasGelu);
+    benchmark::DoNotOptimize(c.data());
+    state.PauseTiming();
+    std::memset(c.data(), 0, sizeof(float) * static_cast<size_t>(n * n));
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNNFusedBiasGelu)->Arg(128)->Arg(256);
+
+void BM_GemmNNInt8(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::Randn({n, n}, 1.0f, &rng);
+  QuantizedMatrix q = QuantizePerChannel(b.data(), n, n);
+  Tensor c = Tensor::Zeros({n, n});
+  for (auto _ : state) {
+    GemmNNInt8(a.data(), q, c.data(), n, n);
+    benchmark::DoNotOptimize(c.data());
+    state.PauseTiming();
+    std::memset(c.data(), 0, sizeof(float) * static_cast<size_t>(n * n));
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNNInt8)->Arg(128)->Arg(256);
 
 void BM_Softmax(benchmark::State& state) {
   Rng rng(2);
@@ -56,6 +137,9 @@ void BM_LayerNorm(benchmark::State& state) {
 }
 BENCHMARK(BM_LayerNorm)->Arg(64)->Arg(256);
 
+// Audited for the accumulation bug fixed in BM_GemmNN above: clean — the
+// forward allocates fresh output tensors every iteration (MatMul writes into
+// newly zeroed buffers), so nothing carries across iterations.
 void BM_AttentionForward(benchmark::State& state) {
   const int64_t seq_len = state.range(0);
   Rng rng(4);
@@ -70,6 +154,9 @@ void BM_AttentionForward(benchmark::State& state) {
 }
 BENCHMARK(BM_AttentionForward)->Arg(32)->Arg(64)->Arg(128);
 
+// Audited: gradients *do* accumulate across Backward() calls, but the loop
+// already calls ZeroGrad() every iteration, so the training step is steady
+// state.
 void BM_EncoderTrainStep(benchmark::State& state) {
   Rng rng(5);
   TransformerConfig config;
@@ -145,21 +232,154 @@ void BM_Blocking(benchmark::State& state) {
 }
 BENCHMARK(BM_Blocking);
 
+// ---- Self-timed scalar-vs-SIMD comparison (--selftest / --json-out) --------
+
+struct GemmComparison {
+  int64_t n = 0;
+  double scalar_gflops = 0.0;
+  double simd_gflops = 0.0;
+  double speedup = 0.0;
+  float max_abs_diff = 0.0f;
+};
+
+// Times fn(c) over `reps` runs (re-zeroing c outside the timed region) and
+// returns the best GFLOP/s — best-of, not mean, to shrug off scheduler noise.
+template <typename Fn>
+double BestGflops(Fn&& fn, float* c, int64_t n, int reps) {
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  double best_seconds = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    std::memset(c, 0, sizeof(float) * static_cast<size_t>(n * n));
+    const auto start = std::chrono::steady_clock::now();
+    fn(c);
+    const auto stop = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(stop - start).count();
+    if (s < best_seconds) best_seconds = s;
+  }
+  return flops / best_seconds / 1e9;
+}
+
+GemmComparison CompareGemmAtSize(int64_t n, int reps) {
+  Rng rng(9000 + n);
+  Tensor a = Tensor::Randn({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::Randn({n, n}, 1.0f, &rng);
+  Tensor c = Tensor::Zeros({n, n});
+  Tensor c_ref = Tensor::Zeros({n, n});
+
+  GemmComparison result;
+  result.n = n;
+  result.scalar_gflops = BestGflops(
+      [&](float* out) { GemmNNScalar(a.data(), b.data(), out, n, n, n); },
+      c_ref.data(), n, reps);
+  result.simd_gflops = BestGflops(
+      [&](float* out) { GemmNN(a.data(), b.data(), out, n, n, n); }, c.data(),
+      n, reps);
+  result.speedup = result.simd_gflops / result.scalar_gflops;
+
+  // The final rep's outputs are still in c / c_ref: compare them.
+  const float* dispatched = c.data();
+  const float* reference = c_ref.data();
+  for (int64_t i = 0; i < n * n; ++i) {
+    result.max_abs_diff =
+        std::max(result.max_abs_diff, std::fabs(dispatched[i] - reference[i]));
+  }
+  return result;
+}
+
+// Correctness + speed gate. With AVX2 active the dispatched GEMM must agree
+// with scalar to 1e-4 and must not be slower; with scalar dispatch the
+// comparison is scalar-vs-scalar and passes trivially (diff 0, speedup ~1).
+int RunSelftest() {
+  const TensorBackend backend = ActiveTensorBackend();
+  const bool simd = backend == TensorBackend::kAvx2;
+  std::printf("micro_kernels selftest: backend=%s\n",
+              TensorBackendName(backend));
+  bool ok = true;
+  for (int64_t n : {64, 256}) {
+    GemmComparison cmp = CompareGemmAtSize(n, /*reps=*/3);
+    std::printf(
+        "  n=%-4lld scalar=%7.2f GFLOP/s  dispatched=%7.2f GFLOP/s  "
+        "speedup=%.2fx  max_abs_diff=%.3g\n",
+        static_cast<long long>(cmp.n), cmp.scalar_gflops, cmp.simd_gflops,
+        cmp.speedup, static_cast<double>(cmp.max_abs_diff));
+    if (cmp.max_abs_diff > 1e-4f) {
+      std::printf("  FAIL: max_abs_diff %.3g > 1e-4 at n=%lld\n",
+                  static_cast<double>(cmp.max_abs_diff),
+                  static_cast<long long>(n));
+      ok = false;
+    }
+    // Speed gate only when SIMD is actually dispatched; 0.9 headroom so a
+    // noisy shared runner does not flake the build.
+    if (simd && n >= 256 && cmp.speedup < 0.9) {
+      std::printf("  FAIL: SIMD GEMM slower than scalar (%.2fx) at n=%lld\n",
+                  cmp.speedup, static_cast<long long>(n));
+      ok = false;
+    }
+  }
+  std::printf("micro_kernels selftest: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+int WriteJsonReport(const std::string& path) {
+  const TensorBackend backend = ActiveTensorBackend();
+  std::vector<GemmComparison> rows;
+  for (int64_t n : {64, 128, 256, 512}) {
+    rows.push_back(CompareGemmAtSize(n, /*reps=*/3));
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"backend\": \"" << TensorBackendName(backend) << "\",\n"
+      << "  \"built_with_avx2\": " << (BuiltWithAvx2() ? "true" : "false")
+      << ",\n"
+      << "  \"cpu_avx2_fma\": " << (CpuSupportsAvx2Fma() ? "true" : "false")
+      << ",\n  \"gemm_nn_square\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const GemmComparison& r = rows[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"n\": %lld, \"scalar_gflops\": %.3f, "
+                  "\"simd_gflops\": %.3f, \"speedup\": %.3f, "
+                  "\"max_abs_diff\": %.6g}%s\n",
+                  static_cast<long long>(r.n), r.scalar_gflops, r.simd_gflops,
+                  r.speedup, static_cast<double>(r.max_abs_diff),
+                  i + 1 < rows.size() ? "," : "");
+    out << buf;
+    std::printf("%s", buf);
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace rpt
 
 // Custom main: tolerate the suite-wide --quick flag (mapped to a short
-// minimum time) so `for b in build/bench/*; do $b --quick; done` works.
+// minimum time) so `for b in build/bench/*; do $b --quick; done` works, and
+// handle the --selftest / --json-out modes before google-benchmark sees the
+// arguments.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   bool quick = false;
+  bool selftest = false;
+  std::string json_path;
   for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") {
+    const std::string arg(argv[i]);
+    if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--selftest") {
+      selftest = true;
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--json-out="));
     } else {
       args.push_back(argv[i]);
     }
   }
+  if (selftest) return rpt::RunSelftest();
+  if (!json_path.empty()) return rpt::WriteJsonReport(json_path);
   static char min_time_flag[] = "--benchmark_min_time=0.05";
   if (quick) args.push_back(min_time_flag);
   int filtered_argc = static_cast<int>(args.size());

@@ -31,7 +31,16 @@ Status LoadCheckpoint(Module* module, const std::string& path) {
     return Status::InvalidArgument("unsupported checkpoint version " +
                                    std::to_string(*version));
   }
-  return module->LoadState(&*reader);
+  Status loaded = module->LoadState(&*reader);
+  if (!loaded.ok()) return loaded;
+  // A valid state blob must consume the file exactly: trailing bytes mean
+  // the file was corrupted or mid-write truncation aliased to an older
+  // (shorter) architecture, and silently accepting it would mask that.
+  if (!reader->AtEnd()) {
+    return Status::InvalidArgument(
+        path + " has trailing bytes after the checkpoint state blob");
+  }
+  return Status::Ok();
 }
 
 }  // namespace rpt

@@ -20,10 +20,12 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
 }
 
 Tensor Linear::Forward(const Tensor& x) const {
+  return ForwardAct(x, FusedAct::kNone);
+}
+
+Tensor Linear::ForwardAct(const Tensor& x, FusedAct act) const {
   RPT_CHECK_EQ(x.dim(-1), in_features_);
-  Tensor y = MatMul(x, weight_);
-  if (bias_.defined()) y = Add(y, bias_);
-  return y;
+  return MatMulBiasAct(x, weight_, bias_, act);
 }
 
 Embedding::Embedding(int64_t num_embeddings, int64_t dim, Rng* rng)

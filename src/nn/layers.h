@@ -21,6 +21,11 @@ class Linear : public Module {
 
   Tensor Forward(const Tensor& x) const;
 
+  /// act(x W + b) through the fused GEMM epilogue. Under autograd this is
+  /// the exact MatMul/Add/activation composition; in inference it is a
+  /// single dispatched kernel call.
+  Tensor ForwardAct(const Tensor& x, FusedAct act) const;
+
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
 

@@ -58,7 +58,8 @@ FeedForward::FeedForward(int64_t d_model, int64_t ffn_dim, float dropout,
 }
 
 Tensor FeedForward::Forward(const Tensor& x, Rng* rng) const {
-  Tensor h = Gelu(fc1_.Forward(x));
+  // Fused bias+GELU epilogue in inference; exact composition under autograd.
+  Tensor h = fc1_.ForwardAct(x, FusedAct::kGelu);
   h = dropout_.Forward(h, rng);
   return fc2_.Forward(h);
 }

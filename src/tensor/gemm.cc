@@ -1,15 +1,40 @@
 #include "tensor/gemm.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/cpu_features.h"
+#include "util/logging.h"
+
 namespace rpt {
 
-void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n) {
+namespace {
+
+// Shared with the tensor-level Gelu op (tensor.cc) — same constants and
+// operation order so the fused scalar epilogue composes bit-identically with
+// the unfused MatMul + Add + Gelu graph.
+inline float GeluScalarValue(float x) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  constexpr float kCoef = 0.044715f;
+  const float inner = kSqrt2OverPi * (x + kCoef * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+}  // namespace
+
+// ---- Scalar reference kernels ----------------------------------------------
+//
+// Loop orders keep the inner loop a contiguous AXPY/dot that GCC
+// auto-vectorizes at -O2. No zero-value shortcuts: `0 * NaN` must produce
+// NaN (IEEE propagation) and runtime must not depend on the data.
+
+void GemmNNScalar(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n) {
   for (int64_t i = 0; i < m; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * n;
     for (int64_t p = 0; p < k; ++p) {
       const float av = arow[p];
-      if (av == 0.0f) continue;
       const float* brow = b + p * n;
       for (int64_t j = 0; j < n; ++j) {
         crow[j] += av * brow[j];
@@ -18,8 +43,8 @@ void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
   }
 }
 
-void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n) {
+void GemmNTScalar(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n) {
   for (int64_t i = 0; i < m; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * n;
@@ -34,14 +59,13 @@ void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
   }
 }
 
-void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n) {
+void GemmTNScalar(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n) {
   for (int64_t i = 0; i < m; ++i) {
     const float* arow = a + i * k;
     const float* brow = b + i * n;
     for (int64_t p = 0; p < k; ++p) {
       const float av = arow[p];
-      if (av == 0.0f) continue;
       float* crow = c + p * n;
       for (int64_t j = 0; j < n; ++j) {
         crow[j] += av * brow[j];
@@ -49,5 +73,161 @@ void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
     }
   }
 }
+
+void GemmNNExScalar(const float* a, const float* b, const float* bias,
+                    float* c, int64_t m, int64_t k, int64_t n,
+                    GemmEpilogue epilogue) {
+  RPT_CHECK(epilogue == GemmEpilogue::kNone || bias != nullptr)
+      << "bias epilogue requires a bias vector";
+  GemmNNScalar(a, b, c, m, k, n);
+  if (epilogue == GemmEpilogue::kNone) return;
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    switch (epilogue) {
+      case GemmEpilogue::kBias:
+        for (int64_t j = 0; j < n; ++j) crow[j] += bias[j];
+        break;
+      case GemmEpilogue::kBiasRelu:
+        for (int64_t j = 0; j < n; ++j) {
+          const float v = crow[j] + bias[j];
+          crow[j] = v > 0.0f ? v : 0.0f;
+        }
+        break;
+      case GemmEpilogue::kBiasGelu:
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] = GeluScalarValue(crow[j] + bias[j]);
+        }
+        break;
+      case GemmEpilogue::kNone:
+        break;
+    }
+  }
+}
+
+void SoftmaxRowsScalar(const float* x, float* y, int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* yr = y + r * cols;
+    float mx = xr[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
+    float sum = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      yr[c] = std::exp(xr[c] - mx);
+      sum += yr[c];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t c = 0; c < cols; ++c) yr[c] *= inv;
+  }
+}
+
+void LogSoftmaxRowsScalar(const float* x, float* y, int64_t rows,
+                          int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* yr = y + r * cols;
+    float mx = xr[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
+    float sum = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) sum += std::exp(xr[c] - mx);
+    const float lse = mx + std::log(sum);
+    for (int64_t c = 0; c < cols; ++c) yr[c] = xr[c] - lse;
+  }
+}
+
+void LayerNormRowsScalar(const float* x, const float* gamma,
+                         const float* beta, float* y, float* stats,
+                         int64_t rows, int64_t cols, float eps) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* yr = y + r * cols;
+    float mean = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) mean += xr[c];
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      const float d = xr[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float inv_std = 1.0f / std::sqrt(var + eps);
+    if (stats != nullptr) {
+      stats[r * 2] = mean;
+      stats[r * 2 + 1] = inv_std;
+    }
+    for (int64_t c = 0; c < cols; ++c) {
+      yr[c] = (xr[c] - mean) * inv_std * gamma[c] + beta[c];
+    }
+  }
+}
+
+// ---- Dispatch --------------------------------------------------------------
+
+namespace {
+
+inline bool UseAvx2() {
+  return ActiveTensorBackend() == TensorBackend::kAvx2;
+}
+
+}  // namespace
+
+#ifdef RPT_HAVE_AVX2
+#define RPT_DISPATCH(avx2_call, scalar_call) \
+  do {                                       \
+    if (UseAvx2()) {                         \
+      avx2_call;                             \
+    } else {                                 \
+      scalar_call;                           \
+    }                                        \
+  } while (0)
+#else
+#define RPT_DISPATCH(avx2_call, scalar_call) \
+  do {                                       \
+    scalar_call;                             \
+  } while (0)
+#endif
+
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  RPT_DISPATCH(detail::GemmNNAvx2(a, b, c, m, k, n),
+               GemmNNScalar(a, b, c, m, k, n));
+}
+
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  RPT_DISPATCH(detail::GemmNTAvx2(a, b, c, m, k, n),
+               GemmNTScalar(a, b, c, m, k, n));
+}
+
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  RPT_DISPATCH(detail::GemmTNAvx2(a, b, c, m, k, n),
+               GemmTNScalar(a, b, c, m, k, n));
+}
+
+void GemmNNEx(const float* a, const float* b, const float* bias, float* c,
+              int64_t m, int64_t k, int64_t n, GemmEpilogue epilogue) {
+  RPT_DISPATCH(detail::GemmNNExAvx2(a, b, bias, c, m, k, n, epilogue),
+               GemmNNExScalar(a, b, bias, c, m, k, n, epilogue));
+}
+
+void SoftmaxRows(const float* x, float* y, int64_t rows, int64_t cols) {
+  RPT_DISPATCH(detail::SoftmaxRowsAvx2(x, y, rows, cols),
+               SoftmaxRowsScalar(x, y, rows, cols));
+}
+
+void LogSoftmaxRows(const float* x, float* y, int64_t rows, int64_t cols) {
+  RPT_DISPATCH(detail::LogSoftmaxRowsAvx2(x, y, rows, cols),
+               LogSoftmaxRowsScalar(x, y, rows, cols));
+}
+
+void LayerNormRows(const float* x, const float* gamma, const float* beta,
+                   float* y, float* stats, int64_t rows, int64_t cols,
+                   float eps) {
+  RPT_DISPATCH(
+      detail::LayerNormRowsAvx2(x, gamma, beta, y, stats, rows, cols, eps),
+      LayerNormRowsScalar(x, gamma, beta, y, stats, rows, cols, eps));
+}
+
+#undef RPT_DISPATCH
 
 }  // namespace rpt

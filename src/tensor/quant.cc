@@ -1,0 +1,82 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/cpu_features.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+QuantizedMatrix QuantizePerChannel(const float* b, int64_t k, int64_t n) {
+  RPT_CHECK_GE(k, 0);
+  RPT_CHECK_GE(n, 0);
+  QuantizedMatrix q;
+  q.k = k;
+  q.n = n;
+  q.data.assign(static_cast<size_t>(k * n), 0);
+  q.scales.assign(static_cast<size_t>(n), 0.0f);
+  for (int64_t j = 0; j < n; ++j) {
+    float max_abs = 0.0f;
+    for (int64_t p = 0; p < k; ++p) {
+      max_abs = std::max(max_abs, std::fabs(b[p * n + j]));
+    }
+    if (max_abs == 0.0f) continue;  // scale 0: column dequantizes to zeros
+    const float scale = max_abs / 127.0f;
+    q.scales[static_cast<size_t>(j)] = scale;
+    const float inv = 1.0f / scale;
+    for (int64_t p = 0; p < k; ++p) {
+      const float v = std::nearbyint(b[p * n + j] * inv);
+      q.data[static_cast<size_t>(p * n + j)] =
+          static_cast<int8_t>(std::clamp(v, -127.0f, 127.0f));
+    }
+  }
+  return q;
+}
+
+void Dequantize(const QuantizedMatrix& q, float* out) {
+  for (int64_t p = 0; p < q.k; ++p) {
+    for (int64_t j = 0; j < q.n; ++j) {
+      out[p * q.n + j] =
+          static_cast<float>(q.data[static_cast<size_t>(p * q.n + j)]) *
+          q.scales[static_cast<size_t>(j)];
+    }
+  }
+}
+
+void GemmNNInt8Scalar(const float* a, const QuantizedMatrix& b, float* c,
+                      int64_t m, int64_t k) {
+  RPT_CHECK_EQ(b.k, k);
+  const int64_t n = b.n;
+  // Raw integer-weight accumulators for one output row; scales are applied
+  // once at the end, which is what the ErrorBound() contract models.
+  std::vector<float> acc(static_cast<size_t>(n));
+  for (int64_t i = 0; i < m; ++i) {
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    const float* arow = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const int8_t* brow = b.data.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        acc[static_cast<size_t>(j)] += av * static_cast<float>(brow[j]);
+      }
+    }
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      crow[j] += acc[static_cast<size_t>(j)] * b.scales[static_cast<size_t>(j)];
+    }
+  }
+}
+
+void GemmNNInt8(const float* a, const QuantizedMatrix& b, float* c, int64_t m,
+                int64_t k) {
+#ifdef RPT_HAVE_AVX2
+  if (ActiveTensorBackend() == TensorBackend::kAvx2) {
+    detail::GemmNNInt8Avx2(a, b, c, m, k);
+    return;
+  }
+#endif
+  GemmNNInt8Scalar(a, b, c, m, k);
+}
+
+}  // namespace rpt

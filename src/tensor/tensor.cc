@@ -514,6 +514,58 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+Tensor MatMulBiasAct(const Tensor& a, const Tensor& w, const Tensor& bias,
+                     FusedAct act) {
+  RPT_CHECK(a.defined() && w.defined());
+  RPT_CHECK_EQ(w.ndim(), 2);
+  const int64_t k = a.shape().back();
+  RPT_CHECK_EQ(w.dim(0), k) << "MatMulBiasAct inner dimension mismatch";
+  const int64_t n_cols = w.dim(1);
+  if (bias.defined()) RPT_CHECK_EQ(bias.numel(), n_cols);
+
+  const bool tracked =
+      g_autograd_enabled &&
+      (a.impl()->requires_grad || w.impl()->requires_grad ||
+       (bias.defined() && bias.impl()->requires_grad));
+  const bool fusable = !tracked && (bias.defined() || act == FusedAct::kNone);
+  if (!fusable) {
+    // Exact composition: training graphs and gradients are unchanged.
+    Tensor y = MatMul(a, w);
+    if (bias.defined()) y = Add(y, bias);
+    switch (act) {
+      case FusedAct::kNone:
+        return y;
+      case FusedAct::kRelu:
+        return Relu(y);
+      case FusedAct::kGelu:
+        return Gelu(y);
+    }
+    return y;
+  }
+
+  std::vector<int64_t> out_shape = a.shape();
+  out_shape.back() = n_cols;
+  const int64_t rows = a.numel() / k;
+  Tensor out = Tensor::Zeros(std::move(out_shape));
+  GemmEpilogue epilogue = GemmEpilogue::kNone;
+  if (bias.defined()) {
+    switch (act) {
+      case FusedAct::kNone:
+        epilogue = GemmEpilogue::kBias;
+        break;
+      case FusedAct::kRelu:
+        epilogue = GemmEpilogue::kBiasRelu;
+        break;
+      case FusedAct::kGelu:
+        epilogue = GemmEpilogue::kBiasGelu;
+        break;
+    }
+  }
+  GemmNNEx(a.data(), w.data(), bias.defined() ? bias.data() : nullptr,
+           out.data(), rows, k, n_cols, epilogue);
+  return out;
+}
+
 // ---- Activations --------------------------------------------------------------
 
 namespace {
@@ -588,19 +640,7 @@ Tensor Softmax(const Tensor& a) {
   auto oi = out.impl();
   const int64_t cols = a.dim(-1);
   const int64_t rows = a.numel() / cols;
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* x = ai->data.data() + r * cols;
-    float* y = oi->data.data() + r * cols;
-    float mx = x[0];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
-    float sum = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) {
-      y[c] = std::exp(x[c] - mx);
-      sum += y[c];
-    }
-    const float inv = 1.0f / sum;
-    for (int64_t c = 0; c < cols; ++c) y[c] *= inv;
-  }
+  SoftmaxRows(ai->data.data(), oi->data.data(), rows, cols);
   AttachBackward(out, [oi, ai, rows, cols]() {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
@@ -624,16 +664,7 @@ Tensor LogSoftmax(const Tensor& a) {
   auto oi = out.impl();
   const int64_t cols = a.dim(-1);
   const int64_t rows = a.numel() / cols;
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* x = ai->data.data() + r * cols;
-    float* y = oi->data.data() + r * cols;
-    float mx = x[0];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
-    float sum = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) sum += std::exp(x[c] - mx);
-    const float lse = mx + std::log(sum);
-    for (int64_t c = 0; c < cols; ++c) y[c] = x[c] - lse;
-  }
+  LogSoftmaxRows(ai->data.data(), oi->data.data(), rows, cols);
   AttachBackward(out, [oi, ai, rows, cols]() {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
@@ -665,27 +696,8 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   // Cache per-row mean and inverse stddev for the backward pass.
   auto stats = std::make_shared<std::vector<float>>(
       static_cast<size_t>(rows) * 2);
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = xi->data.data() + r * cols;
-    float* yr = oi->data.data() + r * cols;
-    float mean = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) mean += xr[c];
-    mean /= static_cast<float>(cols);
-    float var = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) {
-      float d = xr[c] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(cols);
-    const float inv_std = 1.0f / std::sqrt(var + eps);
-    (*stats)[static_cast<size_t>(r) * 2] = mean;
-    (*stats)[static_cast<size_t>(r) * 2 + 1] = inv_std;
-    const float* gd = gi->data.data();
-    const float* bd = bi->data.data();
-    for (int64_t c = 0; c < cols; ++c) {
-      yr[c] = (xr[c] - mean) * inv_std * gd[c] + bd[c];
-    }
-  }
+  LayerNormRows(xi->data.data(), gi->data.data(), bi->data.data(),
+                oi->data.data(), stats->data(), rows, cols, eps);
   AttachBackward(out, [oi, xi, gi, bi, stats, rows, cols]() {
     const float* g = oi->grad.data();
     if (gi->requires_grad) gi->EnsureGrad();

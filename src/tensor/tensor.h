@@ -131,6 +131,17 @@ Tensor AddScalar(const Tensor& a, float scalar);
 ///   a [B..., M, K] x b [B..., K, N]     -> [B..., M, N]  (batched matmul)
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
+/// Activation applied by the fused MatMulBiasAct epilogue.
+enum class FusedAct { kNone, kRelu, kGelu };
+
+/// act(a @ w + bias) for a [..., M, K], w [K, N], bias [N] (bias may be an
+/// undefined Tensor only with kNone). When no gradient is being tracked this
+/// runs as one dispatched kernel call (no intermediate tensors); under
+/// autograd it lowers to the exact MatMul/Add/Relu/Gelu composition, so
+/// training graphs and gradients are unchanged.
+Tensor MatMulBiasAct(const Tensor& a, const Tensor& w, const Tensor& bias,
+                     FusedAct act);
+
 // ---- Activations ----------------------------------------------------------
 
 Tensor Relu(const Tensor& a);

@@ -1,0 +1,421 @@
+// Tests for the dispatched tensor kernels: scalar-vs-AVX2 equivalence across
+// odd shapes, fused-epilogue correctness vs the unfused composition, int8
+// quantization tolerance bounds, and backend dispatch override plumbing.
+//
+// The forced-backend ctest entries (kernels_test_forced_scalar /
+// kernels_test_forced_avx2 in tests/CMakeLists.txt) rerun this whole binary
+// with RPT_TENSOR_BACKEND pinned each way, including under asan/tsan.
+
+#include "tensor/gemm.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/cpu_features.h"
+#include "tensor/quant.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rpt {
+namespace {
+
+bool Avx2Available() { return BuiltWithAvx2() && CpuSupportsAvx2Fma(); }
+
+// Pins the backend for a scope; restores the no-override state on exit.
+class BackendGuard {
+ public:
+  explicit BackendGuard(TensorBackend backend) {
+    SetTensorBackendOverride(backend);
+  }
+  ~BackendGuard() { ClearTensorBackendOverride(); }
+};
+
+std::vector<float> RandVec(int64_t n, Rng* rng, float stddev = 1.0f) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng->Normal(0.0, stddev));
+  return v;
+}
+
+float MaxAbsDiff(const std::vector<float>& a, const std::vector<float>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  float mx = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    mx = std::max(mx, std::fabs(a[i] - b[i]));
+  }
+  return mx;
+}
+
+// ---- Dispatch plumbing -----------------------------------------------------
+
+TEST(CpuFeaturesTest, BackendNameRoundTrip) {
+  EXPECT_STREQ(TensorBackendName(TensorBackend::kScalar), "scalar");
+  EXPECT_STREQ(TensorBackendName(TensorBackend::kAvx2), "avx2");
+}
+
+TEST(CpuFeaturesTest, EnvironmentVariableIsHonored) {
+  // When the harness (forced ctest entries) pins the backend, the dispatch
+  // decision must follow it; `avx2` degrades to scalar when unsupported.
+  const char* env = std::getenv("RPT_TENSOR_BACKEND");
+  if (env == nullptr) GTEST_SKIP() << "RPT_TENSOR_BACKEND not set";
+  const std::string request(env);
+  if (request == "scalar") {
+    EXPECT_EQ(ActiveTensorBackend(), TensorBackend::kScalar);
+  } else if (request == "avx2") {
+    EXPECT_EQ(ActiveTensorBackend(), Avx2Available()
+                                         ? TensorBackend::kAvx2
+                                         : TensorBackend::kScalar);
+  }
+}
+
+TEST(CpuFeaturesTest, OverrideForcesBothWays) {
+  {
+    BackendGuard guard(TensorBackend::kScalar);
+    EXPECT_EQ(ActiveTensorBackend(), TensorBackend::kScalar);
+  }
+  {
+    BackendGuard guard(TensorBackend::kAvx2);
+    EXPECT_EQ(ActiveTensorBackend(), Avx2Available()
+                                         ? TensorBackend::kAvx2
+                                         : TensorBackend::kScalar);
+  }
+}
+
+TEST(CpuFeaturesTest, ScalarDispatchIsBitExact) {
+  // With dispatch forced to scalar, the dispatched entry point must be
+  // bit-identical to the scalar reference — this is the anchor for the
+  // serve layer's bit-identity guarantees.
+  Rng rng(7);
+  const int64_t m = 9, k = 33, n = 17;
+  auto a = RandVec(m * k, &rng);
+  auto b = RandVec(k * n, &rng);
+  std::vector<float> c_dispatched(static_cast<size_t>(m * n), 0.5f);
+  std::vector<float> c_ref = c_dispatched;
+  BackendGuard guard(TensorBackend::kScalar);
+  GemmNN(a.data(), b.data(), c_dispatched.data(), m, k, n);
+  GemmNNScalar(a.data(), b.data(), c_ref.data(), m, k, n);
+  EXPECT_EQ(c_dispatched, c_ref);
+}
+
+// ---- NaN/Inf propagation (zero-skip regression, kernel level) -------------
+
+TEST(GemmTest, NoZeroSkipNaNPropagation) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float a[4] = {0, 0, 0, 0};
+  const float b[4] = {nan, 1, nan, 1};
+  for (TensorBackend backend :
+       {TensorBackend::kScalar, TensorBackend::kAvx2}) {
+    BackendGuard guard(backend);
+    float c_nn[4] = {0, 0, 0, 0};
+    GemmNN(a, b, c_nn, 2, 2, 2);
+    EXPECT_TRUE(std::isnan(c_nn[0])) << TensorBackendName(backend);
+    float c_tn[4] = {0, 0, 0, 0};
+    GemmTN(a, b, c_tn, 2, 2, 2);
+    EXPECT_TRUE(std::isnan(c_tn[0])) << TensorBackendName(backend);
+    float c_nt[4] = {0, 0, 0, 0};
+    GemmNT(a, b, c_nt, 2, 2, 2);
+    EXPECT_TRUE(std::isnan(c_nt[0])) << TensorBackendName(backend);
+  }
+}
+
+// ---- Scalar vs AVX2 equivalence -------------------------------------------
+
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, Avx2MatchesScalarAllKernels) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  auto [m, k, n] = GetParam();
+  Rng rng(1000 + m * 131 + k * 17 + n);
+  auto a = RandVec(static_cast<int64_t>(m) * k, &rng);
+  auto bt = RandVec(static_cast<int64_t>(n) * k, &rng);  // for NT
+  auto b = RandVec(static_cast<int64_t>(k) * n, &rng);
+  auto b_tn = RandVec(static_cast<int64_t>(m) * n, &rng);  // for TN
+  // Accumulation semantics: start both sides from the same non-zero C.
+  auto c0_nn = RandVec(static_cast<int64_t>(m) * n, &rng, 0.1f);
+  auto c0_nt = c0_nn;
+  auto c0_tn = RandVec(static_cast<int64_t>(k) * n, &rng, 0.1f);
+
+  auto run = [&](TensorBackend backend, std::vector<float>* nn,
+                 std::vector<float>* nt, std::vector<float>* tn) {
+    BackendGuard guard(backend);
+    *nn = c0_nn;
+    GemmNN(a.data(), b.data(), nn->data(), m, k, n);
+    *nt = c0_nt;
+    GemmNT(a.data(), bt.data(), nt->data(), m, k, n);
+    *tn = c0_tn;
+    GemmTN(a.data(), b_tn.data(), tn->data(), m, k, n);
+  };
+  std::vector<float> nn_s, nt_s, tn_s, nn_v, nt_v, tn_v;
+  run(TensorBackend::kScalar, &nn_s, &nt_s, &tn_s);
+  run(TensorBackend::kAvx2, &nn_v, &nt_v, &tn_v);
+
+  // Reassociated fp32 accumulation: tolerance scales mildly with K.
+  const float tol = 1e-4f;
+  EXPECT_LE(MaxAbsDiff(nn_s, nn_v), tol) << "NN " << m << "x" << k << "x" << n;
+  EXPECT_LE(MaxAbsDiff(nt_s, nt_v), tol) << "NT " << m << "x" << k << "x" << n;
+  EXPECT_LE(MaxAbsDiff(tn_s, tn_v), tol) << "TN " << m << "x" << k << "x" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddShapes, GemmShapeTest,
+    ::testing::Values(
+        std::make_tuple(1, 1, 1),       // degenerate
+        std::make_tuple(1, 64, 8),      // single row
+        std::make_tuple(5, 1, 3),       // k = 1
+        std::make_tuple(6, 16, 32),     // exact tile multiples
+        std::make_tuple(7, 17, 33),     // every dimension a tail
+        std::make_tuple(13, 29, 23),    // 16 < n < 24: one 16-panel + tail
+        std::make_tuple(64, 64, 64),    // square, tile-aligned
+        std::make_tuple(2, 128, 96),    // wide K
+        std::make_tuple(33, 3, 9),      // n < 16: 8-panel + scalar tail
+        std::make_tuple(4, 11, 7)));    // n < 8: scalar-tail only
+
+TEST(ReductionKernelsTest, Avx2MatchesScalar) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  Rng rng(77);
+  for (int64_t cols : {1, 3, 7, 8, 9, 31, 64, 200}) {
+    const int64_t rows = 5;
+    auto x = RandVec(rows * cols, &rng, 2.0f);
+    auto gamma = RandVec(cols, &rng, 0.5f);
+    auto beta = RandVec(cols, &rng, 0.5f);
+    std::vector<float> soft_s(x.size()), soft_v(x.size());
+    std::vector<float> lsoft_s(x.size()), lsoft_v(x.size());
+    std::vector<float> ln_s(x.size()), ln_v(x.size());
+    std::vector<float> stats_s(rows * 2), stats_v(rows * 2);
+    {
+      BackendGuard guard(TensorBackend::kScalar);
+      SoftmaxRows(x.data(), soft_s.data(), rows, cols);
+      LogSoftmaxRows(x.data(), lsoft_s.data(), rows, cols);
+      LayerNormRows(x.data(), gamma.data(), beta.data(), ln_s.data(),
+                    stats_s.data(), rows, cols, 1e-5f);
+    }
+    {
+      BackendGuard guard(TensorBackend::kAvx2);
+      SoftmaxRows(x.data(), soft_v.data(), rows, cols);
+      LogSoftmaxRows(x.data(), lsoft_v.data(), rows, cols);
+      LayerNormRows(x.data(), gamma.data(), beta.data(), ln_v.data(),
+                    stats_v.data(), rows, cols, 1e-5f);
+    }
+    EXPECT_LE(MaxAbsDiff(soft_s, soft_v), 1e-5f) << "softmax cols=" << cols;
+    EXPECT_LE(MaxAbsDiff(lsoft_s, lsoft_v), 1e-4f)
+        << "logsoftmax cols=" << cols;
+    EXPECT_LE(MaxAbsDiff(ln_s, ln_v), 1e-4f) << "layernorm cols=" << cols;
+    EXPECT_LE(MaxAbsDiff(stats_s, stats_v), 1e-4f) << "stats cols=" << cols;
+  }
+}
+
+// ---- Fused epilogues -------------------------------------------------------
+
+TEST(FusedEpilogueTest, ScalarFusedMatchesUnfusedComposition) {
+  Rng rng(31);
+  const int64_t m = 7, k = 19, n = 13;
+  auto a = RandVec(m * k, &rng);
+  auto b = RandVec(k * n, &rng);
+  auto bias = RandVec(n, &rng);
+
+  // Unfused composition through the scalar reference kernel.
+  std::vector<float> base(static_cast<size_t>(m * n), 0.0f);
+  GemmNNScalar(a.data(), b.data(), base.data(), m, k, n);
+  auto composed = [&](GemmEpilogue ep) {
+    std::vector<float> y = base;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float v = y[i * n + j] + bias[j];
+        if (ep == GemmEpilogue::kBiasRelu) v = v > 0.0f ? v : 0.0f;
+        if (ep == GemmEpilogue::kBiasGelu) {
+          constexpr float kSqrt2OverPi = 0.7978845608028654f;
+          constexpr float kCoef = 0.044715f;
+          const float inner = kSqrt2OverPi * (v + kCoef * v * v * v);
+          v = 0.5f * v * (1.0f + std::tanh(inner));
+        }
+        y[i * n + j] = v;
+      }
+    }
+    return y;
+  };
+
+  for (GemmEpilogue ep : {GemmEpilogue::kBias, GemmEpilogue::kBiasRelu,
+                          GemmEpilogue::kBiasGelu}) {
+    std::vector<float> fused(static_cast<size_t>(m * n), 0.0f);
+    GemmNNExScalar(a.data(), b.data(), bias.data(), fused.data(), m, k, n,
+                   ep);
+    EXPECT_LE(MaxAbsDiff(fused, composed(ep)), 1e-6f)
+        << "epilogue " << static_cast<int>(ep);
+  }
+}
+
+TEST(FusedEpilogueTest, Avx2FusedMatchesScalarFused) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  Rng rng(32);
+  for (auto [m, k, n] : {std::make_tuple(6, 16, 32), std::make_tuple(7, 9, 5),
+                         std::make_tuple(1, 33, 17)}) {
+    auto a = RandVec(static_cast<int64_t>(m) * k, &rng);
+    auto b = RandVec(static_cast<int64_t>(k) * n, &rng);
+    auto bias = RandVec(n, &rng);
+    for (GemmEpilogue ep :
+         {GemmEpilogue::kNone, GemmEpilogue::kBias, GemmEpilogue::kBiasRelu,
+          GemmEpilogue::kBiasGelu}) {
+      std::vector<float> scalar_out(static_cast<size_t>(m) * n, 0.0f);
+      std::vector<float> avx2_out(static_cast<size_t>(m) * n, 0.0f);
+      GemmNNExScalar(a.data(), b.data(),
+                     ep == GemmEpilogue::kNone ? nullptr : bias.data(),
+                     scalar_out.data(), m, k, n, ep);
+      {
+        BackendGuard guard(TensorBackend::kAvx2);
+        GemmNNEx(a.data(), b.data(),
+                 ep == GemmEpilogue::kNone ? nullptr : bias.data(),
+                 avx2_out.data(), m, k, n, ep);
+      }
+      EXPECT_LE(MaxAbsDiff(scalar_out, avx2_out), 1e-4f)
+          << m << "x" << k << "x" << n << " epilogue "
+          << static_cast<int>(ep);
+    }
+  }
+}
+
+TEST(FusedEpilogueTest, MatMulBiasActMatchesCompositionBothModes) {
+  Rng rng(33);
+  Tensor x = Tensor::Randn({3, 4, 10}, 1.0f, &rng);
+  Tensor w = Tensor::Randn({10, 6}, 0.5f, &rng);
+  Tensor bias = Tensor::Randn({6}, 0.5f, &rng);
+
+  // Inference (fused kernel path) vs the explicit composition.
+  NoGradGuard guard;
+  for (FusedAct act : {FusedAct::kNone, FusedAct::kRelu, FusedAct::kGelu}) {
+    Tensor fused = MatMulBiasAct(x, w, bias, act);
+    Tensor ref = Add(MatMul(x, w), bias);
+    if (act == FusedAct::kRelu) ref = Relu(ref);
+    if (act == FusedAct::kGelu) ref = Gelu(ref);
+    EXPECT_LE(MaxAbsDiff(fused.ToVector(), ref.ToVector()), 1e-4f)
+        << "act " << static_cast<int>(act);
+  }
+}
+
+TEST(FusedEpilogueTest, MatMulBiasActGradientsUnchanged) {
+  // Under autograd MatMulBiasAct must lower to the exact composition, so
+  // GradCheck through it validates that no fused path leaks into training.
+  Rng rng(34);
+  Tensor w = Tensor::Randn({5, 4}, 0.5f, &rng);
+  Tensor bias = Tensor::Randn({4}, 0.5f, &rng);
+  w.set_requires_grad(true);
+  bias.set_requires_grad(true);
+  auto fn = [&](const Tensor& x) {
+    return Sum(MatMulBiasAct(x, w, bias, FusedAct::kGelu));
+  };
+  Tensor x = Tensor::Randn({3, 5}, 0.8f, &rng);
+  EXPECT_LT(GradCheck(fn, x, 8, &rng), 1e-2);
+}
+
+// ---- Int8 weight quantization ---------------------------------------------
+
+TEST(QuantTest, RoundTripPerElementBound) {
+  Rng rng(41);
+  const int64_t k = 37, n = 11;
+  auto b = RandVec(k * n, &rng, 2.0f);
+  QuantizedMatrix q = QuantizePerChannel(b.data(), k, n);
+  std::vector<float> back(b.size());
+  Dequantize(q, back.data());
+  for (int64_t p = 0; p < k; ++p) {
+    for (int64_t j = 0; j < n; ++j) {
+      // Symmetric rounding: reconstruction error <= half a quantization step.
+      EXPECT_LE(std::fabs(back[p * n + j] - b[p * n + j]),
+                0.5f * q.scales[static_cast<size_t>(j)] + 1e-6f);
+    }
+  }
+}
+
+TEST(QuantTest, ZeroColumnsStayExactlyZero) {
+  const int64_t k = 4, n = 3;
+  std::vector<float> b(static_cast<size_t>(k * n), 0.0f);
+  b[1] = 1.5f;  // column 1 non-zero; columns 0 and 2 all zero
+  b[4] = -3.0f;
+  QuantizedMatrix q = QuantizePerChannel(b.data(), k, n);
+  EXPECT_EQ(q.scales[0], 0.0f);
+  EXPECT_EQ(q.scales[2], 0.0f);
+  std::vector<float> back(b.size());
+  Dequantize(q, back.data());
+  for (int64_t p = 0; p < k; ++p) {
+    EXPECT_EQ(back[p * n + 0], 0.0f);
+    EXPECT_EQ(back[p * n + 2], 0.0f);
+  }
+}
+
+TEST(QuantTest, GemmErrorWithinAnalyticBound) {
+  Rng rng(42);
+  const int64_t m = 5, k = 64, n = 9;
+  auto a = RandVec(m * k, &rng);
+  auto b = RandVec(k * n, &rng, 1.5f);
+  QuantizedMatrix q = QuantizePerChannel(b.data(), k, n);
+
+  std::vector<float> exact(static_cast<size_t>(m * n), 0.0f);
+  GemmNNScalar(a.data(), b.data(), exact.data(), m, k, n);
+
+  for (TensorBackend backend :
+       {TensorBackend::kScalar, TensorBackend::kAvx2}) {
+    if (backend == TensorBackend::kAvx2 && !Avx2Available()) continue;
+    BackendGuard guard(backend);
+    std::vector<float> approx(static_cast<size_t>(m * n), 0.0f);
+    GemmNNInt8(a.data(), q, approx.data(), m, k);
+    for (int64_t i = 0; i < m; ++i) {
+      float l1 = 0.0f;
+      for (int64_t p = 0; p < k; ++p) l1 += std::fabs(a[i * k + p]);
+      for (int64_t j = 0; j < n; ++j) {
+        const float bound = q.ErrorBound(j, l1) + 1e-3f;
+        EXPECT_LE(std::fabs(approx[i * n + j] - exact[i * n + j]), bound)
+            << TensorBackendName(backend) << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(QuantTest, ScalarAndAvx2Int8Agree) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  Rng rng(43);
+  const int64_t m = 7, k = 33, n = 21;
+  auto a = RandVec(m * k, &rng);
+  auto b = RandVec(k * n, &rng);
+  QuantizedMatrix q = QuantizePerChannel(b.data(), k, n);
+  std::vector<float> scalar_out(static_cast<size_t>(m * n), 0.0f);
+  std::vector<float> avx2_out(static_cast<size_t>(m * n), 0.0f);
+  GemmNNInt8Scalar(a.data(), q, scalar_out.data(), m, k);
+  {
+    BackendGuard guard(TensorBackend::kAvx2);
+    GemmNNInt8(a.data(), q, avx2_out.data(), m, k);
+  }
+  EXPECT_LE(MaxAbsDiff(scalar_out, avx2_out), 1e-4f);
+}
+
+// ---- End-to-end: model forward equivalence across backends ----------------
+
+TEST(BackendEquivalenceTest, RandomizedMatMulShapesWithinTolerance) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t m = 1 + static_cast<int64_t>(rng.UniformInt(40));
+    const int64_t k = 1 + static_cast<int64_t>(rng.UniformInt(96));
+    const int64_t n = 1 + static_cast<int64_t>(rng.UniformInt(40));
+    Tensor a = Tensor::Randn({m, k}, 1.0f, &rng);
+    Tensor b = Tensor::Randn({k, n}, 1.0f, &rng);
+    NoGradGuard guard;
+    std::vector<float> scalar_out, avx2_out;
+    {
+      BackendGuard g(TensorBackend::kScalar);
+      scalar_out = MatMul(a, b).ToVector();
+    }
+    {
+      BackendGuard g(TensorBackend::kAvx2);
+      avx2_out = MatMul(a, b).ToVector();
+    }
+    EXPECT_LE(MaxAbsDiff(scalar_out, avx2_out), 1e-4f)
+        << m << "x" << k << "x" << n;
+  }
+}
+
+}  // namespace
+}  // namespace rpt

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -271,6 +272,28 @@ TEST(CheckpointTest, SaveLoadRoundTrip) {
     EXPECT_EQ(p1[i].second.ToVector(), p2[i].second.ToVector())
         << "mismatch at " << p1[i].first;
   }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadRejectsTrailingGarbage) {
+  // A truncation or corruption that leaves extra bytes after a valid state
+  // blob must not alias to success: the reader has to consume the file
+  // exactly.
+  Rng rng1(13), rng2(14);
+  auto config = SmallConfig(20);
+  Seq2SeqTransformer model(config, &rng1);
+  const std::string path = "/tmp/rpt_test_checkpoint_padded.bin";
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+  {
+    std::ofstream pad(path, std::ios::binary | std::ios::app);
+    const char junk[7] = {0, 1, 2, 3, 4, 5, 6};
+    pad.write(junk, sizeof(junk));
+  }
+  Seq2SeqTransformer other(config, &rng2);
+  Status s = LoadCheckpoint(&other, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("trailing"), std::string::npos)
+      << s.ToString();
   std::remove(path.c_str());
 }
 

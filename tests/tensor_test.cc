@@ -5,6 +5,7 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -81,6 +82,50 @@ TEST(TensorTest, MatMulBatched) {
   Tensor b = Tensor::FromVector({1, 0, 0, 1, 5, 6, 7, 8}, {2, 2, 2});
   Tensor c = MatMul(a, b);
   EXPECT_EQ(c.ToVector(), (std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+// Regression for the old `av == 0.0f` skip in GemmNN/GemmTN: a zero in one
+// operand must not suppress NaN/Inf in the other (IEEE: 0 * NaN = NaN,
+// 0 * Inf = NaN), and kernel latency must not depend on data values.
+TEST(TensorTest, MatMulPropagatesNaNFromEitherOperand) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  // NaN in B against an all-zero A row: the zero-skip shortcut used to
+  // silently drop this product and emit 0 instead of NaN.
+  Tensor a = Tensor::FromVector({0, 0, 1, 1}, {2, 2});
+  Tensor b = Tensor::FromVector({nan, 2, 3, 4}, {2, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0)));  // 0*NaN + 0*3
+  EXPECT_TRUE(std::isnan(c.at(2)));  // 1*NaN + 1*3
+  EXPECT_EQ(c.at(1), 0.0f * 2 + 0.0f * 4);
+  // NaN in A propagates across the whole output row.
+  Tensor a2 = Tensor::FromVector({nan, 0, 0, 1}, {2, 2});
+  Tensor b2 = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  Tensor c2 = MatMul(a2, b2);
+  EXPECT_TRUE(std::isnan(c2.at(0)));
+  EXPECT_TRUE(std::isnan(c2.at(1)));
+  EXPECT_EQ(c2.at(2), 3.0f);
+}
+
+TEST(TensorTest, MatMulZeroTimesInfIsNaN) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a = Tensor::FromVector({0, 0}, {1, 2});
+  Tensor b = Tensor::FromVector({inf, 1, inf, 1}, {2, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0)));
+  EXPECT_EQ(c.at(1), 0.0f);
+}
+
+TEST(TensorTest, MatMulBackwardPropagatesNaNThroughGemmTN) {
+  // GemmTN (the dB = A^T dOut backward kernel) had the same zero-skip; a
+  // zero activation against a NaN upstream gradient must produce NaN grads.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a = Tensor::FromVector({0, 0}, {1, 2});
+  Tensor w = Tensor::FromVector({1, 1, 1, 1}, {2, 2});
+  w.set_requires_grad(true);
+  Tensor y = MatMul(a, w);
+  Tensor loss = Sum(Mul(y, Tensor::FromVector({nan, 1}, {1, 2})));
+  loss.Backward();
+  EXPECT_TRUE(std::isnan(w.grad_data()[0]));
 }
 
 TEST(TensorTest, SoftmaxRowsSumToOne) {

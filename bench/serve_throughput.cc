@@ -31,6 +31,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -38,11 +39,15 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "eval/report.h"
+#include "nn/backend.h"
+#include "nn/weight_store.h"
 #include "obs/stage_exporter.h"
 #include "obs/trace.h"
 #include "rpt/cleaner.h"
@@ -51,6 +56,11 @@
 #include "serve/server.h"
 #include "serve/sessions.h"
 #include "table/table.h"
+#include "tensor/quant.h"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 namespace {
 
@@ -76,6 +86,47 @@ constexpr auto kPerPass = microseconds(1500);
 constexpr auto kPerItem = microseconds(100);
 
 int g_failures = 0;
+
+/// Flat name -> value metrics accumulated across sections, written as
+/// BENCH_serve.json when --json-out=PATH is given (the CI artifact).
+std::vector<std::pair<std::string, double>> g_metrics;
+
+void RecordMetric(const std::string& name, double value) {
+  g_metrics.emplace_back(name, value);
+}
+
+void WriteJsonMetrics(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("FAIL: cannot open json output '%s'\n", path);
+    ++g_failures;
+    return;
+  }
+  std::fprintf(f, "{\n");
+  for (const auto& [name, value] : g_metrics) {
+    std::fprintf(f, "  \"%s\": %.6g,\n", name.c_str(), value);
+  }
+  std::fprintf(f, "  \"failures\": %d\n}\n", g_failures);
+  std::fclose(f);
+  std::printf("\nmetrics: %zu entries written to %s\n", g_metrics.size() + 1,
+              path);
+}
+
+/// Resident set size of this process, or 0 where /proc is unavailable.
+size_t CurrentRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long total_pages = 0, resident_pages = 0;
+  const int got = std::fscanf(f, "%lu %lu", &total_pages, &resident_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<size_t>(resident_pages) *
+         static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
 
 void Check(bool ok, const char* what) {
   if (ok) {
@@ -268,6 +319,9 @@ void RoutedScaling(bool smoke) {
   const double rps_1 = RunRouted(inputs, 1, expected);
   const double rps_2 = RunRouted(inputs, 2, expected);
   const double rps_4 = RunRouted(inputs, 4, expected);
+  RecordMetric("routed_rps_1_shard", rps_1);
+  RecordMetric("routed_rps_2_shards", rps_2);
+  RecordMetric("routed_rps_4_shards", rps_4);
 
   ReportTable scaling({"shards", "req/s", "speedup vs 1 shard"});
   scaling.AddRow({"1", rpt::Fixed(rps_1, 0), "1.00"});
@@ -522,6 +576,251 @@ void AdaptiveBatching(bool smoke) {
   }
 }
 
+// ---- Shared-weight replicas -------------------------------------------------
+
+/// The tentpole demonstration: N cleaner replicas bound to one frozen
+/// WeightStore cost ~one copy of the parameters (RSS report + an exact
+/// distinct-allocation check), serve byte-identical answers under the
+/// forced-scalar backend, and the cpu-int8 tier stays inside its analytic
+/// error bound.
+void WeightSharing(bool smoke) {
+  rpt::PrintBanner("weight sharing: replica memory + backend exactness");
+  rpt::Table table{rpt::Schema({"name", "expertise", "city"})};
+  for (int i = 0; i < 8; ++i) {
+    table.AddRow({rpt::Value::String("michael jordan"),
+                  rpt::Value::String("machine learning"),
+                  rpt::Value::String("berkeley")});
+    table.AddRow({rpt::Value::String("michael jordan"),
+                  rpt::Value::String("basketball"),
+                  rpt::Value::String("chicago")});
+    table.AddRow({rpt::Value::String("sam madden"),
+                  rpt::Value::String("databases"),
+                  rpt::Value::String("cambridge")});
+  }
+  rpt::CleanerConfig config;
+  // Full runs use a bigger model so the RSS effect dwarfs allocator noise;
+  // smoke keeps sanitizer runs fast.
+  config.d_model = smoke ? 32 : 128;
+  config.num_heads = smoke ? 2 : 4;
+  config.num_layers = smoke ? 1 : 2;
+  config.ffn_dim = smoke ? 64 : 256;
+  config.dropout = 0.0f;
+  config.seed = 7;
+  const rpt::Vocab vocab = rpt::BuildVocabFromTables({&table});
+  rpt::RptCleaner source(config, vocab);
+  source.PretrainOnTables({&table}, smoke ? 40 : 150);
+
+  auto store = rpt::WeightStore::Freeze(source.model());
+  const double param_mb =
+      static_cast<double>(store->blob_bytes()) / (1024.0 * 1024.0);
+
+  // Reference predictions from the privately-owned source, forced scalar.
+  std::vector<rpt::CellQuery> queries;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 8; ++i) {
+    rpt::Tuple q = {rpt::Value::String(i % 2 == 0 ? "michael jordan"
+                                                  : "sam madden"),
+                    rpt::Value::String(i % 2 == 0 ? "basketball"
+                                                  : "databases"),
+                    rpt::Value::Null()};
+    payloads.push_back(CleanerSession::FormatCellQuery(q, 2));
+    queries.push_back({std::move(q), 2});
+  }
+  std::vector<std::string> expected_scalar;
+  {
+    rpt::ScopedComputeBackend scalar(rpt::ComputeBackend::kCpuScalar);
+    expected_scalar = source.PredictBatch(table.schema(), queries);
+  }
+
+  // Memory: N bound replicas vs N private copies, with the page counter as
+  // the headline and the exact distinct-allocation sum as the hard check.
+  constexpr int kReplicas = 4;
+  const size_t rss_before_bound = CurrentRssBytes();
+  std::vector<std::unique_ptr<rpt::RptCleaner>> replicas;
+  for (int r = 0; r < kReplicas; ++r) {
+    rpt::CleanerConfig replica_config = config;
+    replica_config.seed = 1000 + static_cast<uint64_t>(r);
+    replicas.push_back(
+        std::make_unique<rpt::RptCleaner>(replica_config, vocab));
+    const rpt::Status bound =
+        replicas.back()->model().BindWeights(
+            store, rpt::ComputeBackend::kCpuScalar);
+    if (!bound.ok()) {
+      std::printf("FAIL: BindWeights: %s\n", bound.ToString().c_str());
+      ++g_failures;
+      return;
+    }
+  }
+  const size_t rss_after_bound = CurrentRssBytes();
+
+  // Pointer identity + distinct-allocation sum: the exact form of "RSS
+  // stays ~flat", immune to allocator slack.
+  bool pointers_shared = true;
+  std::set<const float*> distinct;
+  size_t distinct_floats = 0, view_floats = 0;
+  for (const auto& replica : replicas) {
+    for (const auto& [name, param] : replica->model().NamedParameters()) {
+      const rpt::WeightEntry* entry = store->Find(name);
+      if (entry == nullptr ||
+          param.data() != store->DataFor(*entry)) {
+        pointers_shared = false;
+      }
+      view_floats += static_cast<size_t>(param.numel());
+      if (distinct.insert(param.data()).second) {
+        distinct_floats += static_cast<size_t>(param.numel());
+      }
+    }
+  }
+  Check(pointers_shared,
+        "every replica parameter aliases the store's blob (pointer identity)");
+  Check(distinct_floats * kReplicas == view_floats,
+        "distinct allocations sum to 1x the parameters, not Nx");
+
+  const size_t rss_before_private = CurrentRssBytes();
+  std::vector<std::unique_ptr<rpt::RptCleaner>> private_copies;
+  for (int r = 0; r < kReplicas; ++r) {
+    rpt::CleanerConfig private_config = config;
+    private_config.seed = 2000 + static_cast<uint64_t>(r);
+    private_copies.push_back(
+        std::make_unique<rpt::RptCleaner>(private_config, vocab));
+  }
+  const size_t rss_after_private = CurrentRssBytes();
+  const double bound_mb =
+      static_cast<double>(rss_after_bound - rss_before_bound) /
+      (1024.0 * 1024.0);
+  const double private_mb =
+      static_cast<double>(rss_after_private - rss_before_private) /
+      (1024.0 * 1024.0);
+  private_copies.clear();
+
+  ReportTable memory({"configuration", "RSS delta (MB)"});
+  memory.AddRow({"4 replicas bound to one WeightStore (weights shared)",
+                 rpt::Fixed(bound_mb, 2)});
+  memory.AddRow({"4 private model copies (weights duplicated)",
+                 rpt::Fixed(private_mb, 2)});
+  memory.AddRow({"parameter payload (one copy)", rpt::Fixed(param_mb, 2)});
+  std::printf("\n");
+  memory.Print();
+  RecordMetric("weightshare_param_mb", param_mb);
+  RecordMetric("weightshare_rss_bound_replicas_mb", bound_mb);
+  RecordMetric("weightshare_rss_private_copies_mb", private_mb);
+  if (!smoke && CurrentRssBytes() != 0) {
+    // Page-granular and allocator-dependent, so full runs only: binding 4
+    // replicas must cost well under one extra parameter copy per replica.
+    if (bound_mb <= private_mb - 2.0 * param_mb) {
+      std::printf("OK: bound replicas saved >=2 parameter copies of RSS\n");
+    } else {
+      std::printf("WARNING: RSS saving below target (bound %.2fMB vs "
+                  "private %.2fMB, params %.2fMB)\n",
+                  bound_mb, private_mb, param_mb);
+    }
+  }
+
+  // Serving exactness: a 4-replica routed pool on the shared store, every
+  // replica forced cpu-scalar with pinned collectors, must answer byte-for-
+  // byte what the privately-owned source answers under the same backend.
+  {
+    RouteSpec spec;
+    spec.name = "clean-shared";
+    for (auto& replica : replicas) {
+      spec.replicas.push_back(
+          std::make_shared<CleanerSession>(replica.get(), table.schema()));
+    }
+    spec.config.max_batch_size = 8;
+    spec.config.max_batch_delay = microseconds(1000);
+    spec.config.cache_capacity = 0;
+    spec.replica_backends.assign(kReplicas,
+                                 rpt::ComputeBackend::kCpuScalar);
+    spec.pin_collectors = true;
+    RoutedServer server({std::move(spec)});
+    bool identical = true;
+    for (size_t i = 0; i < payloads.size(); ++i) {
+      ServeResponse r = server.SubmitWait("clean-shared", payloads[i]);
+      if (!r.status.ok() || r.output != expected_scalar[i]) identical = false;
+    }
+    server.Shutdown();
+    Check(identical,
+          "forced-scalar shared-weight replicas match the private baseline "
+          "byte for byte");
+  }
+
+  // Int8 tier: the quantized GEMM against the store's own weights stays
+  // within the per-channel analytic bound, and a cpu-int8 replica still
+  // answers the confident queries correctly.
+  {
+    const rpt::WeightEntry* entry = nullptr;
+    for (const rpt::WeightEntry& e : store->entries()) {
+      if (e.shape.size() == 2 &&
+          (entry == nullptr || e.numel > entry->numel)) {
+        entry = &e;
+      }
+    }
+    const rpt::QuantizedMatrix* q =
+        entry != nullptr ? store->Quantized(entry->name) : nullptr;
+    bool bound_holds = q != nullptr;
+    if (q != nullptr) {
+      const int64_t k = q->k, n = q->n, m = 4;
+      std::vector<float> a(static_cast<size_t>(m * k));
+      for (size_t i = 0; i < a.size(); ++i) {
+        a[i] = 0.25f * static_cast<float>((static_cast<int>(i) % 17) - 8);
+      }
+      const float* b = store->DataFor(*entry);
+      std::vector<float> ref(static_cast<size_t>(m * n), 0.0f);
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t p = 0; p < k; ++p) {
+          const float av = a[static_cast<size_t>(i * k + p)];
+          for (int64_t j = 0; j < n; ++j) {
+            ref[static_cast<size_t>(i * n + j)] +=
+                av * b[static_cast<size_t>(p * n + j)];
+          }
+        }
+      }
+      std::vector<float> got(static_cast<size_t>(m * n), 0.0f);
+      rpt::GemmNNInt8(a.data(), *q, got.data(), m, k);
+      for (int64_t i = 0; i < m && bound_holds; ++i) {
+        float l1 = 0.0f;
+        for (int64_t p = 0; p < k; ++p) {
+          l1 += std::fabs(a[static_cast<size_t>(i * k + p)]);
+        }
+        for (int64_t j = 0; j < n; ++j) {
+          const float err = std::fabs(got[static_cast<size_t>(i * n + j)] -
+                                      ref[static_cast<size_t>(i * n + j)]);
+          if (err > q->ErrorBound(j, l1) + 1e-4f) {
+            bound_holds = false;
+            break;
+          }
+        }
+      }
+    }
+    Check(bound_holds,
+          "int8 GEMM on the store's shared quantized weights stays within "
+          "the analytic error bound");
+
+    rpt::CleanerConfig int8_config = config;
+    int8_config.seed = 3000;
+    rpt::RptCleaner int8_replica(int8_config, vocab);
+    const rpt::Status bound =
+        int8_replica.model().BindWeights(store,
+                                         rpt::ComputeBackend::kCpuInt8);
+    if (!bound.ok()) {
+      std::printf("FAIL: int8 BindWeights: %s\n", bound.ToString().c_str());
+      ++g_failures;
+    } else {
+      const std::vector<std::string> int8_out =
+          int8_replica.PredictBatch(table.schema(), queries);
+      size_t agree = 0;
+      for (size_t i = 0; i < int8_out.size(); ++i) {
+        if (int8_out[i] == expected_scalar[i]) ++agree;
+      }
+      const double rate =
+          static_cast<double>(agree) / static_cast<double>(int8_out.size());
+      std::printf("int8 replica agreement with fp32 predictions: %zu/%zu\n",
+                  agree, int8_out.size());
+      RecordMetric("weightshare_int8_agreement", rate);
+    }
+  }
+}
+
 void ServeRealCleaner() {
   rpt::PrintBanner("real model: RPT-C cleaner behind the server");
   rpt::Table table{rpt::Schema({"name", "expertise", "city"})};
@@ -598,15 +897,19 @@ void WriteTrace(const char* path) {
 int main(int argc, char** argv) {
   bool smoke = false;
   const char* trace_out = nullptr;
+  const char* json_out = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0 ||
-        std::strcmp(argv[i], "--quick") == 0) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke" || arg == "--quick") {
       smoke = true;
-    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+    } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      json_out = argv[i] + std::strlen("--json-out=");
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke|--quick] [--trace-out PATH]\n",
+                   "usage: %s [--smoke|--quick] [--trace-out PATH] "
+                   "[--json-out=PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -623,8 +926,10 @@ int main(int argc, char** argv) {
     RoutedScaling(/*smoke=*/true);
     MixedRoutedWorkload(/*smoke=*/true);
     AdaptiveBatching(/*smoke=*/true);
+    WeightSharing(/*smoke=*/true);
     std::printf("\nsmoke: %d failure(s)\n", g_failures);
     if (trace_out != nullptr) WriteTrace(trace_out);
+    if (json_out != nullptr) WriteJsonMetrics(json_out);
     return g_failures == 0 ? 0 : 1;
   }
 
@@ -662,7 +967,9 @@ int main(int argc, char** argv) {
   RoutedScaling(/*smoke=*/false);
   MixedRoutedWorkload(/*smoke=*/false);
   AdaptiveBatching(/*smoke=*/false);
+  WeightSharing(/*smoke=*/false);
   ServeRealCleaner();
   if (trace_out != nullptr) WriteTrace(trace_out);
+  if (json_out != nullptr) WriteJsonMetrics(json_out);
   return g_failures == 0 ? 0 : 1;
 }

@@ -365,17 +365,19 @@ void HttpServer::DispatchRequest(Connection* conn, const HttpRequest& request) {
   if (path_it == handlers_.end()) {
     conn->endpoint = "other";
     CountRequest("other", 404);
-    SendSimple(conn, 404, "not found\n", /*close_after=*/!conn->keep_alive);
+    // Clear busy before SendSimple: its FlushOut may close (and free) the
+    // connection, and a set busy flag would defer the close-after-flush.
     conn->busy = false;
+    SendSimple(conn, 404, "not found\n", /*close_after=*/!conn->keep_alive);
     return;
   }
   conn->endpoint = request.path;
   const auto method_it = path_it->second.find(request.method);
   if (method_it == path_it->second.end()) {
     CountRequest(conn->endpoint, 405);
+    conn->busy = false;  // same close-ordering contract as the 404 path
     SendSimple(conn, 405, "method not allowed\n",
                /*close_after=*/!conn->keep_alive);
-    conn->busy = false;
     return;
   }
   auto writer = std::shared_ptr<ResponseWriter>(
@@ -389,8 +391,9 @@ void HttpServer::FinishRequest(Connection* conn) {
   conn->busy = false;
   conn->streaming = false;
   if (!conn->keep_alive) conn->close_after_flush = true;
-  FlushOut(conn);
+  // FlushOut may close (and free) the connection; snapshot the id first.
   const uint64_t conn_id = conn->id;
+  FlushOut(conn);
   if (connections_.find(conn_id) == connections_.end()) return;
   // Serve the next pipelined request (or resume a paused read).
   ProcessInput(conn);

@@ -1,0 +1,48 @@
+#include "nn/backend.h"
+
+namespace rpt {
+
+const char* ComputeBackendName(ComputeBackend backend) {
+  switch (backend) {
+    case ComputeBackend::kAuto:
+      return "auto";
+    case ComputeBackend::kCpuScalar:
+      return "cpu-scalar";
+    case ComputeBackend::kCpuSimd:
+      return "cpu-simd";
+    case ComputeBackend::kCpuInt8:
+      return "cpu-int8";
+  }
+  return "unknown";
+}
+
+bool ParseComputeBackend(const std::string& text, ComputeBackend* out) {
+  if (text == "auto") {
+    *out = ComputeBackend::kAuto;
+  } else if (text == "cpu-scalar" || text == "scalar") {
+    *out = ComputeBackend::kCpuScalar;
+  } else if (text == "cpu-simd" || text == "simd") {
+    *out = ComputeBackend::kCpuSimd;
+  } else if (text == "cpu-int8" || text == "int8") {
+    *out = ComputeBackend::kCpuInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ScopedComputeBackend::ScopedComputeBackend(ComputeBackend backend) {
+  switch (backend) {
+    case ComputeBackend::kCpuScalar:
+      override_.emplace(TensorBackend::kScalar);
+      break;
+    case ComputeBackend::kCpuSimd:
+      override_.emplace(TensorBackend::kAvx2);
+      break;
+    case ComputeBackend::kAuto:
+    case ComputeBackend::kCpuInt8:
+      break;
+  }
+}
+
+}  // namespace rpt

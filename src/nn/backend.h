@@ -1,0 +1,55 @@
+// ComputeBackend: the per-replica compute seam.
+//
+// A replica shard picks *how* its forward passes run, independently of which
+// weights it holds (those come from a shared WeightStore). Three CPU tiers
+// today, with distinct exactness contracts (DESIGN.md §14):
+//
+//   cpu-scalar — scalar kernel dispatch; bit-identical to the pre-SIMD stack.
+//   cpu-simd   — AVX2/FMA dispatch when available; <= ~1e-4 reassociation
+//                error vs scalar.
+//   cpu-int8   — fp32 kernels plus int8 weight-quantized Linear layers
+//                (weights pre-quantized once into the WeightStore); error
+//                bounded analytically per output channel (quant.h).
+//
+// kAuto inherits the process-wide dispatch policy (env var / fastest).
+
+#ifndef RPT_NN_BACKEND_H_
+#define RPT_NN_BACKEND_H_
+
+#include <optional>
+#include <string>
+
+#include "tensor/cpu_features.h"
+
+namespace rpt {
+
+enum class ComputeBackend {
+  kAuto = 0,
+  kCpuScalar = 1,
+  kCpuSimd = 2,
+  kCpuInt8 = 3,
+};
+
+/// "auto", "cpu-scalar", "cpu-simd", or "cpu-int8".
+const char* ComputeBackendName(ComputeBackend backend);
+
+/// Parses the names above (also accepts the bare aliases "scalar", "simd",
+/// "int8"). Returns false and leaves *out untouched on unknown input.
+bool ParseComputeBackend(const std::string& text, ComputeBackend* out);
+
+/// RAII: routes tensor-kernel dispatch on the current thread according to
+/// `backend` while in scope. kCpuScalar pins scalar kernels, kCpuSimd pins
+/// AVX2 (sanitized to scalar when unavailable); kAuto and kCpuInt8 leave
+/// dispatch to the process policy — int8-ness lives in the quantized weights
+/// a module bound from its WeightStore, not in kernel dispatch.
+class ScopedComputeBackend {
+ public:
+  explicit ScopedComputeBackend(ComputeBackend backend);
+
+ private:
+  std::optional<ScopedTensorBackendOverride> override_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_NN_BACKEND_H_

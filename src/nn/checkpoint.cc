@@ -1,5 +1,7 @@
 #include "nn/checkpoint.h"
 
+#include <cstdio>
+
 #include "util/serialize.h"
 
 namespace rpt {
@@ -14,7 +16,20 @@ Status SaveCheckpoint(const Module& module, const std::string& path) {
   writer.WriteU32(kMagic);
   writer.WriteU32(kVersion);
   module.SaveState(&writer);
-  return writer.SaveToFile(path);
+  // Write-to-temp + rename so the target is replaced atomically (POSIX):
+  // a crash mid-write leaves at worst a stale ".tmp" next to an intact
+  // previous checkpoint, never a truncated checkpoint under the real name.
+  const std::string tmp = path + ".tmp";
+  Status written = writer.SaveToFile(tmp);
+  if (!written.ok()) {
+    std::remove(tmp.c_str());
+    return written;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
 }
 
 Status LoadCheckpoint(Module* module, const std::string& path) {

@@ -1,5 +1,6 @@
 #include "nn/module.h"
 
+#include "nn/weight_store.h"
 #include "util/logging.h"
 
 namespace rpt {
@@ -58,6 +59,14 @@ void Module::SaveState(BinaryWriter* writer) const {
 
 Status Module::LoadState(BinaryReader* reader) {
   auto named = NamedParameters();
+  for (const auto& [name, tensor] : named) {
+    if (tensor.is_view()) {
+      return Status::FailedPrecondition(
+          "cannot LoadState into a module bound to a shared WeightStore "
+          "(parameter " +
+          name + " is a view); load into an unbound module and re-freeze");
+    }
+  }
   auto count = reader->ReadU64();
   if (!count.ok()) return count.status();
   if (*count != named.size()) {
@@ -83,6 +92,38 @@ Status Module::LoadState(BinaryReader* reader) {
       return Status::InvalidArgument("checkpoint size mismatch for " + name);
     }
     std::copy(values->begin(), values->end(), tensor.data());
+  }
+  return Status::Ok();
+}
+
+Status Module::BindWeights(const std::shared_ptr<const WeightStore>& store,
+                           ComputeBackend backend) {
+  RPT_CHECK(store != nullptr);
+  RPT_RETURN_IF_ERROR(BindWeightsImpl("", store, backend));
+  SetTraining(false);
+  return Status::Ok();
+}
+
+Status Module::BindWeightsImpl(const std::string& prefix,
+                               const std::shared_ptr<const WeightStore>& store,
+                               ComputeBackend backend) {
+  for (auto& [name, tensor] : params_) {
+    const std::string full_name = prefix + name;
+    const WeightEntry* entry = store->Find(full_name);
+    if (entry == nullptr) {
+      return Status::InvalidArgument("weight store has no entry for " +
+                                     full_name);
+    }
+    if (entry->shape != tensor.shape()) {
+      return Status::InvalidArgument("weight store shape mismatch for " +
+                                     full_name);
+    }
+    tensor.BindTo(store->KeepaliveFor(store), store->DataFor(*entry));
+  }
+  OnWeightsBound(WeightBindContext{store, backend, prefix});
+  for (auto& [name, child] : children_) {
+    RPT_RETURN_IF_ERROR(
+        child->BindWeightsImpl(prefix + name + ".", store, backend));
   }
   return Status::Ok();
 }

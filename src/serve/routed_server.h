@@ -62,9 +62,29 @@ namespace rpt {
 /// One route of a RoutedServer: a name, the replica sessions (one shard
 /// per entry), and the ServerConfig applied to every shard of the pool.
 struct RouteSpec {
+  RouteSpec() = default;
+  /// The common case: every replica inherits `config` (including its
+  /// compute_backend); tune the per-replica fields afterwards if needed.
+  RouteSpec(std::string name,
+            std::vector<std::shared_ptr<ModelSession>> replicas,
+            ServerConfig config)
+      : name(std::move(name)),
+        replicas(std::move(replicas)),
+        config(std::move(config)) {}
+
   std::string name;
   std::vector<std::shared_ptr<ModelSession>> replicas;
   ServerConfig config;
+  /// Per-replica compute backend (nn/backend.h), overriding
+  /// `config.compute_backend` position by position. Empty means every
+  /// replica uses the config value; otherwise the size must equal
+  /// `replicas.size()`. Lets one route mix tiers, e.g. three cpu-simd
+  /// replicas and one cpu-scalar exactness anchor.
+  std::vector<ComputeBackend> replica_backends;
+  /// Assign each shard's collector a CPU round-robin across the whole
+  /// server (util/affinity.h). Replicas whose `config.cpu_affinity` is
+  /// already >= 0 keep their explicit pin.
+  bool pin_collectors = false;
 };
 
 /// Stable payload→shard assignment within a pool of `num_shards` shards.
@@ -145,6 +165,9 @@ class RoutedServer {
     return index_.find(route) != index_.end();
   }
   size_t num_routes() const { return routes_.size(); }
+  /// Shards backing `route`; 0 when no such route is configured (a request
+  /// naming it would get kNotFound, so "no shards" is the honest answer —
+  /// an unknown name must never take the server down).
   size_t NumShards(const std::string& route) const;
 
   /// Configured route names, in construction order. The HTTP front-end uses

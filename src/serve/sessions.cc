@@ -41,14 +41,22 @@ std::string JoinTuple(const Tuple& tuple) {
   return out;
 }
 
-Tuple ParseTuple(const std::string& payload, int64_t expected_arity) {
+// Parses `payload` as a unit-separated tuple of exactly `expected_arity`
+// fields. A Status (not a CHECK) so a malformed request fails itself, not
+// the process.
+Status ParseTupleChecked(const std::string& payload, size_t expected_arity,
+                         Tuple* out) {
   std::vector<std::string> fields = SplitOn(payload, kUnitSep);
-  RPT_CHECK_EQ(static_cast<int64_t>(fields.size()), expected_arity)
-      << "payload arity does not match the session schema";
-  Tuple tuple;
-  tuple.reserve(fields.size());
-  for (const auto& f : fields) tuple.push_back(Value::Parse(f));
-  return tuple;
+  if (fields.size() != expected_arity) {
+    return Status::InvalidArgument(
+        "payload arity " + std::to_string(fields.size()) +
+        " does not match the session schema arity " +
+        std::to_string(expected_arity));
+  }
+  out->clear();
+  out->reserve(fields.size());
+  for (const auto& f : fields) out->push_back(Value::Parse(f));
+  return Status::Ok();
 }
 
 }  // namespace
@@ -68,7 +76,9 @@ std::string CleanerSession::FormatCellQuery(const Tuple& tuple,
   return out;
 }
 
-Status CleanerSession::Validate(const std::string& input) const {
+Status CleanerSession::ParseCellQuery(const std::string& input,
+                                      CellQuery* out) const {
+  // Leading field is the masked column index, the rest is the tuple.
   const size_t pos = input.find(kUnitSep);
   if (pos == std::string::npos) {
     return Status::InvalidArgument("cell query has no column field");
@@ -85,21 +95,18 @@ Status CleanerSession::Validate(const std::string& input) const {
                                    std::to_string(column) +
                                    " is outside the session schema");
   }
-  const std::vector<std::string> fields =
-      SplitOn(input.substr(pos + 1), kUnitSep);
-  if (fields.size() != schema_.size()) {
-    return Status::InvalidArgument(
-        "cell query arity " + std::to_string(fields.size()) +
-        " does not match the session schema arity " +
-        std::to_string(schema_.size()));
-  }
+  out->column = column;
+  return ParseTupleChecked(input.substr(pos + 1), schema_.size(),
+                           &out->tuple);
+}
+
+Status CleanerSession::Validate(const std::string& input) const {
+  CellQuery q;
+  RPT_RETURN_IF_ERROR(ParseCellQuery(input, &q));
   // Over-long inputs would trip the RPT_CHECK in InputEmbedding::Forward
   // and abort the process; reject them per-request instead.
-  Tuple tuple;
-  tuple.reserve(fields.size());
-  for (const auto& f : fields) tuple.push_back(Value::Parse(f));
   const TupleEncoding enc =
-      cleaner_->serializer().SerializeWithMask(schema_, tuple, column);
+      cleaner_->serializer().SerializeWithMask(schema_, q.tuple, q.column);
   const int64_t max_len = cleaner_->config().max_seq_len;
   if (enc.size() > max_len) {
     return Status::InvalidArgument(
@@ -116,14 +123,11 @@ std::vector<std::string> CleanerSession::RunBatch(
   std::vector<CellQuery> queries;
   queries.reserve(inputs.size());
   for (const auto& input : inputs) {
-    // Leading field is the masked column index, the rest is the tuple.
-    const size_t pos = input.find(kUnitSep);
-    RPT_CHECK(pos != std::string::npos) << "malformed cell query payload";
     CellQuery q;
-    q.column = std::stoll(input.substr(0, pos));
-    RPT_CHECK_GE(q.column, 0);
-    RPT_CHECK_LT(q.column, schema_.size());
-    q.tuple = ParseTuple(input.substr(pos + 1), schema_.size());
+    // Unreachable for requests the shard admitted: Validate runs the same
+    // parse on the same thread before batch formation.
+    RPT_CHECK(ParseCellQuery(input, &q).ok())
+        << "malformed cell query payload slipped past Validate";
     queries.push_back(std::move(q));
   }
   return cleaner_->PredictBatch(schema_, queries);
@@ -146,6 +150,28 @@ std::string MatcherSession::FormatPairQuery(const Tuple& a, const Tuple& b) {
   return out;
 }
 
+Status MatcherSession::ParsePairQuery(const std::string& input, Tuple* lhs,
+                                      Tuple* rhs) const {
+  const size_t pos = input.find(kRecordSep);
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument("pair query has no record separator");
+  }
+  if (input.find(kRecordSep, pos + 1) != std::string::npos) {
+    // An embedded separator would silently shift every following field;
+    // the second split's arity check might even pass by accident.
+    return Status::InvalidArgument(
+        "pair query has more than one record separator");
+  }
+  RPT_RETURN_IF_ERROR(
+      ParseTupleChecked(input.substr(0, pos), schema_a_.size(), lhs));
+  return ParseTupleChecked(input.substr(pos + 1), schema_b_.size(), rhs);
+}
+
+Status MatcherSession::Validate(const std::string& input) const {
+  Tuple lhs, rhs;
+  return ParsePairQuery(input, &lhs, &rhs);
+}
+
 std::vector<std::string> MatcherSession::RunBatch(
     const std::vector<std::string>& inputs) {
   ScopedStageTiming timing("session.matcher");
@@ -153,10 +179,12 @@ std::vector<std::string> MatcherSession::RunBatch(
   lhs.reserve(inputs.size());
   rhs.reserve(inputs.size());
   for (const auto& input : inputs) {
-    const size_t pos = input.find(kRecordSep);
-    RPT_CHECK(pos != std::string::npos) << "malformed pair query payload";
-    lhs.push_back(ParseTuple(input.substr(0, pos), schema_a_.size()));
-    rhs.push_back(ParseTuple(input.substr(pos + 1), schema_b_.size()));
+    Tuple a, b;
+    // Unreachable for admitted requests; Validate shares this parse.
+    RPT_CHECK(ParsePairQuery(input, &a, &b).ok())
+        << "malformed pair query payload slipped past Validate";
+    lhs.push_back(std::move(a));
+    rhs.push_back(std::move(b));
   }
   std::vector<double> scores =
       matcher_->ScorePairsBatch(schema_a_, lhs, schema_b_, rhs);
@@ -185,17 +213,33 @@ std::string ExtractorSession::FormatQaQuery(const std::string& question,
   return out;
 }
 
+Status ExtractorSession::ParseQaQuery(const std::string& input,
+                                      QaExample* out) {
+  const size_t pos = input.find(kUnitSep);
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument(
+        "QA query has no question/paragraph separator");
+  }
+  out->question = input.substr(0, pos);
+  out->paragraph = input.substr(pos + 1);
+  return Status::Ok();
+}
+
+Status ExtractorSession::Validate(const std::string& input) const {
+  QaExample q;
+  return ParseQaQuery(input, &q);
+}
+
 std::vector<std::string> ExtractorSession::RunBatch(
     const std::vector<std::string>& inputs) {
   ScopedStageTiming timing("session.extractor");
   std::vector<QaExample> queries;
   queries.reserve(inputs.size());
   for (const auto& input : inputs) {
-    const size_t pos = input.find(kUnitSep);
-    RPT_CHECK(pos != std::string::npos) << "malformed QA query payload";
     QaExample q;
-    q.question = input.substr(0, pos);
-    q.paragraph = input.substr(pos + 1);
+    // Unreachable for admitted requests; Validate shares this parse.
+    RPT_CHECK(ParseQaQuery(input, &q).ok())
+        << "malformed QA query payload slipped past Validate";
     queries.push_back(std::move(q));
   }
   return extractor_->ExtractBatch(queries);

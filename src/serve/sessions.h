@@ -49,6 +49,12 @@ class CleanerSession : public ModelSession {
       const std::vector<std::string>& inputs) override;
 
  private:
+  /// The one parse path: Validate and RunBatch both go through this, so a
+  /// payload that validates can never fail to parse at batch time (a parse
+  /// failure inside RunBatch would abort the whole server — RPT_CHECKs are
+  /// fatal — instead of failing one request).
+  Status ParseCellQuery(const std::string& input, CellQuery* out) const;
+
   const RptCleaner* cleaner_;
   Schema schema_;
 };
@@ -62,10 +68,20 @@ class MatcherSession : public ModelSession {
   static std::string FormatPairQuery(const Tuple& a, const Tuple& b);
 
   std::string name() const override { return "matcher"; }
+
+  /// Rejects payloads without exactly one record separator or whose sides
+  /// do not match the session schemas' arities (e.g. a field with an
+  /// embedded separator) with kInvalidArgument before they reach RunBatch.
+  Status Validate(const std::string& input) const override;
+
   std::vector<std::string> RunBatch(
       const std::vector<std::string>& inputs) override;
 
  private:
+  /// Single parse path shared by Validate and RunBatch (see CleanerSession).
+  Status ParsePairQuery(const std::string& input, Tuple* lhs,
+                        Tuple* rhs) const;
+
   const RptMatcher* matcher_;
   Schema schema_a_;
   Schema schema_b_;
@@ -81,10 +97,18 @@ class ExtractorSession : public ModelSession {
                                    const std::string& paragraph);
 
   std::string name() const override { return "extractor"; }
+
+  /// Rejects payloads without a question/paragraph separator with
+  /// kInvalidArgument before they reach RunBatch.
+  Status Validate(const std::string& input) const override;
+
   std::vector<std::string> RunBatch(
       const std::vector<std::string>& inputs) override;
 
  private:
+  /// Single parse path shared by Validate and RunBatch (see CleanerSession).
+  static Status ParseQaQuery(const std::string& input, QaExample* out);
+
   const RptExtractor* extractor_;
 };
 

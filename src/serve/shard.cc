@@ -10,6 +10,7 @@
 #include "eval/report.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/affinity.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -381,6 +382,15 @@ void ServeShard::SubmitAsync(std::string input, ServeCallback done,
 }
 
 void ServeShard::CollectorLoop() {
+  if (config_.cpu_affinity >= 0 &&
+      !PinCurrentThreadToCpu(config_.cpu_affinity)) {
+    RPT_LOG(Warning) << "shard " << config_.name
+                     << ": could not pin collector to cpu "
+                     << config_.cpu_affinity;
+  }
+  // Every forward pass this thread runs dispatches under the shard's
+  // configured backend; other threads are unaffected.
+  ScopedComputeBackend backend_scope(config_.compute_backend);
   std::vector<Pending> batch;
   // Mirrors of the controller's decision state, collector-local so the
   // registry counter only moves when the effective window actually changed.

@@ -52,6 +52,7 @@
 #include <thread>
 #include <vector>
 
+#include "nn/backend.h"
 #include "serve/adaptive.h"
 #include "serve/lru_cache.h"
 #include "serve/model_session.h"
@@ -98,6 +99,16 @@ struct ServerConfig {
   /// Tests inject a fake Clock (serve/adaptive.h) to drive the controller
   /// deterministically.
   std::shared_ptr<const Clock> clock;
+  /// Compute backend this shard's collector runs forward passes under
+  /// (nn/backend.h). kAuto inherits the process-wide dispatch policy;
+  /// cpu-scalar / cpu-simd pin kernel dispatch for the collector thread
+  /// only. cpu-int8 additionally requires the session's model to be bound
+  /// to a WeightStore with that backend (the quantized weights live there).
+  ComputeBackend compute_backend = ComputeBackend::kAuto;
+  /// Pin the collector thread to this logical CPU (util/affinity.h);
+  /// -1 leaves it unpinned. RoutedServer can assign these round-robin
+  /// (RouteSpec::pin_collectors).
+  int cpu_affinity = -1;
 };
 
 /// Outcome of one request.

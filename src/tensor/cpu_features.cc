@@ -13,6 +13,9 @@ namespace {
 // -1 = no override; otherwise a TensorBackend value.
 std::atomic<int> g_backend_override{-1};
 
+// Per-thread override (ScopedTensorBackendOverride); wins over everything.
+thread_local int g_tls_backend_override = -1;
+
 // Resolves the environment request once; `auto` when unset/unrecognized.
 // Returns -1 for auto, otherwise a TensorBackend value.
 int EnvBackendRequest() {
@@ -71,6 +74,9 @@ bool BuiltWithAvx2() {
 }
 
 TensorBackend ActiveTensorBackend() {
+  if (g_tls_backend_override >= 0) {
+    return Sanitize(static_cast<TensorBackend>(g_tls_backend_override));
+  }
   const int override_value = g_backend_override.load(std::memory_order_acquire);
   if (override_value >= 0) {
     return Sanitize(static_cast<TensorBackend>(override_value));
@@ -97,6 +103,15 @@ void SetTensorBackendOverride(TensorBackend backend) {
 
 void ClearTensorBackendOverride() {
   g_backend_override.store(-1, std::memory_order_release);
+}
+
+ScopedTensorBackendOverride::ScopedTensorBackendOverride(TensorBackend backend)
+    : prev_(g_tls_backend_override) {
+  g_tls_backend_override = static_cast<int>(backend);
+}
+
+ScopedTensorBackendOverride::~ScopedTensorBackendOverride() {
+  g_tls_backend_override = prev_;
 }
 
 }  // namespace rpt

@@ -45,6 +45,23 @@ const char* TensorBackendName(TensorBackend backend);
 void SetTensorBackendOverride(TensorBackend backend);
 void ClearTensorBackendOverride();
 
+/// RAII: pins the dispatch decision for the *current thread* while in scope,
+/// taking precedence over the process override and the environment. Used by
+/// replica shards to run each collector thread on its configured backend
+/// without disturbing the rest of the process. Nests; the previous value is
+/// restored on destruction. Same sanitization as the process override.
+class ScopedTensorBackendOverride {
+ public:
+  explicit ScopedTensorBackendOverride(TensorBackend backend);
+  ~ScopedTensorBackendOverride();
+  ScopedTensorBackendOverride(const ScopedTensorBackendOverride&) = delete;
+  ScopedTensorBackendOverride& operator=(const ScopedTensorBackendOverride&) =
+      delete;
+
+ private:
+  int prev_;
+};
+
 }  // namespace rpt
 
 #endif  // RPT_TENSOR_CPU_FEATURES_H_

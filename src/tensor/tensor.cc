@@ -15,7 +15,15 @@ namespace internal {
 
 struct TensorImpl {
   std::vector<int64_t> shape;
-  std::vector<float> data;
+  // Element storage. `data` points either at `owned` (the self-owned case;
+  // every tensor produced by an op) or into external memory kept alive by
+  // `storage` (a view bound to a shared weight blob — see Tensor::BindTo).
+  // External storage is immutable by contract: views never require grad and
+  // must not be written through.
+  float* data = nullptr;
+  size_t size = 0;
+  std::vector<float> owned;
+  std::shared_ptr<const void> storage;
   std::vector<float> grad;  // empty until first accumulation
   bool requires_grad = false;
   std::vector<std::shared_ptr<TensorImpl>> parents;
@@ -27,8 +35,24 @@ struct TensorImpl {
     return n;
   }
 
+  bool is_view() const { return storage != nullptr; }
+
+  void ResetOwned(size_t n, float value) {
+    storage.reset();
+    owned.assign(n, value);
+    data = owned.data();
+    size = n;
+  }
+
+  void AdoptOwned(std::vector<float> values) {
+    storage.reset();
+    owned = std::move(values);
+    data = owned.data();
+    size = owned.size();
+  }
+
   void EnsureGrad() {
-    if (grad.empty()) grad.assign(data.size(), 0.0f);
+    if (grad.empty()) grad.assign(size, 0.0f);
   }
 };
 
@@ -52,7 +76,7 @@ int64_t ShapeNumel(const std::vector<int64_t>& shape) {
 std::shared_ptr<TensorImpl> NewImpl(std::vector<int64_t> shape) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
-  impl->data.assign(static_cast<size_t>(ShapeNumel(impl->shape)), 0.0f);
+  impl->ResetOwned(static_cast<size_t>(ShapeNumel(impl->shape)), 0.0f);
   return impl;
 }
 
@@ -123,7 +147,7 @@ Tensor Tensor::Zeros(std::vector<int64_t> shape) {
 
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
   auto impl = NewImpl(std::move(shape));
-  std::fill(impl->data.begin(), impl->data.end(), value);
+  std::fill(impl->data, impl->data + impl->size, value);
   return Tensor(impl);
 }
 
@@ -132,14 +156,14 @@ Tensor Tensor::FromVector(std::vector<float> values,
   RPT_CHECK_EQ(static_cast<int64_t>(values.size()), ShapeNumel(shape));
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
-  impl->data = std::move(values);
+  impl->AdoptOwned(std::move(values));
   return Tensor(impl);
 }
 
 Tensor Tensor::Randn(std::vector<int64_t> shape, float stddev, Rng* rng) {
   auto impl = NewImpl(std::move(shape));
-  for (float& v : impl->data) {
-    v = static_cast<float>(rng->Normal(0.0, stddev));
+  for (size_t i = 0; i < impl->size; ++i) {
+    impl->data[i] = static_cast<float>(rng->Normal(0.0, stddev));
   }
   return Tensor(impl);
 }
@@ -147,7 +171,9 @@ Tensor Tensor::Randn(std::vector<int64_t> shape, float stddev, Rng* rng) {
 Tensor Tensor::Uniform(std::vector<int64_t> shape, float lo, float hi,
                        Rng* rng) {
   auto impl = NewImpl(std::move(shape));
-  for (float& v : impl->data) v = rng->UniformFloat(lo, hi);
+  for (size_t i = 0; i < impl->size; ++i) {
+    impl->data[i] = rng->UniformFloat(lo, hi);
+  }
   return Tensor(impl);
 }
 
@@ -175,12 +201,12 @@ int64_t Tensor::numel() const {
 
 float* Tensor::data() {
   RPT_CHECK(impl_ != nullptr);
-  return impl_->data.data();
+  return impl_->data;
 }
 
 const float* Tensor::data() const {
   RPT_CHECK(impl_ != nullptr);
-  return impl_->data.data();
+  return impl_->data;
 }
 
 float* Tensor::grad_data() {
@@ -206,6 +232,8 @@ bool Tensor::requires_grad() const {
 
 Tensor& Tensor::set_requires_grad(bool value) {
   RPT_CHECK(impl_ != nullptr);
+  RPT_CHECK(!(value && impl_->is_view()))
+      << "a view of shared weight storage cannot require grad";
   impl_->requires_grad = value;
   return *this;
 }
@@ -223,7 +251,34 @@ float Tensor::at(int64_t flat_index) const {
 
 std::vector<float> Tensor::ToVector() const {
   RPT_CHECK(impl_ != nullptr);
-  return impl_->data;
+  return std::vector<float>(impl_->data, impl_->data + impl_->size);
+}
+
+bool Tensor::is_view() const {
+  return impl_ != nullptr && impl_->is_view();
+}
+
+void Tensor::BindTo(std::shared_ptr<const void> keepalive, const float* data) {
+  RPT_CHECK(impl_ != nullptr);
+  RPT_CHECK(keepalive != nullptr);
+  RPT_CHECK(data != nullptr);
+  // The blob is immutable; const_cast is confined here and guarded by the
+  // view contract (requires_grad forced off, callers must not write).
+  impl_->data = const_cast<float*>(data);
+  impl_->size = static_cast<size_t>(impl_->numel());
+  impl_->storage = std::move(keepalive);
+  std::vector<float>().swap(impl_->owned);
+  std::vector<float>().swap(impl_->grad);
+  impl_->requires_grad = false;
+}
+
+Tensor Tensor::FromExternal(std::shared_ptr<const void> keepalive,
+                            const float* data, std::vector<int64_t> shape) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  Tensor t(impl);
+  t.BindTo(std::move(keepalive), data);
+  return t;
 }
 
 std::string Tensor::DebugString() const {
@@ -296,7 +351,7 @@ Tensor Tensor::Detach() const {
   RPT_CHECK(impl_ != nullptr);
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;
+  impl->AdoptOwned(std::vector<float>(impl_->data, impl_->data + impl_->size));
   return Tensor(impl);
 }
 
@@ -316,9 +371,9 @@ Tensor BinaryElementwise(const Tensor& a, const Tensor& b, BinaryOp op) {
   auto oi = out.impl();
   const int64_t n = a.numel();
   const int64_t bn = b.numel();
-  const float* ad = ai->data.data();
-  const float* bd = bi->data.data();
-  float* od = oi->data.data();
+  const float* ad = ai->data;
+  const float* bd = bi->data;
+  float* od = oi->data;
   switch (op) {
     case BinaryOp::kAdd:
       if (kind == BroadcastKind::kScalar) {
@@ -350,7 +405,7 @@ Tensor BinaryElementwise(const Tensor& a, const Tensor& b, BinaryOp op) {
     if (ai->requires_grad) {
       ai->EnsureGrad();
       float* ga = ai->grad.data();
-      const float* bd = bi->data.data();
+      const float* bd = bi->data;
       switch (op) {
         case BinaryOp::kAdd:
           for (int64_t i = 0; i < n; ++i) ga[i] += g[i];
@@ -366,7 +421,7 @@ Tensor BinaryElementwise(const Tensor& a, const Tensor& b, BinaryOp op) {
     if (bi->requires_grad) {
       bi->EnsureGrad();
       float* gb = bi->grad.data();
-      const float* ad = ai->data.data();
+      const float* ad = ai->data;
       switch (op) {
         case BinaryOp::kAdd:
           for (int64_t i = 0; i < n; ++i) gb[i % bn] += g[i];
@@ -402,8 +457,8 @@ Tensor Scale(const Tensor& a, float scalar) {
   Tensor out = MakeOpResult(a.shape(), {ai});
   auto oi = out.impl();
   const int64_t n = a.numel();
-  const float* ad = ai->data.data();
-  float* od = oi->data.data();
+  const float* ad = ai->data;
+  float* od = oi->data;
   for (int64_t i = 0; i < n; ++i) od[i] = ad[i] * scalar;
   AttachBackward(out, [oi, ai, scalar, n]() {
     if (!ai->requires_grad) return;
@@ -420,8 +475,8 @@ Tensor AddScalar(const Tensor& a, float scalar) {
   Tensor out = MakeOpResult(a.shape(), {ai});
   auto oi = out.impl();
   const int64_t n = a.numel();
-  const float* ad = ai->data.data();
-  float* od = oi->data.data();
+  const float* ad = ai->data;
+  float* od = oi->data;
   for (int64_t i = 0; i < n; ++i) od[i] = ad[i] + scalar;
   AttachBackward(out, [oi, ai, n]() {
     if (!ai->requires_grad) return;
@@ -455,19 +510,19 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     const int64_t rows = a.numel() / k;  // flatten all leading dims
     Tensor out = MakeOpResult(out_shape, {ai, bi});
     auto oi = out.impl();
-    GemmNN(ai->data.data(), bi->data.data(), oi->data.data(), rows, k,
+    GemmNN(ai->data, bi->data, oi->data, rows, k,
            n_cols);
     AttachBackward(out, [oi, ai, bi, rows, k, n_cols]() {
       const float* g = oi->grad.data();
       if (ai->requires_grad) {
         ai->EnsureGrad();
         // dA [rows,K] += dOut [rows,N] * B^T [N,K]
-        GemmNT(g, bi->data.data(), ai->grad.data(), rows, n_cols, k);
+        GemmNT(g, bi->data, ai->grad.data(), rows, n_cols, k);
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
         // dB [K,N] += A^T [K,rows] * dOut [rows,N]
-        GemmTN(ai->data.data(), g, bi->grad.data(), rows, k, n_cols);
+        GemmTN(ai->data, g, bi->grad.data(), rows, k, n_cols);
       }
     });
     return out;
@@ -490,8 +545,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t b_stride = k * n_cols;
   const int64_t o_stride = m_rows * n_cols;
   for (int64_t s = 0; s < batch; ++s) {
-    GemmNN(ai->data.data() + s * a_stride, bi->data.data() + s * b_stride,
-           oi->data.data() + s * o_stride, m_rows, k, n_cols);
+    GemmNN(ai->data + s * a_stride, bi->data + s * b_stride,
+           oi->data + s * o_stride, m_rows, k, n_cols);
   }
   AttachBackward(out, [oi, ai, bi, batch, m_rows, k, n_cols, a_stride,
                        b_stride, o_stride]() {
@@ -499,14 +554,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     if (ai->requires_grad) {
       ai->EnsureGrad();
       for (int64_t s = 0; s < batch; ++s) {
-        GemmNT(g + s * o_stride, bi->data.data() + s * b_stride,
+        GemmNT(g + s * o_stride, bi->data + s * b_stride,
                ai->grad.data() + s * a_stride, m_rows, n_cols, k);
       }
     }
     if (bi->requires_grad) {
       bi->EnsureGrad();
       for (int64_t s = 0; s < batch; ++s) {
-        GemmTN(ai->data.data() + s * a_stride, g + s * o_stride,
+        GemmTN(ai->data + s * a_stride, g + s * o_stride,
                bi->grad.data() + s * b_stride, m_rows, k, n_cols);
       }
     }
@@ -584,8 +639,8 @@ Tensor UnaryOp(const Tensor& a, const std::function<float(float)>& fwd,
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
     const float* g = oi->grad.data();
-    const float* x = ai->data.data();
-    const float* y = oi->data.data();
+    const float* x = ai->data;
+    const float* y = oi->data;
     float* ga = ai->grad.data();
     for (int64_t i = 0; i < n; ++i) {
       ga[i] += g[i] * dydx_from_x_y(x[i], y[i]);
@@ -640,12 +695,12 @@ Tensor Softmax(const Tensor& a) {
   auto oi = out.impl();
   const int64_t cols = a.dim(-1);
   const int64_t rows = a.numel() / cols;
-  SoftmaxRows(ai->data.data(), oi->data.data(), rows, cols);
+  SoftmaxRows(ai->data, oi->data, rows, cols);
   AttachBackward(out, [oi, ai, rows, cols]() {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
     for (int64_t r = 0; r < rows; ++r) {
-      const float* y = oi->data.data() + r * cols;
+      const float* y = oi->data + r * cols;
       const float* g = oi->grad.data() + r * cols;
       float* ga = ai->grad.data() + r * cols;
       float dot = 0.0f;
@@ -664,12 +719,12 @@ Tensor LogSoftmax(const Tensor& a) {
   auto oi = out.impl();
   const int64_t cols = a.dim(-1);
   const int64_t rows = a.numel() / cols;
-  LogSoftmaxRows(ai->data.data(), oi->data.data(), rows, cols);
+  LogSoftmaxRows(ai->data, oi->data, rows, cols);
   AttachBackward(out, [oi, ai, rows, cols]() {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
     for (int64_t r = 0; r < rows; ++r) {
-      const float* y = oi->data.data() + r * cols;
+      const float* y = oi->data + r * cols;
       const float* g = oi->grad.data() + r * cols;
       float* ga = ai->grad.data() + r * cols;
       float gsum = 0.0f;
@@ -696,18 +751,18 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   // Cache per-row mean and inverse stddev for the backward pass.
   auto stats = std::make_shared<std::vector<float>>(
       static_cast<size_t>(rows) * 2);
-  LayerNormRows(xi->data.data(), gi->data.data(), bi->data.data(),
-                oi->data.data(), stats->data(), rows, cols, eps);
+  LayerNormRows(xi->data, gi->data, bi->data,
+                oi->data, stats->data(), rows, cols, eps);
   AttachBackward(out, [oi, xi, gi, bi, stats, rows, cols]() {
     const float* g = oi->grad.data();
     if (gi->requires_grad) gi->EnsureGrad();
     if (bi->requires_grad) bi->EnsureGrad();
     if (xi->requires_grad) xi->EnsureGrad();
-    const float* gd = gi->data.data();
+    const float* gd = gi->data;
     for (int64_t r = 0; r < rows; ++r) {
       const float mean = (*stats)[static_cast<size_t>(r) * 2];
       const float inv_std = (*stats)[static_cast<size_t>(r) * 2 + 1];
-      const float* xr = xi->data.data() + r * cols;
+      const float* xr = xi->data + r * cols;
       const float* gr = g + r * cols;
       // dgamma/dbeta.
       if (gi->requires_grad) {
@@ -752,7 +807,7 @@ Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
   auto ai = a.impl();
   Tensor out = MakeOpResult(std::move(shape), {ai});
   auto oi = out.impl();
-  oi->data = ai->data;
+  std::memcpy(oi->data, ai->data, oi->size * sizeof(float));
   const int64_t n = a.numel();
   AttachBackward(out, [oi, ai, n]() {
     if (!ai->requires_grad) return;
@@ -827,7 +882,7 @@ Tensor Transpose(const Tensor& a, int64_t axis0, int64_t axis1) {
       }
     }
   };
-  permute(ai->data.data(), oi->data.data(), /*accumulate=*/false);
+  permute(ai->data, oi->data, /*accumulate=*/false);
   AttachBackward(out, [oi, ai, permute]() {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
@@ -861,8 +916,8 @@ Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t end) {
   auto oi = out.impl();
   for (int64_t o = 0; o < outer; ++o) {
     const float* src =
-        ai->data.data() + (o * dim_size + start) * inner;
-    float* dst = oi->data.data() + o * len * inner;
+        ai->data + (o * dim_size + start) * inner;
+    float* dst = oi->data + o * len * inner;
     std::memcpy(dst, src, static_cast<size_t>(len * inner) * sizeof(float));
   }
   AttachBackward(out, [oi, ai, outer, inner, dim_size, start, len]() {
@@ -917,11 +972,11 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
 
   int64_t offset = 0;
   for (size_t pi = 0; pi < parts.size(); ++pi) {
-    const auto& src = parts[pi].impl()->data;
+    const float* src = parts[pi].impl()->data;
     const int64_t len = part_lens[pi];
     for (int64_t o = 0; o < outer; ++o) {
-      std::memcpy(oi->data.data() + (o * cat_dim + offset) * inner,
-                  src.data() + o * len * inner,
+      std::memcpy(oi->data + (o * cat_dim + offset) * inner,
+                  src + o * len * inner,
                   static_cast<size_t>(len * inner) * sizeof(float));
     }
     offset += len;
@@ -961,8 +1016,8 @@ Tensor EmbeddingLookup(const Tensor& weight,
     const int32_t id = ids[i];
     RPT_CHECK(id >= 0 && id < vocab) << "embedding id " << id
                                      << " out of range [0, " << vocab << ")";
-    std::memcpy(oi->data.data() + static_cast<int64_t>(i) * dim,
-                wi->data.data() + static_cast<int64_t>(id) * dim,
+    std::memcpy(oi->data + static_cast<int64_t>(i) * dim,
+                wi->data + static_cast<int64_t>(id) * dim,
                 static_cast<size_t>(dim) * sizeof(float));
   }
   auto ids_copy = std::make_shared<std::vector<int32_t>>(ids);
@@ -1021,14 +1076,14 @@ Tensor CrossEntropyLoss(const Tensor& logits,
   auto oi = out.impl();
 
   // Log-softmax probabilities, cached for backward.
-  auto logp = std::make_shared<std::vector<float>>(li->data.size());
+  auto logp = std::make_shared<std::vector<float>>(li->size);
   int64_t active = 0;
   double loss = 0.0;
   const float off_weight =
       v > 1 ? label_smoothing / static_cast<float>(v - 1) : 0.0f;
   const float on_weight = 1.0f - label_smoothing;
   for (int64_t r = 0; r < n; ++r) {
-    const float* x = li->data.data() + r * v;
+    const float* x = li->data + r * v;
     float* lp = logp->data() + r * v;
     float mx = x[0];
     for (int64_t c = 1; c < v; ++c) mx = std::max(mx, x[c]);

@@ -87,6 +87,25 @@ class Tensor {
   /// Copies the contents out.
   std::vector<float> ToVector() const;
 
+  // ---- Shared-storage views ----------------------------------------------
+
+  /// True when this tensor aliases external storage (a frozen weight blob)
+  /// instead of owning its elements. Views are inference-only: they never
+  /// require grad and must not be written through data().
+  bool is_view() const;
+
+  /// Rebinds this tensor's storage *in place* to `data` (numel() elements,
+  /// lifetime guaranteed by `keepalive`). Every handle sharing this impl —
+  /// e.g. a module's registered parameter and the layer's member copy —
+  /// observes the rebind. Frees the previously owned buffer and gradient,
+  /// and clears requires_grad so autograd never writes shared storage.
+  void BindTo(std::shared_ptr<const void> keepalive, const float* data);
+
+  /// A tensor aliasing external storage (numel given by `shape`), kept
+  /// alive by `keepalive`. See BindTo for the view contract.
+  static Tensor FromExternal(std::shared_ptr<const void> keepalive,
+                             const float* data, std::vector<int64_t> shape);
+
   /// Multi-line debug rendering (shape + up to a few rows of data).
   std::string DebugString() const;
 

@@ -1,0 +1,30 @@
+#include "util/affinity.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace rpt {
+
+int OnlineCpuCount() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool PinCurrentThreadToCpu(int cpu) {
+  if (cpu < 0) return false;
+#if defined(__linux__)
+  const int target = cpu % OnlineCpuCount();
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<size_t>(target), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace rpt

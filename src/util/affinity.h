@@ -1,0 +1,24 @@
+// Thread-to-CPU pinning for the serving layer.
+//
+// Replica shards pin their collector threads so each shard's forward passes
+// keep their working set (weights are shared and read-only, activations are
+// per-shard) warm in one core's private caches instead of migrating. Best
+// effort: unsupported platforms and failed syscalls return false and the
+// thread simply stays unpinned.
+
+#ifndef RPT_UTIL_AFFINITY_H_
+#define RPT_UTIL_AFFINITY_H_
+
+namespace rpt {
+
+/// Pins the calling thread to logical CPU `cpu` (modulo the online CPU
+/// count, so round-robin assignment never passes an out-of-range id).
+/// Returns true when the affinity mask was applied.
+bool PinCurrentThreadToCpu(int cpu);
+
+/// Logical CPUs available to this process (>= 1).
+int OnlineCpuCount();
+
+}  // namespace rpt
+
+#endif  // RPT_UTIL_AFFINITY_H_

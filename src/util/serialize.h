@@ -40,6 +40,9 @@ class BinaryWriter {
     AppendRaw(v.data(), v.size() * sizeof(int64_t));
   }
 
+  /// Pre-sizes the buffer's capacity for a known payload size.
+  void Reserve(size_t n) { bytes_.reserve(n); }
+
   const std::vector<uint8_t>& bytes() const { return bytes_; }
 
   /// Writes the accumulated buffer to a file.

@@ -297,6 +297,69 @@ TEST(CheckpointTest, LoadRejectsTrailingGarbage) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointTest, SaveReplacesExistingCheckpointAtomically) {
+  // SaveCheckpoint goes through a temp file + rename: overwriting an
+  // existing checkpoint must leave no ".tmp" debris, and the replaced file
+  // must load back the *new* weights.
+  Rng rng1(20), rng2(21), rng3(22);
+  auto config = SmallConfig(20);
+  Seq2SeqTransformer old_model(config, &rng1);
+  Seq2SeqTransformer new_model(config, &rng2);
+  const std::string path = "/tmp/rpt_test_checkpoint_atomic.bin";
+  ASSERT_TRUE(SaveCheckpoint(old_model, path).ok());
+  ASSERT_TRUE(SaveCheckpoint(new_model, path).ok());
+  {
+    std::ifstream tmp(path + ".tmp", std::ios::binary);
+    EXPECT_FALSE(tmp.good()) << "temp file left behind after rename";
+  }
+  Seq2SeqTransformer loaded(config, &rng3);
+  ASSERT_TRUE(LoadCheckpoint(&loaded, path).ok());
+  auto want = new_model.NamedParameters();
+  auto got = loaded.NamedParameters();
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].second.ToVector(), got[i].second.ToVector())
+        << "mismatch at " << want[i].first;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, PartialWriteNeverShadowsThePreviousCheckpoint) {
+  // The crash-mid-write scenario the temp+rename scheme exists for: a
+  // truncated ".tmp" sitting next to the real checkpoint must not affect
+  // loading under the real name.
+  Rng rng1(23), rng2(24);
+  auto config = SmallConfig(20);
+  Seq2SeqTransformer model(config, &rng1);
+  const std::string path = "/tmp/rpt_test_checkpoint_partial.bin";
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+  {
+    // Simulate a writer that died partway through its temp file.
+    std::ofstream tmp(path + ".tmp", std::ios::binary);
+    const char partial[5] = {'R', 'P', 'T', '1', 0};
+    tmp.write(partial, sizeof(partial));
+  }
+  Seq2SeqTransformer loaded(config, &rng2);
+  ASSERT_TRUE(LoadCheckpoint(&loaded, path).ok())
+      << "stale temp file corrupted the checkpoint under the real name";
+  auto want = model.NamedParameters();
+  auto got = loaded.NamedParameters();
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].second.ToVector(), got[i].second.ToVector());
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(CheckpointTest, SaveToUnwritableDirectoryFailsCleanly) {
+  Rng rng(25);
+  Seq2SeqTransformer model(SmallConfig(20), &rng);
+  Status s = SaveCheckpoint(model, "/tmp/rpt_no_such_dir/ckpt.bin");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
 TEST(CheckpointTest, LoadRejectsWrongArchitecture) {
   Rng rng(12);
   auto config = SmallConfig(20);

@@ -18,6 +18,7 @@
 #include "serve/routed_server.h"
 #include "serve/sessions.h"
 #include "util/hash.h"
+#include "util/logging.h"
 
 namespace rpt {
 namespace {
@@ -429,6 +430,145 @@ TEST(RoutedServerTest, ConcurrentSubmitAndShutdownComplete) {
                 stats.total.shutdown_rejected,
             stats.total.submitted);
   EXPECT_EQ(stats.total.completed, static_cast<uint64_t>(ok.load()));
+}
+
+/// Echo session that admits only payloads starting with "ok". RunBatch
+/// mirrors the real session adapters: it CHECK-fails (aborting the process)
+/// on any payload Validate should have rejected — so if a malformed request
+/// ever reaches batch formation, the hammer test below dies loudly instead
+/// of passing.
+class PickySession : public ModelSession {
+ public:
+  std::string name() const override { return "picky"; }
+
+  Status Validate(const std::string& input) const override {
+    if (input.rfind("ok", 0) != 0) {
+      return Status::InvalidArgument("payload must start with ok");
+    }
+    return Status::Ok();
+  }
+
+  std::vector<std::string> RunBatch(
+      const std::vector<std::string>& inputs) override {
+    std::vector<std::string> out;
+    out.reserve(inputs.size());
+    for (const auto& s : inputs) {
+      RPT_CHECK(s.rfind("ok", 0) == 0)
+          << "malformed payload slipped past Validate";
+      out.push_back("echo:" + s);
+    }
+    return out;
+  }
+};
+
+TEST(RoutedServerTest, UnknownRouteNumShardsIsZeroNotFatal) {
+  // NumShards on an unknown route used to CHECK-fail and abort; a lookup a
+  // request could trigger must degrade to the honest answer instead.
+  ServerConfig config;
+  RoutedServer server({{"clean", {std::make_shared<LabelSession>("clean")},
+                        config}});
+  EXPECT_EQ(server.NumShards("clean"), 1u);
+  EXPECT_EQ(server.NumShards("no-such-route"), 0u);
+  EXPECT_EQ(server.NumShards(""), 0u);
+  EXPECT_FALSE(server.HasRoute("no-such-route"));
+  // And an actual request for it completes with kNotFound.
+  EXPECT_EQ(server.SubmitWait("no-such-route", "x").status.code(),
+            StatusCode::kNotFound);
+  server.Shutdown();
+}
+
+TEST(RoutedServerTest, MalformedPayloadHammerNeverKillsTheServer) {
+  // Abort-proofing sweep: a hostile mix of malformed payloads across a
+  // multi-replica pool, from several threads at once, must come back as
+  // per-request kInvalidArgument — never reach RunBatch (whose CHECK would
+  // abort the process) and never wedge valid traffic behind it.
+  std::vector<RouteSpec> routes;
+  ServerConfig config;
+  config.max_batch_size = 8;
+  config.max_batch_delay = microseconds(200);
+  config.cache_capacity = 0;
+  routes.push_back({"picky",
+                    {std::make_shared<PickySession>(),
+                     std::make_shared<PickySession>(),
+                     std::make_shared<PickySession>()},
+                    config});
+  RoutedServer server(std::move(routes));
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;
+  std::atomic<int> invalid{0}, completed{0}, other{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::vector<std::string> bad = {
+          "bad", "", "\x1f\x1e", "o", "not ok", "OK_wrong_case"};
+      for (int i = 0; i < kPerThread; ++i) {
+        // Interleave valid and malformed traffic on every thread.
+        const bool good = (i % 2) == 0;
+        const std::string payload =
+            good ? "ok_" + std::to_string(t) + "_" + std::to_string(i)
+                 : bad[static_cast<size_t>(i / 2) % bad.size()];
+        ServeResponse r = server.SubmitWait("picky", payload);
+        if (r.status.ok()) {
+          EXPECT_EQ(r.output, "echo:" + payload);
+          completed.fetch_add(1);
+        } else if (r.status.code() == StatusCode::kInvalidArgument) {
+          EXPECT_FALSE(good) << payload;
+          invalid.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.Shutdown();
+
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(completed.load(), kThreads * kPerThread / 2);
+  EXPECT_EQ(invalid.load(), kThreads * kPerThread / 2);
+  RoutedStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.total.invalid, static_cast<uint64_t>(invalid.load()));
+  EXPECT_EQ(stats.total.completed, static_cast<uint64_t>(completed.load()));
+}
+
+TEST(RoutedServerTest, PerReplicaBackendsAndPinningServeCorrectly) {
+  // Plumbing smoke for the backend seam: a pool mixing per-replica compute
+  // backends (including an explicit scalar exactness anchor) with pinned
+  // collectors serves byte-identical results; pinning failures degrade to a
+  // warning, never an error.
+  std::vector<RouteSpec> routes;
+  RouteSpec spec;
+  spec.name = "mixed";
+  for (int i = 0; i < 3; ++i) {
+    spec.replicas.push_back(std::make_shared<LabelSession>("mixed"));
+  }
+  spec.config.cache_capacity = 0;
+  spec.replica_backends = {ComputeBackend::kCpuScalar,
+                           ComputeBackend::kCpuSimd,
+                           ComputeBackend::kAuto};
+  spec.pin_collectors = true;
+  routes.push_back(std::move(spec));
+  RoutedServer server(std::move(routes));
+  ASSERT_EQ(server.NumShards("mixed"), 3u);
+  for (int i = 0; i < 30; ++i) {
+    const std::string payload = "req" + std::to_string(i);
+    ServeResponse r = server.SubmitWait("mixed", payload);
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.output, "mixed:" + payload);
+  }
+  server.Shutdown();
+}
+
+TEST(RoutedServerTest, MismatchedReplicaBackendsListDies) {
+  ServerConfig config;
+  RouteSpec spec;
+  spec.name = "clean";
+  spec.replicas = {std::make_shared<LabelSession>("clean"),
+                   std::make_shared<LabelSession>("clean")};
+  spec.config = config;
+  spec.replica_backends = {ComputeBackend::kCpuScalar};  // 1 entry, 2 replicas
+  EXPECT_DEATH(RoutedServer({spec}), "replica_backends");
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include "rpt/cleaner.h"
+#include "rpt/extractor.h"
+#include "rpt/matcher.h"
 #include "rpt/vocab_builder.h"
 #include "serve/lru_cache.h"
 #include "serve/server.h"
@@ -100,6 +102,37 @@ TEST(LruCacheTest, PutOverwritesExisting) {
   cache.Put("a", "9");
   EXPECT_EQ(cache.Get("a").value_or(""), "9");
   EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, CapacityOneEvictsTheOldNotTheNew) {
+  // The eviction-on-insert edge case: at capacity 1, inserting "b" must
+  // evict "a" (the list back), never the entry just placed at the front.
+  LruCache<std::string, std::string> cache(1);
+  cache.Put("a", "1");
+  EXPECT_EQ(cache.Get("a").value_or(""), "1");
+  cache.Put("b", "2");
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.Get("b").value_or(""), "2");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, OverwriteAtCapacityNeverEvicts) {
+  // Overwriting an existing key while the cache is full must not count as
+  // an insert: no neighbor gets evicted and size stays at capacity.
+  LruCache<std::string, std::string> cache(2);
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  for (int i = 0; i < 5; ++i) {
+    cache.Put("a", "v" + std::to_string(i));
+    ASSERT_EQ(cache.size(), 2u) << "overwrite " << i << " evicted a neighbor";
+    ASSERT_TRUE(cache.Get("b").has_value());
+  }
+  EXPECT_EQ(cache.Get("a").value_or(""), "v4");
+  // The overwrite also refreshed recency: inserting "c" now evicts "b".
+  cache.Get("a");
+  cache.Put("c", "3");
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
 }
 
 // ---- InferenceServer --------------------------------------------------------
@@ -715,6 +748,81 @@ TEST(SessionTest, InvalidRequestsGetInvalidArgumentNotACrash) {
   EXPECT_EQ(stats.invalid, 5u);
   EXPECT_EQ(stats.completed, 1u);
   EXPECT_NE(stats.Render("cleaner").find("invalid"), std::string::npos);
+}
+
+TEST(SessionTest, MatcherRejectsMalformedPairsWithoutCrashing) {
+  // Every malformed pair payload — no record separator, an embedded extra
+  // separator, a side with the wrong arity — must come back as
+  // kInvalidArgument on its own request, with the collector still alive.
+  Table table{Schema({"name", "city"})};
+  table.AddRow({Value::String("ada"), Value::String("london")});
+  table.AddRow({Value::String("alan"), Value::String("cambridge")});
+  MatcherConfig config;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  config.dropout = 0.0f;
+  RptMatcher matcher(config, BuildVocabFromTables({&table}));
+
+  auto session = std::make_shared<MatcherSession>(
+      &matcher, table.schema(), table.schema());
+  ServerConfig server_config;
+  server_config.cache_capacity = 0;
+  InferenceServer server(session, server_config);
+
+  Tuple a = {Value::String("ada"), Value::String("london")};
+  Tuple b = {Value::String("alan"), Value::String("cambridge")};
+  const std::string good = MatcherSession::FormatPairQuery(a, b);
+
+  EXPECT_EQ(server.SubmitWait("no record separator").status.code(),
+            StatusCode::kInvalidArgument);
+  // An embedded record separator shifts everything after it.
+  EXPECT_EQ(server.SubmitWait(good + "\x1e" "trailing").status.code(),
+            StatusCode::kInvalidArgument);
+  // Wrong arity on the right side.
+  EXPECT_EQ(server.SubmitWait(good + "\x1f" "extra").status.code(),
+            StatusCode::kInvalidArgument);
+  // Wrong arity on the left side.
+  EXPECT_EQ(
+      server.SubmitWait("only_one_field\x1e" "x\x1f" "y").status.code(),
+      StatusCode::kInvalidArgument);
+
+  ServeResponse ok = server.SubmitWait(good);
+  EXPECT_TRUE(ok.status.ok()) << ok.status.ToString();
+  server.Shutdown();
+  EXPECT_EQ(server.Stats().invalid, 4u);
+  EXPECT_EQ(server.Stats().completed, 1u);
+}
+
+TEST(SessionTest, ExtractorRejectsMalformedQueriesWithoutCrashing) {
+  Table table{Schema({"desc"})};
+  table.AddRow({Value::String("ada lives in london with a cat")});
+  ExtractorConfig config;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  config.dropout = 0.0f;
+  RptExtractor extractor(config, BuildVocabFromTables({&table}));
+
+  auto session = std::make_shared<ExtractorSession>(&extractor);
+  ServerConfig server_config;
+  server_config.cache_capacity = 0;
+  InferenceServer server(session, server_config);
+
+  // No question/paragraph separator.
+  EXPECT_EQ(server.SubmitWait("where does ada live").status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.SubmitWait("").status.code(),
+            StatusCode::kInvalidArgument);
+
+  ServeResponse ok = server.SubmitWait(ExtractorSession::FormatQaQuery(
+      "where does ada live", "ada lives in london with a cat"));
+  EXPECT_TRUE(ok.status.ok()) << ok.status.ToString();
+  server.Shutdown();
+  EXPECT_EQ(server.Stats().invalid, 2u);
+  EXPECT_EQ(server.Stats().completed, 1u);
 }
 
 TEST(SessionTest, PayloadFormatsRoundTripSeparators) {

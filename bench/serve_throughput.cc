@@ -30,6 +30,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -57,6 +58,7 @@
 #include "serve/sessions.h"
 #include "table/table.h"
 #include "tensor/quant.h"
+#include "util/rng.h"
 
 #if defined(__linux__)
 #include <unistd.h>
@@ -821,6 +823,244 @@ void WeightSharing(bool smoke) {
   }
 }
 
+// ---- Semantic dedup ---------------------------------------------------------
+
+/// One request of the dedup workload, tagged with the base tuple it was
+/// derived from so outputs can be checked against the right answer.
+struct DedupRequest {
+  std::string payload;
+  int base = 0;
+};
+
+constexpr char kUnitSep = '\x1f';
+
+/// The canonical tuple for base `b`: several multi-token fields, each
+/// carrying a three-token identity tag. The tuples are long enough that a
+/// one-token edit stays within a small SimHash Hamming distance of its own
+/// base (~10 bits), and the repeated tags keep distinct bases far apart
+/// (>=29 bits measured over all base/edit pairs) — the near-dup layer must
+/// never serve one tuple's answer for another.
+std::string DedupBaseTuple(int b) {
+  const std::string tag = "sku-" + std::to_string(b) + " model-" +
+                          std::to_string(100 + b) + " lot-" +
+                          std::to_string(b * 37 + 11);
+  std::string out = "intel core i7 desktop processor retail boxed " + tag;
+  out += kUnitSep;
+  out += "8 cores 16 threads 3.6 ghz base clock " + tag;
+  out += kUnitSep;
+  out += "lga1151 socket ddr4 2666 dual channel memory " + tag;
+  out += kUnitSep;
+  out += "uhd graphics integrated three year limited warranty " + tag;
+  return out;
+}
+
+/// Zipf-ish skewed workload over `bases` distinct tuples (rank r drawn with
+/// weight 1/(r+1) — a handful of dirty values dominate real cleaning
+/// traffic). Every draw gets a random surface perturbation inside
+/// normalization reach (casing, extra whitespace, attribute order); a
+/// quarter additionally get a one-token edit that only the SimHash layer
+/// can catch.
+std::vector<DedupRequest> MakeDedupWorkload(int requests, int bases,
+                                            rpt::Rng* rng) {
+  std::vector<double> weights(bases);
+  for (int b = 0; b < bases; ++b) weights[b] = 1.0 / (b + 1);
+  // One-token edits, applied mid-field so the attribute sort keeps the
+  // field order (and the sku token keeps identifying the base).
+  const std::vector<std::pair<std::string, std::string>> edits = {
+      {"retail boxed", "retail box"},
+      {"base clock", "boost clock"},
+      {"dual channel", "duo channel"},
+  };
+  std::vector<DedupRequest> out;
+  out.reserve(requests);
+  for (int i = 0; i < requests; ++i) {
+    DedupRequest req;
+    req.base = static_cast<int>(rng->WeightedIndex(weights));
+    std::string payload = DedupBaseTuple(req.base);
+    if (rng->Bernoulli(0.25)) {
+      const auto& [from, to] = edits[rng->UniformInt(edits.size())];
+      const size_t pos = payload.find(from);
+      payload.replace(pos, from.size(), to);
+    }
+    // Surface noise the normalizer erases: random upper-casing and doubled
+    // spaces, plus a field shuffle.
+    std::string noisy;
+    noisy.reserve(payload.size() + 8);
+    for (char c : payload) {
+      if (c == ' ' && rng->Bernoulli(0.1)) noisy += "  ";
+      noisy.push_back(rng->Bernoulli(0.2) ? static_cast<char>(
+                                                std::toupper(
+                                                    static_cast<unsigned char>(
+                                                        c)))
+                                          : c);
+    }
+    if (rng->Bernoulli(0.5)) {
+      std::vector<std::string> fields;
+      size_t start = 0;
+      for (size_t pos = 0; pos <= noisy.size(); ++pos) {
+        if (pos == noisy.size() || noisy[pos] == kUnitSep) {
+          fields.push_back(noisy.substr(start, pos - start));
+          start = pos + 1;
+        }
+      }
+      rng->Shuffle(&fields);
+      noisy.clear();
+      for (size_t f = 0; f < fields.size(); ++f) {
+        if (f > 0) noisy.push_back(kUnitSep);
+        noisy += fields[f];
+      }
+    }
+    req.payload = std::move(noisy);
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+/// Serves the dedup workload under `config`; returns requests/sec and
+/// checks that every response answers the request's own base tuple (the
+/// sku token must survive whatever dedup layer served it). Clients are
+/// closed-loop — each thread waits for its response before the next submit
+/// — so the cache and index warm as the run progresses, the way a steady
+/// request stream meets a server.
+double RunDedupCondition(const std::vector<DedupRequest>& workload,
+                         const std::shared_ptr<SyntheticSession>& session,
+                         const ServerConfig& config, const char* label,
+                         ServerStatsSnapshot* stats_out) {
+  InferenceServer server(session, config);
+  std::atomic<size_t> mismatches{0};
+  const auto start = steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  const size_t per_thread = workload.size() / kClientThreads;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      const size_t begin = static_cast<size_t>(t) * per_thread;
+      const size_t end = (t == kClientThreads - 1) ? workload.size()
+                                                   : begin + per_thread;
+      for (size_t i = begin; i < end; ++i) {
+        ServeResponse r = server.SubmitWait(workload[i].payload);
+        // The payload's surface noise may have uppercased the sku token;
+        // fold before matching.
+        std::string folded = r.output;
+        std::transform(folded.begin(), folded.end(), folded.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        const std::string sku = "sku-" + std::to_string(workload[i].base);
+        if (!r.status.ok() || folded.rfind("echo:", 0) != 0 ||
+            folded.find(sku) == std::string::npos) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double rps =
+      static_cast<double>(workload.size()) / SecondsSince(start);
+  server.Shutdown();
+  *stats_out = server.Stats();
+  if (mismatches.load() > 0) {
+    std::printf("FAIL: %s: %zu responses answered the wrong tuple\n", label,
+                mismatches.load());
+    ++g_failures;
+  }
+  std::printf("%-28s %7.0f req/s  model items %lld  neardup hits %llu  "
+              "in-flight joins %llu\n",
+              label, rps, static_cast<long long>(session->items()),
+              static_cast<unsigned long long>(stats_out->neardup_hits),
+              static_cast<unsigned long long>(stats_out->inflight_coalesced));
+  return rps;
+}
+
+void SemanticDedup(bool smoke) {
+  rpt::PrintBanner("semantic dedup: strict vs normalized + SimHash near-dup");
+  const int requests = smoke ? 96 : 512;
+  const int bases = 24;
+  rpt::Rng rng(0xD5D0);
+  const std::vector<DedupRequest> workload =
+      MakeDedupWorkload(requests, bases, &rng);
+  std::printf(
+      "workload: %d zipf-skewed requests over %d tuples, surface-perturbed "
+      "(case/space/field order) + 25%% one-token near variants\n\n",
+      requests, bases);
+
+  ServerConfig strict;
+  strict.max_batch_size = 16;
+  strict.max_batch_delay = microseconds(1000);
+  strict.queue_capacity = 1024;
+  strict.cache_capacity = 512;
+  strict.exactness = rpt::Exactness::kStrict;
+  strict.inflight_coalescing = false;  // the A side: byte-exact LRU only
+
+  ServerConfig semantic = strict;
+  semantic.exactness = rpt::Exactness::kNearDup;
+  semantic.neardup_max_hamming = 12;
+  semantic.inflight_coalescing = true;
+
+  auto session_a = std::make_shared<SyntheticSession>(kPerPass, kPerItem,
+                                                      SyntheticWait::kSleep);
+  auto session_b = std::make_shared<SyntheticSession>(kPerPass, kPerItem,
+                                                      SyntheticWait::kSleep);
+  ServerStatsSnapshot stats_a, stats_b;
+  const double rps_a = RunDedupCondition(workload, session_a, strict,
+                                         "strict (exact LRU)", &stats_a);
+  const double rps_b =
+      RunDedupCondition(workload, session_b, semantic,
+                        "semantic (neardup+coalesce)", &stats_b);
+
+  // The semantic layers must strictly reduce model work on this workload:
+  // surface variants collapse through normalized keys, near variants
+  // through the SimHash index, concurrent repeats through in-flight
+  // coalescing.
+  Check(session_b->items() < session_a->items(),
+        "semantic dedup ran fewer model items than strict");
+  if (!smoke) {
+    Check(stats_b.neardup_hits > 0, "SimHash index served near variants");
+    Check(rps_b > rps_a, "semantic dedup raised throughput over strict");
+  }
+  RecordMetric("dedup_strict_rps", rps_a);
+  RecordMetric("dedup_semantic_rps", rps_b);
+  RecordMetric("dedup_speedup", rps_b / rps_a);
+  RecordMetric("dedup_strict_model_items",
+               static_cast<double>(session_a->items()));
+  RecordMetric("dedup_semantic_model_items",
+               static_cast<double>(session_b->items()));
+  RecordMetric("dedup_neardup_hits",
+               static_cast<double>(stats_b.neardup_hits));
+  RecordMetric("dedup_inflight_coalesced",
+               static_cast<double>(stats_b.inflight_coalesced));
+  RecordMetric("dedup_cache_hit_rate", stats_b.cache_hit_rate);
+
+  // Bit-identity of in-flight coalescing: a concurrent burst of one exact
+  // payload, cache off, must fold onto a handful of forward passes and
+  // answer every caller with the same bytes.
+  ServerConfig burst_config;
+  burst_config.max_batch_size = 16;
+  burst_config.queue_capacity = 1024;
+  burst_config.cache_capacity = 0;  // coalescing alone carries the burst
+  auto burst_session = std::make_shared<SyntheticSession>(
+      kPerPass, kPerItem, SyntheticWait::kSleep);
+  InferenceServer burst_server(burst_session, burst_config);
+  const int burst = smoke ? 32 : 64;
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(burst);
+  for (int i = 0; i < burst; ++i) {
+    futures.push_back(burst_server.Submit(DedupBaseTuple(0)));
+  }
+  std::set<std::string> distinct_outputs;
+  size_t burst_failures = 0;
+  for (auto& f : futures) {
+    ServeResponse r = f.get();
+    if (!r.status.ok()) ++burst_failures;
+    distinct_outputs.insert(r.output);
+  }
+  burst_server.Shutdown();
+  Check(burst_failures == 0 && distinct_outputs.size() == 1,
+        "identical burst: every caller got the same bytes");
+  Check(burst_session->items() < burst / 4,
+        "identical burst folded onto a few forward passes");
+  RecordMetric("dedup_burst_model_items",
+               static_cast<double>(burst_session->items()));
+}
+
 void ServeRealCleaner() {
   rpt::PrintBanner("real model: RPT-C cleaner behind the server");
   rpt::Table table{rpt::Schema({"name", "expertise", "city"})};
@@ -927,6 +1167,7 @@ int main(int argc, char** argv) {
     MixedRoutedWorkload(/*smoke=*/true);
     AdaptiveBatching(/*smoke=*/true);
     WeightSharing(/*smoke=*/true);
+    SemanticDedup(/*smoke=*/true);
     std::printf("\nsmoke: %d failure(s)\n", g_failures);
     if (trace_out != nullptr) WriteTrace(trace_out);
     if (json_out != nullptr) WriteJsonMetrics(json_out);
@@ -968,6 +1209,7 @@ int main(int argc, char** argv) {
   MixedRoutedWorkload(/*smoke=*/false);
   AdaptiveBatching(/*smoke=*/false);
   WeightSharing(/*smoke=*/false);
+  SemanticDedup(/*smoke=*/false);
   ServeRealCleaner();
   if (trace_out != nullptr) WriteTrace(trace_out);
   if (json_out != nullptr) WriteJsonMetrics(json_out);

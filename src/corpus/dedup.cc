@@ -1,0 +1,40 @@
+#include "corpus/dedup.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rpt {
+namespace corpus {
+
+DedupResult DedupCorpus(const std::vector<std::string>& docs,
+                        const DedupConfig& config) {
+  RPT_CHECK_GE(config.max_hamming, 0);
+  DedupResult result;
+  if (docs.empty()) return result;
+  std::unordered_set<std::string> exact_keys;
+  exact_keys.reserve(docs.size());
+  SimHashIndex index(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    std::string key = NormalizeForDedup(docs[i], config.normalize);
+    if (!exact_keys.insert(key).second) {
+      ++result.exact_duplicates;
+      continue;
+    }
+    if (config.max_hamming > 0) {
+      const SimHash128 signature =
+          ComputeSimHash(key, config.shingle_size);
+      if (index.FindNearest(signature, config.max_hamming).has_value()) {
+        ++result.near_duplicates;
+        continue;
+      }
+      index.Add(signature, std::move(key));
+    }
+    result.kept.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace corpus
+}  // namespace rpt

@@ -1,0 +1,56 @@
+// Corpus-scale near-duplicate removal for pretraining data.
+//
+// RPT's dirty-pretraining ablation (PAPER.md §2.2 O2, bench/dirty_pretrain)
+// cares about what the model pretrains on: web-scale relational corpora are
+// full of rows that repeat verbatim or with trivial surface noise, and a
+// model that memorizes the popular duplicates learns less per step. This
+// pass reuses the serving layer's dedup machinery (util/simhash.h) offline:
+// exact duplicates collapse through normalized-key identity, near
+// duplicates through SimHash banding within a Hamming threshold.
+//
+// Single-threaded, one pass, O(n · bands): each kept document is indexed;
+// each candidate is first checked against the exact-key set, then probed
+// against the index. First occurrence wins, so output order is input order.
+
+#ifndef RPT_CORPUS_DEDUP_H_
+#define RPT_CORPUS_DEDUP_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/simhash.h"
+
+namespace rpt {
+namespace corpus {
+
+struct DedupConfig {
+  /// Canonicalization before keying/hashing (util/simhash.h).
+  NormalizeSpec normalize;
+  /// Documents within this many signature bits of a kept document are
+  /// dropped as near duplicates. 0 keeps only exact (normalized)
+  /// deduplication.
+  int max_hamming = 3;
+  /// Word-shingle width of the signature.
+  int shingle_size = 2;
+};
+
+struct DedupResult {
+  /// Indices into the input corpus of the documents to keep, ascending.
+  std::vector<size_t> kept;
+  size_t exact_duplicates = 0;
+  size_t near_duplicates = 0;
+
+  size_t dropped() const { return exact_duplicates + near_duplicates; }
+};
+
+/// Deduplicates `docs` under `config`; see the header comment for
+/// semantics. The index spans the whole kept set (no ring eviction), so a
+/// duplicate is caught however far it sits from its original.
+DedupResult DedupCorpus(const std::vector<std::string>& docs,
+                        const DedupConfig& config = {});
+
+}  // namespace corpus
+}  // namespace rpt
+
+#endif  // RPT_CORPUS_DEDUP_H_

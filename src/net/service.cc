@@ -214,7 +214,9 @@ void RptHttpService::HandleSubmit(const std::string& route,
   for (size_t i = 0; i < inputs.size(); ++i) {
     server_->SubmitAsync(
         route, std::move(inputs[i]),
-        [state, i](ServeResponse response) { CompleteLine(state, i, response); },
+        [state, i](ServeResponse response) {
+          CompleteLine(state, i, response);
+        },
         timeout);
   }
 }

@@ -46,9 +46,9 @@ double ArrivalRateEstimator::OnArrival(
   if (prev_rate > 0 && instant_rps * 10.0 < prev_rate) {
     prev_rate = instant_rps;
   }
-  const double next_rate = prev_rate == 0
-                               ? instant_rps
-                               : (1 - alpha_) * prev_rate + alpha_ * instant_rps;
+  const double next_rate =
+      prev_rate == 0 ? instant_rps
+                     : (1 - alpha_) * prev_rate + alpha_ * instant_rps;
   rate_bits_.store(std::bit_cast<uint64_t>(next_rate),
                    std::memory_order_relaxed);
   return interval_ms;

@@ -53,6 +53,8 @@ struct ServeShard::Obs {
   obs::Counter* cache_lookups;
   obs::Counter* cache_hits;
   obs::Counter* coalesced;
+  obs::Counter* inflight_coalesced;
+  obs::Counter* neardup_hits;
   obs::Counter* batches;
   obs::Gauge* queue_depth;
   obs::Gauge* arrival_rate;
@@ -91,7 +93,14 @@ struct ServeShard::Obs {
         "Submit-time LRU hits plus in-batch coalesced duplicates");
     coalesced =
         reg.GetCounter("rpt_serve_coalesced_total", label,
-                       "In-batch duplicates folded into one execution");
+                       "Duplicates folded into one execution (in-batch "
+                       "plus in-flight joiners)");
+    inflight_coalesced = reg.GetCounter(
+        "rpt_serve_inflight_coalesced_total", label,
+        "Requests attached to an execution already queued or running");
+    neardup_hits = reg.GetCounter(
+        "rpt_serve_neardup_hits_total", label,
+        "Cache misses served from a SimHash near-duplicate entry");
     batches = reg.GetCounter("rpt_serve_batches_total", label,
                              "Model forward passes executed");
     queue_depth = reg.GetGauge("rpt_serve_queue_depth", label,
@@ -161,7 +170,10 @@ std::string ServerStatsSnapshot::Render(const std::string& name) const {
   counters.AddRow({"invalid (rejected by session)", std::to_string(invalid)});
   counters.AddRow({"cache hits", std::to_string(cache_hits)});
   counters.AddRow({"cache hit rate", Fixed(cache_hit_rate, 3)});
-  counters.AddRow({"coalesced (in-batch dupes)", std::to_string(coalesced)});
+  counters.AddRow({"coalesced (dupes folded)", std::to_string(coalesced)});
+  counters.AddRow({"coalesced in-flight (cross-batch)",
+                   std::to_string(inflight_coalesced)});
+  counters.AddRow({"near-dup cache hits", std::to_string(neardup_hits)});
   counters.AddRow({"forward passes", std::to_string(batches)});
   counters.AddRow({"mean batch size", Fixed(mean_batch_size, 2)});
   if (adapt_adjustments > 0) {
@@ -198,6 +210,8 @@ ServerStatsSnapshot AggregateStats(
     total.cache_hits += p.cache_hits;
     total.cache_misses += p.cache_misses;
     total.coalesced += p.coalesced;
+    total.inflight_coalesced += p.inflight_coalesced;
+    total.neardup_hits += p.neardup_hits;
     total.batches += p.batches;
     total.adapt_adjustments += p.adapt_adjustments;
     total.queue_depth += p.queue_depth;
@@ -241,6 +255,13 @@ ServeShard::ServeShard(std::shared_ptr<ModelSession> session,
       obs_(std::make_unique<Obs>(config_)) {
   RPT_CHECK(session_ != nullptr);
   RPT_CHECK_GE(config_.max_batch_size, 1u);
+  if (config_.exactness == Exactness::kNearDup && config_.cache_capacity > 0) {
+    const size_t index_capacity = config_.neardup_index_capacity > 0
+                                      ? config_.neardup_index_capacity
+                                      : config_.cache_capacity;
+    RPT_CHECK_GE(config_.neardup_max_hamming, 0);
+    neardup_index_ = std::make_unique<SimHashIndex>(index_capacity);
+  }
   if (config_.batch_policy == BatchPolicy::kAdaptive) {
     AdaptiveConfig adaptive;
     adaptive.max_batch_size = config_.max_batch_size;
@@ -309,8 +330,35 @@ void ServeShard::SubmitAsync(std::string input, ServeCallback done,
     done(std::move(r));
     return;
   }
+  // Dedup identity: exact payload under kStrict, normalized payload
+  // otherwise (empty key means "same as input", avoiding the copy on the
+  // strict hot path and whenever normalization is the identity).
+  std::string key;
+  if (config_.exactness != Exactness::kStrict) {
+    key = NormalizeForDedup(input, config_.normalize);
+    if (key == input) key.clear();
+  }
+  const std::string& lookup_key = key.empty() ? input : key;
+
   if (config_.cache_capacity > 0) {
-    auto hit = cache_.Get(input);
+    auto hit = cache_.Get(lookup_key);
+    bool near_dup = false;
+    if (!hit && neardup_index_ != nullptr) {
+      // Miss: probe the LSH index for a cached key within the Hamming
+      // threshold of this payload's signature. A stale candidate (evicted
+      // from the LRU since it was indexed) falls through to a plain miss.
+      const SimHash128 signature = ComputeSimHash(lookup_key);
+      std::optional<std::string> candidate;
+      {
+        std::lock_guard<std::mutex> lock(neardup_mu_);
+        candidate =
+            neardup_index_->FindNearest(signature, config_.neardup_max_hamming);
+      }
+      if (candidate && *candidate != lookup_key) {
+        hit = cache_.Get(*candidate);
+        near_dup = hit.has_value();
+      }
+    }
     const auto looked_up = std::chrono::steady_clock::now();
     if (tracing) {
       RecordSpan("serve.cache_lookup", trace_id, tracer.NewSpanId(), root_span,
@@ -320,6 +368,10 @@ void ServeShard::SubmitAsync(std::string input, ServeCallback done,
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       obs_->cache_lookups->Increment();
       obs_->cache_hits->Increment();
+      if (near_dup) {
+        neardup_hits_.fetch_add(1, std::memory_order_relaxed);
+        obs_->neardup_hits->Increment();
+      }
       ServeResponse r;
       r.output = std::move(*hit);
       r.cache_hit = true;
@@ -336,6 +388,7 @@ void ServeShard::SubmitAsync(std::string input, ServeCallback done,
 
   Pending p;
   p.input = std::move(input);
+  p.key = std::move(key);
   p.done = std::move(done);
   p.enqueued = submitted_at;
   // milliseconds::max() means "no deadline"; adding it to now() would
@@ -344,7 +397,43 @@ void ServeShard::SubmitAsync(std::string input, ServeCallback done,
   if (p.has_deadline) p.deadline = p.enqueued + timeout;
   p.trace_id = tracing ? trace_id : 0;
   p.root_span = root_span;
-  const PushResult pushed = queue_.TryPush(std::move(p));
+
+  PushResult pushed;
+  if (config_.inflight_coalescing) {
+    // The map insert and the queue push are one atomic step under
+    // inflight_mu_ (lock order: inflight before the queue's internal
+    // mutex, never the reverse), so an entry in the map always has a live
+    // representative behind it and a failed push never leaks an entry a
+    // joiner could attach to.
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    const auto [it, inserted] =
+        inflight_.try_emplace(std::string(KeyOf(p)));
+    if (!inserted) {
+      // Coalesce: attach to the execution already queued or running.
+      // Joiners inherit the in-flight result and never extend (or apply)
+      // a deadline of their own.
+      Joiner joiner;
+      joiner.done = std::move(p.done);
+      joiner.submitted = submitted_at;
+      joiner.trace_id = p.trace_id;
+      joiner.root_span = p.root_span;
+      it->second.push_back(std::move(joiner));
+      lock.unlock();
+      inflight_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      obs_->inflight_coalesced->Increment();
+      if (config_.cache_capacity > 0) {
+        // One lookup outcome per admitted request: the joiner's miss is
+        // converted into a hit when the execution it rode completes.
+        cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        obs_->cache_lookups->Increment();
+      }
+      return;
+    }
+    pushed = queue_.TryPush(std::move(p));
+    if (pushed != PushResult::kOk) inflight_.erase(it);
+  } else {
+    pushed = queue_.TryPush(std::move(p));
+  }
   if (pushed != PushResult::kOk) {
     // The queue distinguishes full from closed: a Shutdown() racing this
     // Submit between the accepting_ check above and the push must surface
@@ -447,13 +536,18 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
                  p.root_span, p.enqueued, now);
     }
     if (p.has_deadline && p.deadline < now) {
+      // Joiners share the representative's fate: its deadline governed the
+      // execution they attached to, so they inherit the expiry rather than
+      // re-enqueuing a pass the representative was not allowed to wait for.
+      std::vector<Joiner> joiners = TakeJoiners(KeyOf(p));
       ServeResponse r;
       r.status = Status::DeadlineExceeded(
           "deadline passed while the request was queued");
       r.latency_ms = ElapsedMs(p.enqueued, now);
+      newly_expired += 1 + joiners.size();
+      obs_->expired->Increment(1 + joiners.size());
+      CompleteJoiners(std::move(joiners), r, now, 0, 0);
       p.done(std::move(r));
-      ++newly_expired;
-      obs_->expired->Increment();
       if (tracing && p.trace_id != 0) {
         RecordSpan("serve.submit", p.trace_id, p.root_span, 0, p.enqueued,
                    now);
@@ -464,12 +558,17 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
     // so a malformed or over-long payload fails its own request instead of
     // tripping a model-side check that would abort the process.
     if (Status valid = session_->Validate(p.input); !valid.ok()) {
+      // Joiners matched this payload's dedup key, so the validation
+      // verdict applies to them as well (under normalized keying they may
+      // differ in surface form only, which Validate ignores by intent).
+      std::vector<Joiner> joiners = TakeJoiners(KeyOf(p));
       ServeResponse r;
       r.status = std::move(valid);
       r.latency_ms = ElapsedMs(p.enqueued, now);
+      newly_invalid += 1 + joiners.size();
+      obs_->invalid->Increment(1 + joiners.size());
+      CompleteJoiners(std::move(joiners), r, now, 0, 0);
       p.done(std::move(r));
-      ++newly_invalid;
-      obs_->invalid->Increment();
       if (tracing && p.trace_id != 0) {
         RecordSpan("serve.submit", p.trace_id, p.root_span, 0, p.enqueued,
                    now);
@@ -485,18 +584,23 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
   }
 
   if (!live.empty()) {
-    // Within-batch coalescing: identical payloads ride one model execution
-    // and the single output fans out to every duplicate's promise.
+    // Within-batch coalescing: payloads with one dedup key ride one model
+    // execution and the single output fans out to every duplicate's
+    // promise. (With in-flight coalescing on, duplicates normally attach
+    // upstream and never co-occupy a batch; this stays as the guarantee
+    // for the coalescing-off configuration and as defense in depth.)
     std::vector<std::string> inputs;       // unique payloads, first-seen order
     std::vector<size_t> slot(live.size());  // live index -> inputs index
     std::vector<bool> is_dupe(live.size(), false);
+    std::vector<const Pending*> slot_rep;  // first-seen request per slot
     std::unordered_map<std::string_view, size_t> first_seen;
     first_seen.reserve(live.size());
     for (size_t i = 0; i < live.size(); ++i) {
       const auto [it, inserted] =
-          first_seen.try_emplace(live[i]->input, inputs.size());
+          first_seen.try_emplace(KeyOf(*live[i]), inputs.size());
       if (inserted) {
         inputs.push_back(live[i]->input);
+        slot_rep.push_back(live[i]);
       } else {
         is_dupe[i] = true;
       }
@@ -525,12 +629,28 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
     obs_->execute_ms->Observe(ElapsedMs(run_begin, done));
     obs_->batch_rows->Observe(static_cast<double>(inputs.size()));
     obs_->batches->Increment();
-    obs_->completed->Increment(live.size());
+    // The cache is populated under each slot's dedup key *before* its
+    // in-flight entry is resolved: a concurrent submit either attaches to
+    // the entry (and is completed below) or, once the entry is gone, finds
+    // the response already cached — no window re-runs the pass.
     for (size_t j = 0; j < inputs.size(); ++j) {
-      cache_.Put(inputs[j], outputs[j]);
+      const std::string slot_key(KeyOf(*slot_rep[j]));
+      cache_.Put(slot_key, outputs[j]);
+      if (neardup_index_ != nullptr) {
+        const SimHash128 signature = ComputeSimHash(slot_key);
+        std::lock_guard<std::mutex> lock(neardup_mu_);
+        neardup_index_->Add(signature, slot_key);
+      }
     }
+    std::vector<std::vector<Joiner>> slot_joiners(inputs.size());
+    size_t joiner_count = 0;
+    for (size_t j = 0; j < inputs.size(); ++j) {
+      slot_joiners[j] = TakeJoiners(KeyOf(*slot_rep[j]));
+      joiner_count += slot_joiners[j].size();
+    }
+    obs_->completed->Increment(live.size() + joiner_count);
     std::vector<double> lats;
-    lats.reserve(live.size());
+    lats.reserve(live.size() + joiner_count);
     // First execute-span id per unique payload: coalesced duplicates carry
     // a follows-from link to the execution they actually rode, which lives
     // in the representative request's trace.
@@ -567,21 +687,36 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
                    live[i]->enqueued, done);
       }
     }
-    if (newly_coalesced > 0 && config_.cache_capacity > 0) {
-      // A duplicate's submit-time miss becomes a hit on its batch-mate's
-      // result, keeping hits + misses == one lookup outcome per admitted
-      // request. The registry's cache_hits counter gets the same credit;
-      // its lookup was already counted at submit time.
-      cache_hits_.fetch_add(newly_coalesced, std::memory_order_relaxed);
-      cache_misses_.fetch_sub(newly_coalesced, std::memory_order_relaxed);
-      obs_->cache_hits->Increment(newly_coalesced);
+    // In-flight joiners: the cross-batch counterpart of the fan-out above.
+    // Each joiner gets a copy of its slot's output and a follows-from link
+    // to the execution span it rode (recorded in the representative's
+    // trace, possibly batches ago from the joiner's point of view).
+    for (size_t j = 0; j < inputs.size(); ++j) {
+      if (slot_joiners[j].empty()) continue;
+      ServeResponse base;
+      base.output = outputs[j];
+      base.batch_size = static_cast<int64_t>(inputs.size());
+      base.cache_hit = true;
+      CompleteJoiners(std::move(slot_joiners[j]), base, done,
+                      slot_exec_trace[j], slot_exec_span[j], &lats);
     }
-    obs_->coalesced->Increment(newly_coalesced);
+    const uint64_t folded = newly_coalesced + joiner_count;
+    if (folded > 0 && config_.cache_capacity > 0) {
+      // A duplicate's submit-time miss becomes a hit on the result it
+      // rode (batch-mate or in-flight execution), keeping hits + misses
+      // == one lookup outcome per admitted request. The registry's
+      // cache_hits counter gets the same credit; its lookup was already
+      // counted at submit time.
+      cache_hits_.fetch_add(folded, std::memory_order_relaxed);
+      cache_misses_.fetch_sub(folded, std::memory_order_relaxed);
+      obs_->cache_hits->Increment(folded);
+    }
+    obs_->coalesced->Increment(folded);
     std::lock_guard<std::mutex> lock(stats_mu_);
-    completed_ += live.size();
+    completed_ += live.size() + joiner_count;
     expired_ += newly_expired;
     invalid_ += newly_invalid;
-    coalesced_ += newly_coalesced;
+    coalesced_ += folded;
     ++batches_;
     ++batch_hist_[inputs.size()];
     for (const double lat : lats) latencies_ms_.Add(lat);
@@ -589,6 +724,45 @@ void ServeShard::CompleteBatch(std::vector<Pending>* batch) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     expired_ += newly_expired;
     invalid_ += newly_invalid;
+  }
+}
+
+std::vector<ServeShard::Joiner> ServeShard::TakeJoiners(std::string_view key) {
+  if (!config_.inflight_coalescing) return {};
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  const auto it = inflight_.find(std::string(key));
+  if (it == inflight_.end()) return {};
+  std::vector<Joiner> joiners = std::move(it->second);
+  inflight_.erase(it);
+  return joiners;
+}
+
+void ServeShard::CompleteJoiners(std::vector<Joiner> joiners,
+                                 const ServeResponse& base,
+                                 std::chrono::steady_clock::time_point done_at,
+                                 uint64_t exec_trace, uint64_t exec_span,
+                                 std::vector<double>* lats_out) {
+  if (joiners.empty()) return;
+  obs::Tracer& tracer = obs::GlobalTracer();
+  const bool tracing = tracer.enabled();
+  for (Joiner& joiner : joiners) {
+    ServeResponse r = base;
+    r.latency_ms = ElapsedMs(joiner.submitted, done_at);
+    if (lats_out != nullptr) lats_out->push_back(r.latency_ms);
+    obs_->latency_ms->Observe(r.latency_ms);
+    if (tracing && joiner.trace_id != 0) {
+      // Cross-batch follows-from: the joiner's own trace shows the window
+      // it spent attached, with an arrow to the execution (in the
+      // representative's trace) that actually produced its bytes.
+      if (exec_span != 0) {
+        RecordSpan("serve.execute", joiner.trace_id, tracer.NewSpanId(),
+                   joiner.root_span, joiner.submitted, done_at, exec_trace,
+                   exec_span);
+      }
+      RecordSpan("serve.submit", joiner.trace_id, joiner.root_span, 0,
+                 joiner.submitted, done_at);
+    }
+    joiner.done(std::move(r));
   }
 }
 
@@ -607,6 +781,8 @@ ServerStatsSnapshot ServeShard::Stats() const {
   s.shutdown_rejected = shutdown_rejected_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.inflight_coalesced = inflight_coalesced_.load(std::memory_order_relaxed);
+  s.neardup_hits = neardup_hits_.load(std::memory_order_relaxed);
   s.queue_depth = queue_.size();
   const uint64_t lookups = s.cache_hits + s.cache_misses;
   if (lookups > 0) {

@@ -1,0 +1,242 @@
+#include "util/simhash.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace rpt {
+
+namespace {
+
+constexpr char kUnitSep = '\x1f';    // between fields (serve/sessions.h)
+constexpr char kRecordSep = '\x1e';  // between records of a pair payload
+
+/// Trim + collapse internal whitespace runs of one field, in place on the
+/// output buffer.
+void AppendCollapsed(std::string_view field, std::string* out) {
+  size_t begin = 0, end = field.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(field[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(field[end - 1]))) {
+    --end;
+  }
+  bool in_run = false;
+  for (size_t i = begin; i < end; ++i) {
+    const char c = field[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      in_run = true;
+      continue;
+    }
+    if (in_run) out->push_back(' ');
+    in_run = false;
+    out->push_back(c);
+  }
+}
+
+std::vector<std::string_view> SplitView(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+/// splitmix64 finalizer: expands one 64-bit hash into an independent
+/// second lane for the 128-bit signature.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Splits normalized text into word tokens (whitespace and the payload
+/// separators both delimit).
+std::vector<std::string_view> Tokenize(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  size_t start = std::string_view::npos;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    const bool boundary =
+        i == text.size() || text[i] == ' ' || text[i] == kUnitSep ||
+        text[i] == kRecordSep ||
+        std::isspace(static_cast<unsigned char>(text[i]));
+    if (boundary) {
+      if (start != std::string_view::npos) {
+        tokens.push_back(text.substr(start, i - start));
+        start = std::string_view::npos;
+      }
+    } else if (start == std::string_view::npos) {
+      start = i;
+    }
+  }
+  return tokens;
+}
+
+/// Accumulates the signed bit votes of one shingle hash pair.
+void Vote(uint64_t h_lo, uint64_t h_hi, int* counts) {
+  for (int b = 0; b < 64; ++b) {
+    counts[b] += (h_lo >> b) & 1 ? 1 : -1;
+    counts[64 + b] += (h_hi >> b) & 1 ? 1 : -1;
+  }
+}
+
+SimHash128 FromCounts(const int* counts) {
+  SimHash128 sig;
+  for (int b = 0; b < 64; ++b) {
+    if (counts[b] > 0) sig.lo |= (1ull << b);
+    if (counts[64 + b] > 0) sig.hi |= (1ull << b);
+  }
+  return sig;
+}
+
+}  // namespace
+
+std::string NormalizeForDedup(std::string_view payload,
+                              const NormalizeSpec& spec) {
+  if (!spec.trim && !spec.case_fold && !spec.attribute_sort) {
+    return std::string(payload);
+  }
+  std::string out;
+  out.reserve(payload.size());
+  const std::vector<std::string_view> records = SplitView(payload, kRecordSep);
+  for (size_t r = 0; r < records.size(); ++r) {
+    if (r > 0) out.push_back(kRecordSep);
+    std::vector<std::string> fields;
+    for (std::string_view field : SplitView(records[r], kUnitSep)) {
+      std::string canon;
+      canon.reserve(field.size());
+      if (spec.trim) {
+        AppendCollapsed(field, &canon);
+      } else {
+        canon.assign(field);
+      }
+      if (spec.case_fold) {
+        std::transform(canon.begin(), canon.end(), canon.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+      }
+      fields.push_back(std::move(canon));
+    }
+    if (spec.attribute_sort) std::sort(fields.begin(), fields.end());
+    for (size_t f = 0; f < fields.size(); ++f) {
+      if (f > 0) out.push_back(kUnitSep);
+      out.append(fields[f]);
+    }
+  }
+  return out;
+}
+
+int HammingDistance(const SimHash128& a, const SimHash128& b) {
+  return __builtin_popcountll(a.lo ^ b.lo) +
+         __builtin_popcountll(a.hi ^ b.hi);
+}
+
+SimHash128 ComputeSimHash(std::string_view text, int shingle_size) {
+  RPT_CHECK_GE(shingle_size, 1);
+  int counts[128] = {0};
+  const std::vector<std::string_view> tokens = Tokenize(text);
+  if (tokens.empty()) return {};
+  const size_t k = static_cast<size_t>(shingle_size);
+  if (tokens.size() < k) {
+    // Degenerate text: hash the single (short) shingle it forms.
+    uint64_t h = kFnvOffsetBasis64;
+    for (std::string_view token : tokens) {
+      for (char c : token) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime64;
+      }
+      h ^= 0x1f;  // token boundary
+      h *= kFnvPrime64;
+    }
+    Vote(h, Mix64(h), counts);
+    return FromCounts(counts);
+  }
+  for (size_t i = 0; i + k <= tokens.size(); ++i) {
+    uint64_t h = kFnvOffsetBasis64;
+    for (size_t j = i; j < i + k; ++j) {
+      for (char c : tokens[j]) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime64;
+      }
+      h ^= 0x1f;
+      h *= kFnvPrime64;
+    }
+    Vote(h, Mix64(h), counts);
+  }
+  return FromCounts(counts);
+}
+
+uint64_t SimHash64(std::string_view text, int shingle_size) {
+  return ComputeSimHash(text, shingle_size).lo;
+}
+
+SimHashIndex::SimHashIndex(size_t capacity) : capacity_(capacity) {
+  RPT_CHECK_GE(capacity_, 1u);
+  slots_.resize(capacity_);
+}
+
+uint32_t SimHashIndex::BandKey(const SimHash128& signature, int band) {
+  const uint64_t lane = band < 4 ? signature.lo : signature.hi;
+  const int shift = (band % 4) * kBandBits;
+  const uint32_t bits = static_cast<uint32_t>((lane >> shift) & 0xffffu);
+  return (static_cast<uint32_t>(band) << kBandBits) | bits;
+}
+
+void SimHashIndex::Add(const SimHash128& signature, std::string key) {
+  const uint64_t generation = ++next_generation_;
+  const uint32_t slot = static_cast<uint32_t>((generation - 1) % capacity_);
+  Entry& entry = slots_[slot];
+  const bool overwrote = entry.generation != 0;
+  entry.signature = signature;
+  entry.key = std::move(key);
+  entry.generation = generation;
+  if (!overwrote) ++live_;
+  for (int band = 0; band < kBands; ++band) {
+    auto& bucket = buckets_[BandKey(signature, band)];
+    // Drop references whose slot has been overwritten since insert; keeps
+    // bucket growth bounded by the live entries that share the band.
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                [this](const std::pair<uint32_t, uint64_t>& e) {
+                                  return slots_[e.first].generation != e.second;
+                                }),
+                 bucket.end());
+    bucket.emplace_back(slot, generation);
+  }
+}
+
+std::optional<std::string> SimHashIndex::FindNearest(
+    const SimHash128& signature, int max_hamming) const {
+  int best_distance = max_hamming + 1;
+  uint64_t best_generation = 0;
+  const Entry* best = nullptr;
+  for (int band = 0; band < kBands; ++band) {
+    const auto it = buckets_.find(BandKey(signature, band));
+    if (it == buckets_.end()) continue;
+    for (const auto& [slot, generation] : it->second) {
+      const Entry& entry = slots_[slot];
+      if (entry.generation != generation) continue;  // overwritten
+      const int d = HammingDistance(entry.signature, signature);
+      if (d < best_distance ||
+          (d == best_distance && best != nullptr &&
+           entry.generation < best_generation)) {
+        best_distance = d;
+        best_generation = entry.generation;
+        best = &entry;
+      }
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->key;
+}
+
+}  // namespace rpt

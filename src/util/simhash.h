@@ -1,0 +1,147 @@
+// SimHash near-duplicate signatures over normalized token shingles.
+//
+// Dirty relational traffic repeats with trivial surface variation: the same
+// tuple arrives with different whitespace, casing, or attribute order. A
+// SimHash signature (Charikar 2002; the core trick of mostsimilar's 128-bit
+// variant) maps a payload to 64/128 bits such that near-identical texts
+// differ in only a few bit positions — similarity is one XOR + popcount.
+//
+// Three layers live here:
+//  * NormalizeSpec / NormalizeForDedup: the configurable canonicalization
+//    (field trim, ASCII case-fold, attribute sort) applied before hashing.
+//    Normalization is a *keying* device — the original payload is what a
+//    model ever sees; only cache/dedup identity goes through it.
+//  * SimHash64 / SimHash128: signatures over word shingles of the
+//    normalized text, deterministic across runs and platforms (FNV-1a
+//    shingle hashes + a splitmix64 expansion for the high lane).
+//  * SimHashIndex: a bounded LSH band index (banding over contiguous
+//    16-bit slices) answering "is any previously added signature within
+//    `max_hamming` bits of this one?" in O(bands · bucket) — the structure
+//    the serving layer puts in front of its LRU response cache, and the
+//    corpus dedup pass (corpus/dedup.h) scales over pretraining data.
+//
+// Banding guarantee: two signatures within Hamming distance d collide in at
+// least one band whenever d < kBands (pigeonhole); probes verify the exact
+// distance, so the index never reports a match past the caller's threshold.
+// Past-kBands distances may be missed — acceptable for a cache, wrong for
+// an exhaustive join (use pairwise HammingDistance for that).
+
+#ifndef RPT_UTIL_SIMHASH_H_
+#define RPT_UTIL_SIMHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rpt {
+
+/// Canonicalization applied before signature or key computation. All three
+/// transforms are independent; the serving layer exposes them through the
+/// ServerConfig exactness knob.
+struct NormalizeSpec {
+  /// Strip ASCII whitespace around each field and collapse internal runs
+  /// of whitespace to one space.
+  bool trim = true;
+  /// ASCII case-fold (tolower).
+  bool case_fold = true;
+  /// Sort the fields of each record lexicographically, so attribute order
+  /// stops mattering. Records (0x1e-separated) keep their relative order:
+  /// a matcher pair (a, b) is not the same request as (b, a).
+  bool attribute_sort = true;
+};
+
+/// Canonical form of `payload` under `spec`. Fields are the 0x1f-separated
+/// units the session payload encoders emit (serve/sessions.h); plain text
+/// without separators is treated as a single one-field record. Identity
+/// when every knob is off.
+std::string NormalizeForDedup(std::string_view payload,
+                              const NormalizeSpec& spec);
+
+/// 128-bit SimHash signature. Value-comparable; `lo` carries bit 0.
+struct SimHash128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const SimHash128& a, const SimHash128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const SimHash128& a, const SimHash128& b) {
+    return !(a == b);
+  }
+};
+
+/// Bits that differ between two signatures (XOR + popcount), in [0, 128].
+int HammingDistance(const SimHash128& a, const SimHash128& b);
+
+/// 64-bit SimHash over word `shingle_size`-grams of `text` (already
+/// normalized by the caller). Shorter texts than one shingle hash their
+/// individual tokens; empty text maps to signature 0.
+uint64_t SimHash64(std::string_view text, int shingle_size = 2);
+
+/// 128-bit SimHash, same shingling as SimHash64 with an independent second
+/// lane. This is the signature the serving index and corpus dedup use.
+SimHash128 ComputeSimHash(std::string_view text, int shingle_size = 2);
+
+/// Bounded LSH band index over SimHash128 signatures.
+///
+/// Add() associates a signature with a caller-owned key (for the serving
+/// layer: the normalized cache key whose response the LRU holds).
+/// FindNearest() returns the key of the closest stored signature within
+/// `max_hamming` bits, if any. Capacity is a ring: the oldest entry is
+/// overwritten once full, and its band-bucket references die lazily
+/// (generation-checked on probe), so Add/Find stay O(bands).
+///
+/// Not internally synchronized — callers serialize access (ServeShard
+/// guards it with its own mutex; corpus dedup is single-threaded).
+class SimHashIndex {
+ public:
+  static constexpr int kBands = 8;        // 8 bands x 16 bits = 128
+  static constexpr int kBandBits = 16;
+
+  /// `capacity` > 0: maximum live entries before the ring overwrites.
+  explicit SimHashIndex(size_t capacity);
+
+  SimHashIndex(const SimHashIndex&) = delete;
+  SimHashIndex& operator=(const SimHashIndex&) = delete;
+
+  /// Stores (signature, key), evicting the oldest entry when full.
+  void Add(const SimHash128& signature, std::string key);
+
+  /// Key of the closest stored signature within `max_hamming` bits of
+  /// `signature` (ties: lowest distance, then oldest), or nullopt. Never
+  /// returns a key whose verified distance exceeds `max_hamming`.
+  std::optional<std::string> FindNearest(const SimHash128& signature,
+                                         int max_hamming) const;
+
+  size_t size() const { return live_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    SimHash128 signature;
+    std::string key;
+    uint64_t generation = 0;  // 0 = slot never written
+  };
+
+  /// 16-bit slice `band` of `signature`, tagged with the band number so
+  /// identical bits in different bands never share a bucket.
+  static uint32_t BandKey(const SimHash128& signature, int band);
+
+  const size_t capacity_;
+  size_t live_ = 0;
+  uint64_t next_generation_ = 0;
+  std::vector<Entry> slots_;  // ring, slot = generation % capacity
+  // band key -> (slot, generation at insert); stale pairs are dropped
+  // whenever a probe or insert walks the bucket.
+  mutable std::unordered_map<uint32_t,
+                             std::vector<std::pair<uint32_t, uint64_t>>>
+      buckets_;
+};
+
+}  // namespace rpt
+
+#endif  // RPT_UTIL_SIMHASH_H_
